@@ -1,0 +1,26 @@
+# Convenience targets for the Stellar reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench tour examples all clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+tour:
+	$(PYTHON) -m repro
+
+examples:
+	@for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex; done
+
+all: test bench
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

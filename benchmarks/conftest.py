@@ -1,0 +1,45 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Every benchmark prints the same rows/series its paper counterpart reports
+(via :class:`repro.analysis.Table`) and asserts the qualitative shape —
+who wins, by roughly what factor, where the knees fall.  Absolute numbers
+differ from the paper's testbed by design; EXPERIMENTS.md records both.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _persist_tables():
+    """Mirror every printed benchmark table into benchmark_tables.txt.
+
+    pytest captures stdout unless run with ``-s``; the mirror file keeps
+    the regenerated figure/table series inspectable either way.
+    """
+    if "REPRO_TABLES_FILE" not in os.environ:
+        sink = pathlib.Path(__file__).resolve().parent.parent / \
+            "benchmark_tables.txt"
+        sink.write_text("")  # truncate per session
+        os.environ["REPRO_TABLES_FILE"] = str(sink)
+        yield
+        del os.environ["REPRO_TABLES_FILE"]
+    else:
+        yield
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a measurement exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations; repeating them only
+    re-times identical work, so a single round is the honest measurement.
+    """
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

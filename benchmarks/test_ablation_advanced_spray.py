@@ -1,0 +1,70 @@
+"""Ablation — advanced multi-path algorithms vs plain OBS (Section 9).
+
+The paper implemented a path-aware sprayer (SMaRTT-REPS/STrack family)
+and "did not observe a significant performance advantage over the simpler
+OBS algorithm" on regular AI traffic, because (1) collectives inject
+regular permutation-like patterns and (2) the dual-plane multi-rail
+topology avoids most collisions.  Flowlet switching (Section 7.1) is also
+measured: on gap-free RDMA bulk traffic it degenerates to a single path.
+"""
+
+from repro.analysis import Table
+from repro.collectives import RingAllReduceTask
+from repro.net import DualPlaneTopology, FluidSimulation, ServerAddress
+from repro.sim.units import GB
+
+
+def servers(base, count=16):
+    return [ServerAddress(seg, base + i)
+            for i in range(count) for seg in range(2)]
+
+
+def run_regular_traffic(algorithm, path_count, seed=13):
+    """Two interleaved ring-AllReduce jobs, fleet-wide one algorithm."""
+    topology = DualPlaneTopology(segments=2, servers_per_segment=32, rails=4,
+                                 aggs_per_plane=60)
+    sim = FluidSimulation(topology, dt=0.01, seed=seed)
+    tasks = []
+    for index in range(2):
+        task = RingAllReduceTask(
+            "t%d" % index, servers(16 * index), data_bytes=int(1 * GB),
+            algorithm=algorithm, path_count=path_count,
+        )
+        task.launch(sim, continuous=True, connection_base=10_000 * index)
+        tasks.append(task)
+    sim.run(duration=0.05)
+    return min(task.bus_bandwidth_gb() for task in tasks)
+
+
+def run_matrix():
+    return {
+        "obs/128": run_regular_traffic("obs", 128),
+        "path_aware/128": run_regular_traffic("path_aware", 128),
+        "mprdma/128": run_regular_traffic("mprdma", 128),
+        "flowlet/128": run_regular_traffic("flowlet", 128),
+        "single/1": run_regular_traffic("single", 1),
+    }
+
+
+def test_ablation_advanced_algorithms_vs_obs(once):
+    results = once(run_matrix)
+
+    table = Table(
+        "Ablation: advanced algorithms on regular AI traffic (GB/s)",
+        ["algorithm", "bus bandwidth GB/s"],
+    )
+    for label, busbw in results.items():
+        table.add_row(label, busbw)
+    table.print()
+
+    # The Section 9 finding: the path-aware sprayer offers no significant
+    # advantage over OBS on regular traffic (within 10%) — and certainly
+    # does not beat it by the margins that would justify its hardware.
+    assert results["path_aware/128"] <= results["obs/128"] * 1.10
+    assert results["path_aware/128"] >= results["obs/128"] * 0.70
+    assert results["mprdma/128"] >= results["obs/128"] * 0.70
+    # Flowlet switching on gap-free bulk traffic behaves like a (randomly
+    # re-pinned) single path: far below full spray.
+    assert results["flowlet/128"] < results["obs/128"] * 0.85
+    # And everything still beats the true single-path baseline or ties it.
+    assert results["obs/128"] > 1.5 * results["single/1"]

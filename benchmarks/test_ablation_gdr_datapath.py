@@ -1,0 +1,78 @@
+"""Ablation — the GDR datapath, three ways, and cache-capacity scaling.
+
+Beyond the Figure 8/14 reproductions, this ablation verifies the
+*mechanism*: the throughput knee is a pure capacity phenomenon.  Doubling
+the simulated ATC moves the knee from >2 MB to >4 MB messages; halving it
+moves the knee down — nothing else in the model changes.
+"""
+
+import pytest
+
+from repro import calibration
+from repro.analysis import Table, format_bytes_axis
+from repro.workloads import AtcMissExperiment, emtt_sweep, gdr_datapath_curve
+
+SIZES = [1 << 20, 2 << 20, 4 << 20, 8 << 20]
+
+
+def knee_size(rows, threshold_rate):
+    """First message size whose rate falls below ``threshold_rate``."""
+    for row in rows:
+        if row.rate < threshold_rate:
+            return row.message_bytes
+    return None
+
+
+def run_capacity_sweep():
+    threshold = calibration.CX6_GDR_PEAK_RATE * 0.97
+    knees = {}
+    for label, capacity in (
+        ("half", calibration.ATC_CAPACITY_PAGES // 2),
+        ("paper", calibration.ATC_CAPACITY_PAGES),
+        ("double", calibration.ATC_CAPACITY_PAGES * 2),
+    ):
+        rows = AtcMissExperiment(atc_capacity=capacity).sweep(sizes=SIZES)
+        knees[label] = (capacity, knee_size(rows, threshold), rows)
+    return knees
+
+
+def test_ablation_atc_capacity_moves_the_knee(once):
+    knees = once(run_capacity_sweep)
+
+    table = Table(
+        "Ablation: ATC capacity vs throughput knee (16 conns, 4 KiB pages)",
+        ["ATC pages", "first degraded message size"],
+    )
+    for label, (capacity, knee, _) in knees.items():
+        table.add_row(capacity, format_bytes_axis(knee) if knee else ">8MB")
+    table.print()
+
+    half = knees["half"][1]
+    paper = knees["paper"][1]
+    double = knees["double"][1]
+    # Halving the ATC halves the knee; doubling it doubles the knee.
+    assert half == 2 << 20   # 16 x 2 MB no longer fits in 5000 pages
+    assert paper == 4 << 20  # the paper's >2 MB knee
+    assert double == 8 << 20
+
+
+def test_ablation_three_gdr_datapaths(once):
+    def run():
+        atc = AtcMissExperiment().measure(8 << 20)
+        emtt = emtt_sweep(sizes=[8 << 20])[0]
+        rc = gdr_datapath_curve("hyv_masq", sizes=[8 << 20],
+                                wire_rate=calibration.CX6_GDR_PEAK_RATE)[0]
+        return atc, emtt, rc
+
+    atc, emtt, rc = once(run)
+    table = Table("Ablation: GDR datapath at 8 MB messages (Gbps)",
+                  ["datapath", "Gbps"])
+    table.add_row("eMTT (Stellar)", emtt.gbps)
+    table.add_row("ATS/ATC (CX6)", atc.gbps)
+    table.add_row("RC-routed (HyV/MasQ)", rc.gbps)
+    table.print()
+
+    # Strict ordering: eMTT > ATS/ATC in its miss regime > RC-routed.
+    assert emtt.rate > atc.rate > rc.rate
+    assert rc.rate <= calibration.GDR_RC_ROUTED_RATE
+    assert emtt.gbps == pytest.approx(190.0, rel=0.01)

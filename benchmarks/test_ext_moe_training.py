@@ -1,0 +1,82 @@
+"""Extension — Mixture-of-Experts training with expert parallelism.
+
+The paper's discussion flags MoE ("expert parallelism") as the emerging
+workload whose adaptation window will again lean on raw network
+performance.  This extension exercises the EP dimension of the cost model:
+all-to-all dispatch/combine adds a fourth communication stream, the total
+comm share grows with the EP degree, and Stellar's congestion advantage
+(the Figure 16 mechanism) carries over to the new traffic.
+"""
+
+from repro.analysis import Table, relative_gain
+from repro.net import DualPlaneTopology
+from repro.training import (
+    Framework,
+    LLAMA_33B,
+    ParallelStrategy,
+    Placement,
+    TRANSPORTS,
+    TrainingSimulation,
+    comm_volumes,
+    iteration_breakdown,
+)
+
+EP_DEGREES = (1, 2, 4, 8)
+
+
+def run_sweep():
+    topology = DualPlaneTopology(
+        segments=2, servers_per_segment=32, rails=4, aggs_per_plane=60,
+    )
+    sim = TrainingSimulation(topology=topology, seed=77)
+    bandwidth = {
+        name: sim.measure_dp_bandwidth(512, Placement.RANDOM, TRANSPORTS[name])
+        for name in ("cx7", "stellar")
+    }
+    rows = []
+    for ep in EP_DEGREES:
+        # Expert parallelism sub-partitions the DP group (Megatron-MoE
+        # style), so the GPU count and DP degree stay fixed as EP grows.
+        strategy = ParallelStrategy(tp=2, pp=2, dp=128, ep=ep,
+                                    grad_accum=8, global_batch=1024)
+        volumes = comm_volumes(LLAMA_33B, strategy, Framework.MEGATRON)
+        speeds = {
+            name: iteration_breakdown(
+                LLAMA_33B, strategy, Framework.MEGATRON,
+                dp_bandwidth=bandwidth[name],
+            )
+            for name in ("cx7", "stellar")
+        }
+        rows.append((strategy, volumes, speeds))
+    return rows
+
+
+def test_ext_moe_expert_parallelism(once):
+    rows = once(run_sweep)
+
+    table = Table(
+        "Extension: MoE expert parallelism on 512 GPUs (random ranking)",
+        ["EP", "EP bytes/GPU GB", "comm share %", "Stellar gain %"],
+    )
+    gains = []
+    for strategy, volumes, speeds in rows:
+        gain = relative_gain(speeds["stellar"].speed, speeds["cx7"].speed)
+        gains.append(gain)
+        table.add_row(
+            strategy.ep,
+            volumes.ep / 1e9,
+            100 * speeds["stellar"].comm_ratio,
+            100 * gain,
+        )
+    table.print()
+
+    dense = rows[0]
+    assert dense[1].ep == 0.0  # no all-to-all without experts
+    ep_bytes = [volumes.ep for _, volumes, _ in rows]
+    assert ep_bytes == sorted(ep_bytes)  # a2a grows with EP degree
+    assert ep_bytes[-1] > 0
+    # The comm share of the MoE jobs exceeds the dense job's.
+    dense_share = dense[2]["stellar"].comm_ratio
+    assert rows[-1][2]["stellar"].comm_ratio > dense_share
+    # Stellar keeps winning on every EP degree under random ranking.
+    assert all(gain > 0 for gain in gains)

@@ -1,0 +1,59 @@
+"""Figure 8 — ATC-miss GDR throughput sweep.
+
+Paper: the CX6 ATS/ATC path holds ~190 Gbps until the 16-connection
+working set outgrows the ATC (messages > 2 MB, drop to ~170 Gbps), then
+the IOTLB (messages > 32 MB, drop to ~150 Gbps); vStellar's eMTT stays
+flat across the whole sweep.
+"""
+
+import pytest
+
+from repro.analysis import Table, format_bytes_axis
+from repro.workloads import AtcMissExperiment, emtt_sweep
+
+
+def run_sweeps():
+    experiment = AtcMissExperiment()
+    atc_rows = experiment.sweep()
+    emtt_rows = emtt_sweep(sizes=[row.message_bytes for row in atc_rows])
+    return atc_rows, emtt_rows
+
+
+def test_fig08_atc_miss_sweep(once):
+    atc_rows, emtt_rows = once(run_sweeps)
+
+    table = Table(
+        "Figure 8: GDR write throughput, 16 connections, 4 KiB pages (Gbps)",
+        ["message", "CX6 ATS/ATC", "ATC hit", "IOTLB hit",
+         "avg PCIe lat ns", "vStellar eMTT"],
+    )
+    for atc, emtt in zip(atc_rows, emtt_rows):
+        table.add_row(
+            format_bytes_axis(atc.message_bytes),
+            atc.gbps,
+            atc.atc_hit_rate,
+            atc.iotlb_hit_rate,
+            atc.avg_pcie_latency * 1e9,
+            emtt.gbps,
+        )
+    table.print()
+
+    by_size = {row.message_bytes: row for row in atc_rows}
+    # Regime 1: at and below 2 MB the ATC covers the working set.
+    assert by_size[2 << 20].gbps == pytest.approx(190.0, rel=0.03)
+    assert by_size[2 << 20].atc_hit_rate > 0.99
+    # Regime 2: over 2 MB the ATC thrashes; ~170 Gbps plateau.
+    assert 160 < by_size[4 << 20].gbps < 180
+    assert by_size[4 << 20].atc_hit_rate < 0.01
+    assert 160 < by_size[32 << 20].gbps < 180
+    # Regime 3: over 32 MB the IOTLB thrashes too; ~150 Gbps floor.
+    assert 135 < by_size[64 << 20].gbps < 160
+    assert by_size[64 << 20].iotlb_hit_rate < 0.01
+    # The paper's Neohost observation: "when the GDR performance of the
+    # CX6 decreased, the average PCIe latency increased simultaneously."
+    assert by_size[4 << 20].avg_pcie_latency > 5 * by_size[2 << 20].avg_pcie_latency
+    assert by_size[64 << 20].avg_pcie_latency > by_size[4 << 20].avg_pcie_latency
+    # vStellar: flat at line rate at every size.
+    emtt_rates = {row.gbps for row in emtt_rows}
+    assert len(emtt_rates) == 1
+    assert emtt_rows[0].gbps == pytest.approx(190.0, rel=0.01)

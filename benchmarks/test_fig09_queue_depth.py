@@ -1,0 +1,101 @@
+"""Figure 9 — ToR queue depth under permutation traffic.
+
+Paper: 30 servers inject 120 permutation RDMA write flows.  RR and OBS
+perform best with 4 paths; with 128 paths the well-behaved algorithms
+(everything but BestRTT and single path) look alike, and the maximum
+queue depth collapses relative to the 4-path configurations.
+"""
+
+from repro.analysis import Table
+from repro.collectives import permutation_flows_packet
+from repro.net import DualPlaneTopology, PacketNetSim, run_flows
+from repro.rnic.cc import WindowCC
+from repro.sim.units import MB, usec
+
+ALGORITHMS_AND_PATHS = (
+    ("single", 1),
+    ("rr", 4), ("obs", 4), ("dwrr", 4), ("best_rtt", 4), ("mprdma", 4),
+    ("rr", 128), ("obs", 128), ("dwrr", 128), ("best_rtt", 128),
+    ("mprdma", 128),
+)
+
+MEASUREMENT_WINDOW = 0.008  # seconds of steady-state permutation traffic
+
+
+def build_topology():
+    # 30 servers across two segments; the full 60-agg dual-plane fabric.
+    return DualPlaneTopology(
+        segments=2, servers_per_segment=15, rails=4, planes=2,
+        aggs_per_plane=60,
+    )
+
+
+def run_one(topology, algorithm, paths, seed=11):
+    sim = PacketNetSim(topology, seed=seed, ecn_threshold=1 * MB)
+    sim.start_queue_monitor(interval=100e-6)
+    flows = permutation_flows_packet(
+        sim,
+        list(topology.servers()),
+        rails=topology.rails,
+        message_bytes=1000 * MB,  # effectively persistent for the window
+        algorithm=algorithm,
+        path_count=paths,
+        mtu=256 * 1024,
+        cc_factory=lambda: WindowCC(
+            init_window=2 * 1024 * 1024,
+            additive_bytes=64 * 1024,
+            target_rtt=usec(150),
+        ),
+        seed=seed,
+    )
+    run_flows(sim, flows, timeout=MEASUREMENT_WINDOW)
+    avg, peak = sim.monitored_queue_stats()
+    goodput = sum(f.bytes_acked for f in flows) * 8 / MEASUREMENT_WINDOW / len(flows)
+    return {"avg": avg, "max": peak, "goodput": goodput}
+
+
+def run_matrix():
+    topology = build_topology()
+    return {
+        (algorithm, paths): run_one(topology, algorithm, paths)
+        for algorithm, paths in ALGORITHMS_AND_PATHS
+    }
+
+
+def test_fig09_queue_depth_permutation(once):
+    results = once(run_matrix)
+
+    table = Table(
+        "Figure 9: ToR uplink queue depth, 120-flow permutation",
+        ["algorithm", "paths", "avg queue KB", "max queue KB",
+         "per-flow goodput Gbps"],
+    )
+    for (algorithm, paths), stats in results.items():
+        table.add_row(
+            algorithm, paths, stats["avg"] / 1e3, stats["max"] / 1e3,
+            stats["goodput"] / 1e9,
+        )
+    table.print()
+
+    # 128-path spraying collapses the maximum queue depth relative to the
+    # 4-path configuration of the same algorithm.
+    for algorithm in ("rr", "obs", "dwrr", "mprdma"):
+        four, many = results[(algorithm, 4)], results[(algorithm, 128)]
+        assert many["max"] < four["max"] * 0.8, algorithm
+    # RR and OBS are the strongest 4-path algorithms (paper: "RR and OBS
+    # performed best with 4 paths").
+    four_path = {a: results[(a, 4)]["goodput"]
+                 for a in ("rr", "obs", "dwrr", "best_rtt", "mprdma")}
+    ranked = sorted(four_path, key=four_path.get, reverse=True)
+    assert set(ranked[:3]) >= {"rr", "obs"} or ranked[0] in ("rr", "obs")
+    assert four_path["rr"] > four_path["best_rtt"]
+    assert four_path["obs"] > four_path["best_rtt"]
+    # At 128 paths the well-behaved algorithms are similar; BestRTT is the
+    # outlier ("excluding BestRTT and Single Path").
+    good = [results[(a, 128)] for a in ("rr", "obs", "dwrr", "mprdma")]
+    goodputs = [g["goodput"] for g in good]
+    assert max(goodputs) / min(goodputs) < 1.5
+    assert results[("best_rtt", 128)]["max"] > 2 * max(g["max"] for g in good)
+    # Spraying restores the line rate a single-path connection cannot
+    # reach (one port) and that collisions erode.
+    assert results[("rr", 128)]["goodput"] > 1.8 * results[("single", 1)]["goodput"]

@@ -1,0 +1,84 @@
+"""Figure 13 — RDMA write latency/throughput microbenchmark.
+
+Paper: vStellar in a secure container matches bare metal at every size
+from 2 B to 8 MB; the VF+VxLAN CX7 solution pays +7% latency on 8 B
+messages and -9% bandwidth on 8 MB messages.
+"""
+
+import pytest
+
+from repro.analysis import Table, format_bytes_axis
+from repro.rnic import BaseRnic
+from repro.workloads import run_functional_perftest, run_perftest
+
+
+def run_sweeps():
+    return {
+        name: run_perftest(name)
+        for name in ("bare_metal", "vstellar", "vf_vxlan_cx7")
+    }
+
+
+def test_fig13a_latency_and_fig13b_throughput(once):
+    sweeps = once(run_sweeps)
+
+    lat = Table(
+        "Figure 13a: RDMA write latency (us)",
+        ["message", "bare metal", "vStellar", "VF+VxLAN CX7", "CX7 overhead"],
+    )
+    bw = Table(
+        "Figure 13b: RDMA write throughput (Gbps)",
+        ["message", "bare metal", "vStellar", "VF+VxLAN CX7", "CX7 loss"],
+    )
+    for b, v, x in zip(*(sweeps[k] for k in ("bare_metal", "vstellar",
+                                             "vf_vxlan_cx7"))):
+        lat.add_row(
+            format_bytes_axis(b.size),
+            b.latency * 1e6, v.latency * 1e6, x.latency * 1e6,
+            "%.1f%%" % (100 * (x.latency / b.latency - 1)),
+        )
+        bw.add_row(
+            format_bytes_axis(b.size),
+            b.bandwidth / 1e9, v.bandwidth / 1e9, x.bandwidth / 1e9,
+            "%.1f%%" % (100 * (1 - x.bandwidth / b.bandwidth)),
+        )
+    lat.print()
+    bw.print()
+
+    bare = {r.size: r for r in sweeps["bare_metal"]}
+    virt = {r.size: r for r in sweeps["vstellar"]}
+    vxlan = {r.size: r for r in sweeps["vf_vxlan_cx7"]}
+    # vStellar == bare metal across the entire sweep ("almost identical").
+    for size in bare:
+        assert virt[size].latency == pytest.approx(bare[size].latency, rel=1e-9)
+        assert virt[size].bandwidth == pytest.approx(bare[size].bandwidth, rel=1e-9)
+    # The CX7 competitor's two paper-quoted penalties.
+    assert vxlan[8].latency / bare[8].latency - 1 == pytest.approx(0.07, abs=0.01)
+    eight_mb = 8 * 1024 * 1024
+    assert 1 - vxlan[eight_mb].bandwidth / bare[eight_mb].bandwidth == pytest.approx(
+        0.09, abs=0.01
+    )
+
+
+def test_fig13_functional_stack_agrees_with_model(once):
+    """Drive real simulated RNIC objects through the same sweep and check
+    the shapes agree with the closed-form curves."""
+
+    def run():
+        client, server = BaseRnic(name="cli"), BaseRnic(name="srv")
+        return run_functional_perftest(
+            client, server, [2, 64, 4096, 65536, 1 << 20, 8 << 20]
+        )
+
+    rows = once(run)
+    table = Table(
+        "Figure 13 (functional verbs stack): latency and throughput",
+        ["message", "latency us", "throughput Gbps"],
+    )
+    for row in rows:
+        table.add_row(format_bytes_axis(row.size), row.latency * 1e6,
+                      row.bandwidth / 1e9)
+    table.print()
+    latencies = [row.latency for row in rows]
+    assert latencies == sorted(latencies)
+    assert rows[-1].bandwidth > 0.5 * 400e9

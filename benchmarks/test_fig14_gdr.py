@@ -1,0 +1,84 @@
+"""Figure 14 — GDR write throughput across datapaths.
+
+Paper: HyV/MasQ-style GDR (reflected through the root complex) caps at
+~141 Gbps, about 36% of vStellar's 393 Gbps; vStellar matches bare-metal
+Stellar exactly.
+"""
+
+import pytest
+
+from repro import calibration
+from repro.analysis import Table, format_bytes_axis
+from repro.memory import MemoryKind
+from repro.pcie import AddressType
+from repro.workloads import gdr_datapath_curve
+
+
+def run_curves():
+    return {
+        mode: gdr_datapath_curve(mode)
+        for mode in ("bare_metal", "vstellar", "hyv_masq")
+    }
+
+
+def test_fig14_gdr_write_throughput(once):
+    curves = once(run_curves)
+
+    table = Table(
+        "Figure 14: GDR write throughput (Gbps)",
+        ["message", "bare metal", "vStellar", "HyV/MasQ (RC-routed)"],
+    )
+    for b, v, h in zip(curves["bare_metal"], curves["vstellar"],
+                       curves["hyv_masq"]):
+        table.add_row(format_bytes_axis(b.message_bytes), b.gbps, v.gbps, h.gbps)
+    table.print()
+
+    peak = {mode: max(r.rate for r in rows) for mode, rows in curves.items()}
+    assert peak["vstellar"] == pytest.approx(peak["bare_metal"], rel=1e-9)
+    assert peak["vstellar"] > 0.97 * calibration.GDR_P2P_PEAK_RATE
+    assert peak["hyv_masq"] <= calibration.GDR_RC_ROUTED_RATE
+    # "approximately 36% of the maximum bandwidth of vStellar".
+    assert peak["hyv_masq"] / peak["vstellar"] == pytest.approx(0.36, abs=0.03)
+
+
+def test_fig14_routing_paths_differ_structurally(once):
+    """Beyond throughput: verify on the PCIe fabric that the winning path
+    bypasses the RC while the losing one reflects through it."""
+    from repro.core import RcRoutedRegistrar, StellarHost
+    from repro.rnic import BaseRnic
+    from repro.rnic.datapath import DatapathMode
+    from repro.sim.units import GiB
+
+    def run():
+        host = StellarHost.build(host_memory_bytes=32 * GiB,
+                                 gpu_hbm_bytes=4 * GiB)
+        record = host.launch_container("gdr", 2 * GiB)
+        vdev = record.container.vstellar_device
+        gpu = host.rail_gpus(0)[0]
+        mr = vdev.reg_mr_gpu(gpu, offset=0, length=1 << 20)
+        _, emtt_delivery = vdev.dma_access(mr, mr.va_base, 4096, emit=True)
+
+        # The HyV/MasQ datapath on the same fabric: GPU memory behind the
+        # IOMMU, TLPs emitted untranslated.
+        legacy = BaseRnic(
+            name="hyv",
+            mode=DatapathMode.RC_ROUTED,
+            fabric=host.fabric,
+            function=host.rnics[0].function,
+        )
+        domain = "hyv-dom"
+        host.fabric.iommu.create_domain(domain)
+        host.fabric.root_complex.bind_domain(legacy.function.bdf, domain)
+        registrar = RcRoutedRegistrar(legacy, host.fabric.iommu, domain)
+        pd = legacy.alloc_pd("hyv")
+        hyv_mr = registrar.register_gpu(pd, gpu, offset=1 << 20,
+                                        length=1 << 20, da_base=0x10000000)
+        _, rc_delivery = legacy.dma_access(hyv_mr, 0x10000000, 4096, emit=True)
+        return emtt_delivery, rc_delivery, gpu
+
+    emtt_delivery, rc_delivery, gpu = once(run)
+    assert emtt_delivery.destination is gpu
+    assert not emtt_delivery.visited("RC")
+    assert rc_delivery.destination is gpu
+    assert rc_delivery.visited("RC")
+    assert rc_delivery.latency > emtt_delivery.latency

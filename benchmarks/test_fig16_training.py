@@ -1,0 +1,95 @@
+"""Figure 16 — LLM training: Stellar vs the CX7 SOTA, two placements.
+
+Paper: 1,024 GPUs, several (TP, PP, DP, EP) strategies.  With reranked
+placement congestion is minimal and the transports nearly tie (Stellar
++0.72% on average); with random ranking congestion exposes the transport
+difference and Stellar wins ~6% on average, up to 14%.
+
+The CX7 SOTA is modelled as a handful of static NCCL QPs (4 pinned ECMP
+paths per connection); Stellar sprays 128 ways.  The per-strategy gain
+emerges from each job's DP-communication share of iteration time times
+the measured congestion on the fluid fabric.
+"""
+
+from repro import calibration
+from repro.analysis import Table, mean, relative_gain
+from repro.net import DualPlaneTopology
+from repro.training import (
+    Framework,
+    LLAMA_33B,
+    ParallelStrategy,
+    Placement,
+    TRANSPORTS,
+    TrainingSimulation,
+    iteration_breakdown,
+)
+
+#: 1,024-GPU parallel strategies (TP, PP, DP, EP), DP-light to DP-heavy.
+STRATEGIES = (
+    ParallelStrategy(tp=8, pp=8, dp=16, grad_accum=64, global_batch=1024),
+    ParallelStrategy(tp=8, pp=4, dp=32, grad_accum=32, global_batch=1024),
+    ParallelStrategy(tp=4, pp=8, dp=32, grad_accum=32, global_batch=1024),
+    ParallelStrategy(tp=8, pp=2, dp=64, grad_accum=32, global_batch=2048),
+    ParallelStrategy(tp=4, pp=4, dp=64, grad_accum=32, global_batch=2048),
+    ParallelStrategy(tp=4, pp=4, dp=64, grad_accum=16, global_batch=1024),
+)
+
+
+def run_fig16():
+    topology = DualPlaneTopology(
+        segments=2, servers_per_segment=64, rails=4, aggs_per_plane=60,
+    )
+    sim = TrainingSimulation(topology=topology, seed=16)
+    results = {}
+    for placement in (Placement.RERANKED, Placement.RANDOM):
+        # One DP-ring bandwidth measurement per (placement, transport);
+        # all six strategies share the same 128-server footprint.
+        bandwidth = {
+            name: sim.measure_dp_bandwidth(1024, placement, TRANSPORTS[name])
+            for name in ("cx7", "stellar")
+        }
+        rows = []
+        for strategy in STRATEGIES:
+            speeds = {
+                name: iteration_breakdown(
+                    LLAMA_33B, strategy, Framework.MEGATRON,
+                    dp_bandwidth=bandwidth[name],
+                ).speed
+                for name in ("cx7", "stellar")
+            }
+            rows.append((strategy, speeds["cx7"], speeds["stellar"]))
+        results[placement] = rows
+    return results
+
+
+def test_fig16_training_vs_sota(once):
+    results = once(run_fig16)
+
+    gains = {}
+    for placement, rows in results.items():
+        table = Table(
+            "Figure 16%s: training speed with %s ranking (iter/s)"
+            % ("a" if placement is Placement.RERANKED else "b",
+               placement.value),
+            ["TP,PP,DP,EP", "CX7 SOTA", "Stellar", "gain %"],
+        )
+        placement_gains = []
+        for strategy, cx7, stellar in rows:
+            gain = relative_gain(stellar, cx7)
+            placement_gains.append(gain)
+            table.add_row(strategy.label(), cx7, stellar, 100 * gain)
+        table.print()
+        gains[placement] = placement_gains
+
+    reranked = gains[Placement.RERANKED]
+    random = gains[Placement.RANDOM]
+    # Stellar never loses on any configuration ("consistently outperforms").
+    assert all(g >= 0.0 for g in reranked)
+    assert all(g > 0.0 for g in random)
+    # Reranked placement minimizes the transport difference (paper: 0.72%
+    # average); random ranking exposes it (paper: ~6% average, 14% max).
+    assert mean(reranked) < 0.02
+    assert 0.02 < mean(random) < 0.15
+    assert max(random) >= 0.06
+    assert max(random) <= calibration.FIG16_RANDOM_MAX_GAIN + 0.06
+    assert mean(random) > mean(reranked) + 0.02

@@ -1,0 +1,76 @@
+"""Table 1 — parallel strategies and communication ratios.
+
+Paper: four production jobs (Megatron Llama-33B / GPT-200B, DeepSpeed
+ZeRO-1 Llama-2B, ZeRO-3 Llama-13B) spend between ~1.5% and ~21% of
+iteration time per communication dimension, 10%-32% in total.  The cost
+model recomputes each row analytically from the published strategy
+parameters; EXPERIMENTS.md discusses where the model and the production
+measurements diverge (notably the Llama-33B DP share, which in
+production reflects congested cross-segment rings).
+"""
+
+from repro.analysis import Table
+from repro.training import TABLE1_ROWS, comm_volumes, iteration_breakdown
+
+
+def run_rows():
+    rows = []
+    for row in TABLE1_ROWS:
+        breakdown = iteration_breakdown(row.model, row.strategy, row.framework)
+        volumes = comm_volumes(row.model, row.strategy, row.framework)
+        rows.append((row, breakdown, volumes))
+    return rows
+
+
+def fmt(ratio):
+    return "N/A" if ratio is None else "%.2f%%" % (100 * ratio)
+
+
+def test_table1_parallel_strategies(once):
+    rows = once(run_rows)
+
+    table = Table(
+        "Table 1: parallel strategy and communication ratio",
+        ["framework", "model", "TP,PP,DP,MB,GA,GB",
+         "TP model/paper", "DP model/paper", "PP model/paper",
+         "total model/paper"],
+    )
+    for row, b, _ in rows:
+        s = row.strategy
+        params = "%d,%d,%d,%d,%d,%d" % (s.tp, s.pp, s.dp, s.micro_batch,
+                                        s.grad_accum, s.global_batch)
+        table.add_row(
+            row.framework.value, row.model.name, params,
+            "%s / %s" % (fmt(b.ratio("tp") if s.tp > 1 else None),
+                         fmt(row.tp_ratio)),
+            "%s / %s" % (fmt(b.ratio("dp")), fmt(row.dp_ratio)),
+            "%s / %s" % (fmt(b.ratio("pp") if s.pp > 1 else None),
+                         fmt(row.pp_ratio)),
+            "%.1f%% / %.1f%%" % (100 * b.comm_ratio, 100 * row.total_ratio),
+        )
+    table.print()
+
+    for row, breakdown, volumes in rows:
+        # Dimensions the paper marks N/A must be absent from the model.
+        if row.tp_ratio is None:
+            assert volumes.tp == 0.0 and breakdown.tp == 0.0
+        if row.pp_ratio is None:
+            assert volumes.pp == 0.0 and breakdown.pp == 0.0
+        # The paper's headline band: "the communication-to-computation
+        # ratio ranges from 10% to 32%" — the model lands in a compatible
+        # envelope for every row.
+        assert 0.08 <= breakdown.comm_ratio <= 0.40, row
+        # Row totals within ~3x of the production measurement.
+        assert breakdown.comm_ratio / row.total_ratio < 3.0
+        assert breakdown.comm_ratio / row.total_ratio > 1 / 3.0
+    # Per-row structure checks the model reproduces:
+    llama33, gpt200, zero1, zero3 = [r[1] for r in rows]
+    # GPT-200B is the most communication-heavy Megatron job (paper: 32.5%
+    # vs 28.2% total) and ZeRO-1 outweighs ZeRO-3 (17.3% vs 10.5%).
+    assert gpt200.comm_ratio > llama33.comm_ratio
+    assert zero1.ratio("dp") > zero3.ratio("dp")
+    # GPT-200B's TP share exceeds its DP share (paper: 10.88% vs 1.49%).
+    assert gpt200.ratio("tp") > gpt200.ratio("dp")
+    # DeepSpeed rows are DP-only by construction.
+    assert zero1.ratio("dp") == zero1.comm_ratio
+    assert zero3.ratio("dp") == zero3.comm_ratio

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Container startup: the VFIO full-pin tax vs PVDMA on-demand pinning.
+
+Boots GPU pods of increasing memory under both regimes (the Figure 6
+experiment) and then drills into where PVDMA's cost actually goes — the
+first DMA touching each 2 MiB block.
+
+Run:  python examples/container_startup.py
+"""
+
+from repro.analysis import Table, format_bytes_axis
+from repro.core import PvdmaEngine
+from repro.sim.units import GB, GiB, MiB, format_time
+from repro.virt import Hypervisor, MemoryMode, RunDContainer
+from repro.workloads import measure_startup
+
+
+def figure6_sweep():
+    table = Table("GPU pod startup time (Figure 6)",
+                  ["container memory", "full pin (VFIO)", "PVDMA", "speedup"])
+    for row in measure_startup():
+        table.add_row(
+            format_bytes_axis(row.memory_bytes),
+            format_time(row.full_pin_seconds),
+            format_time(row.pvdma_seconds),
+            "%.0fx" % row.speedup,
+        )
+    table.print()
+
+
+def pvdma_anatomy():
+    """Where do PVDMA's costs go once the pod is running?"""
+    hv = Hypervisor()
+    container = RunDContainer("anatomy", 64 * GiB, hv,
+                              memory_mode=MemoryMode.PVDMA)
+    container.boot()
+    pvdma = PvdmaEngine(hv)
+
+    table = Table("PVDMA on-demand pinning anatomy (64 GiB pod)",
+                  ["operation", "cost", "map-cache"])
+    first = pvdma.dma_prepare(container, 0x0, 256 * MiB)
+    stats = pvdma.stats(container)
+    table.add_row("first DMA over 256 MiB", format_time(first),
+                  "%d misses" % stats.misses)
+    second = pvdma.dma_prepare(container, 0x0, 256 * MiB)
+    table.add_row("repeat DMA over same region", format_time(second),
+                  "%d hits" % stats.hits)
+    third = pvdma.dma_prepare(container, 1 * GB, 4096)
+    table.add_row("one byte in a fresh block", format_time(third),
+                  "%d blocks pinned" % len(pvdma.cached_blocks(container)))
+    table.print()
+    print("\nRDMA applications reuse their registered buffers, so the "
+          "one-time block cost amortizes to zero (Section 5).")
+
+
+def main():
+    figure6_sweep()
+    print()
+    pvdma_anatomy()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: a tour of the Stellar stack in ~60 lines of user code.
+
+Builds a Stellar GPU server, launches two secure containers in seconds
+(no SR-IOV reset, no full-memory pinning), registers memory through the
+eMTT, and runs RDMA and GDR traffic between the tenants — then shows the
+PVDMA map cache and the PCIe routing evidence.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import Table
+from repro.core import StellarHost
+from repro.rnic import connect_qps
+from repro.sim.units import GiB, MiB, format_time
+
+
+def main():
+    print("Building a Stellar AI server (4 RNICs, 8 GPUs, PVDMA)...")
+    host = StellarHost.build(host_memory_bytes=128 * GiB, gpu_hbm_bytes=8 * GiB)
+
+    # --- 1. launch two secure containers -------------------------------
+    alice = host.launch_container("alice", memory_bytes=16 * GiB)
+    bob = host.launch_container("bob", memory_bytes=16 * GiB, rnic_index=1)
+    launch = Table("Container launch (seconds, simulated)",
+                   ["tenant", "boot", "devices", "total"])
+    for record in (alice, bob):
+        launch.add_row(record.container.name, record.boot_seconds,
+                       record.device_seconds, record.total_seconds)
+    launch.print()
+
+    # --- 2. register memory and connect queue pairs ---------------------
+    dev_a = alice.container.vstellar_device
+    dev_b = bob.container.vstellar_device
+    buf_a = alice.container.alloc_buffer(8 * MiB)
+    buf_b = bob.container.alloc_buffer(8 * MiB)
+    # PVDMA pins the touched 2 MiB blocks on demand (stage 1-2 of Fig. 4).
+    pin_cost = host.dma_prepare(alice.container, buf_a)
+    pin_cost += host.dma_prepare(bob.container, buf_b)
+    print("\nPVDMA on-demand pinning of 16 MiB of buffers cost %s"
+          % format_time(pin_cost))
+
+    mr_a = dev_a.reg_mr_host(buf_a)
+    mr_b = dev_b.reg_mr_host(buf_b)
+    qp_a = dev_a.create_qp(dev_a.default_pd)
+    qp_b = dev_b.create_qp(dev_b.default_pd)
+    connect_qps(qp_a, qp_b, nic_a=dev_a, nic_b=dev_b)
+
+    # --- 3. RDMA write through the direct-mapped data path ---------------
+    latency = dev_a.rdma_write(qp_a, "hello", mr_a, buf_a.start, 4 * MiB,
+                               mr_b.rkey, buf_b.start)
+    completion = qp_a.send_cq.poll()[0]
+    print("RDMA write of 4 MiB: %s, status=%s, doorbell rings=%d"
+          % (format_time(latency), completion.status.value,
+             dev_a.doorbell_rings))
+
+    # --- 4. GDR: write into a GPU via the eMTT (bypassing the RC) --------
+    gpu = host.rail_gpus(0)[0]
+    gdr_mr = dev_a.reg_mr_gpu(gpu, offset=0, length=4 * MiB)
+    access, delivery = dev_a.dma_access(gdr_mr, gdr_mr.va_base, 4096,
+                                        emit=True)
+    print("\nGDR TLP: AT=%s, PCIe path: %s"
+          % (access.at.name, " -> ".join(delivery.path)))
+    assert not delivery.visited("RC"), "eMTT traffic must bypass the RC"
+
+    # --- 5. map-cache statistics ----------------------------------------
+    stats = host.pvdma.stats(alice.container)
+    print("PVDMA map cache for alice: %d misses (pinned blocks), %d hits"
+          % (stats.misses, stats.hits))
+    print("\nQuickstart completed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Serverless inference burst: 48 GDR-capable pods in under a minute.
+
+The paper's motivating cloud scenario: an inference platform must spin up
+dense fleets of secure containers on demand ("over 100 per server"), each
+needing GDR.  The legacy stack fails twice — VF counts are static
+(problem 1) and the PCIe switch LUT caps GDR enablement (problem 3) —
+while Stellar's vStellar devices scale without touching either limit.
+
+Run:  python examples/serverless_inference.py
+"""
+
+from repro.analysis import Table
+from repro.core import StellarHost
+from repro.legacy import LegacyHost
+from repro.pcie import LutCapacityError
+from repro.sim.units import GiB, MiB
+from repro.virt import SriovError
+
+PODS = 48
+
+
+def stellar_burst():
+    host = StellarHost.build(host_memory_bytes=256 * GiB,
+                             gpu_hbm_bytes=8 * GiB)
+    total_seconds = 0.0
+    gdr_capable = 0
+    for index in range(PODS):
+        record = host.launch_container(
+            "inference-%d" % index, 2 * GiB, rnic_index=index % 4,
+        )
+        total_seconds += record.total_seconds
+        # Every pod registers a GPU buffer for GDR-served weights.
+        vdev = record.container.vstellar_device
+        gpu = host.rail_gpus(index % 4)[index % 2]
+        vdev.reg_mr_gpu(gpu, offset=(index // 4) * 32 * MiB, length=32 * MiB)
+        gdr_capable += 1
+    lut_used = sum(
+        switch.lut_capacity - switch.lut_free for switch in host.fabric.switches
+    )
+    return {
+        "pods": PODS,
+        "gdr_capable": gdr_capable,
+        "serial_spinup_seconds": total_seconds,
+        "lut_entries_consumed": lut_used,
+    }
+
+
+def legacy_burst():
+    host = LegacyHost.build(max_vfs_per_rnic=16, lut_capacity=8)
+    results = {"pods": 0, "gdr_capable": 0, "failures": []}
+    # Problem 1: the VF count must be chosen up front; growing it later
+    # would require destroying every tenant.
+    for manager in host.sriov_managers:
+        manager.set_num_vfs(12)
+    try:
+        host.sriov_managers[0].set_num_vfs(16)
+    except SriovError as exc:
+        results["failures"].append("resize: %s" % exc)
+    for index in range(PODS):
+        manager = host.sriov_managers[index % 4]
+        free = [vf for vf in manager.vfs if vf.assigned_to is None]
+        if not free:
+            results["failures"].append(
+                "pod %d: no VF available (static VF pool)" % index
+            )
+            break
+        vf = free[0]
+        vf.assigned_to = "inference-%d" % index
+        results["pods"] += 1
+        try:
+            manager.enable_gdr(vf)
+            results["gdr_capable"] += 1
+        except LutCapacityError:
+            if not any("LUT" in f for f in results["failures"]):
+                results["failures"].append(
+                    "pod %d: switch LUT full; GDR unavailable" % index
+                )
+    return results
+
+
+def main():
+    stellar = stellar_burst()
+    legacy = legacy_burst()
+
+    table = Table("Serverless inference burst: %d pods requested" % PODS,
+                  ["metric", "Stellar", "legacy (SR-IOV)"])
+    table.add_row("pods launched", stellar["pods"], legacy["pods"])
+    table.add_row("GDR-capable pods", stellar["gdr_capable"],
+                  legacy["gdr_capable"])
+    table.add_row("extra LUT entries", stellar["lut_entries_consumed"] - 4,
+                  legacy["gdr_capable"])
+    table.add_row("mean spin-up (s)",
+                  stellar["serial_spinup_seconds"] / stellar["pods"], "minutes"
+                  " (full pin)")
+    table.print()
+
+    print("\nLegacy failure log:")
+    for failure in legacy["failures"]:
+        print("  -", failure)
+    assert stellar["gdr_capable"] == PODS
+    assert legacy["gdr_capable"] < PODS
+
+
+if __name__ == "__main__":
+    main()

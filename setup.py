@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package that PEP 517 editable
+installs require, so ``pip install -e . --no-build-isolation`` falls back
+to this legacy path (``python setup.py develop`` works as well).
+"""
+
+from setuptools import setup
+
+setup()

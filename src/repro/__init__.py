@@ -1,0 +1,25 @@
+"""repro — a simulation-based reproduction of Alibaba Stellar (SIGCOMM 2025).
+
+Stellar is a para-virtualized RDMA framework for cloud AI: PVDMA for
+on-demand memory pinning, eMTT for scalable GPUDirect RDMA, and 128-path
+oblivious packet spray for multi-path transport.  This package rebuilds the
+entire stack as deterministic functional + discrete-event simulators:
+
+* :mod:`repro.sim` — event scheduler, units, seeded RNG streams.
+* :mod:`repro.memory` — page tables, MMU/EPT, IOMMU/IOTLB/ATS, pinning.
+* :mod:`repro.pcie` — BDFs, TLP routing, switch LUTs, root complex, ATC.
+* :mod:`repro.rnic` — verbs (PD/MR/QP/CQ), MTT, vSwitch steering, CC.
+* :mod:`repro.virt` — RunD containers, hypervisor, SR-IOV, SFs, virtio.
+* :mod:`repro.legacy` — the previous-generation stack and its six failures.
+* :mod:`repro.core` — the paper's contribution: PVDMA, eMTT, spray, vStellar.
+* :mod:`repro.net` — dual-plane rail-optimized fabric, packet + fluid sims.
+* :mod:`repro.collectives` / :mod:`repro.training` — AllReduce and 3D-parallel
+  LLM training workloads.
+* :mod:`repro.workloads` / :mod:`repro.analysis` — perftest analogs and stats.
+
+See ``examples/quickstart.py`` for a complete runnable tour.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

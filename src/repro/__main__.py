@@ -1,0 +1,100 @@
+"""``python -m repro`` — a fast guided tour of the reproduction.
+
+Runs a trimmed version of the headline experiments (seconds, not the
+full benchmark suite) and prints the same tables the paper's figures
+report.  For the complete regeneration run::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import argparse
+import sys
+
+from repro import __version__
+from repro.analysis import Table, format_bytes_axis, format_decimal_bytes
+
+
+def tour_startup():
+    from repro.workloads import measure_startup
+
+    table = Table("Figure 6 (trimmed): GPU pod startup (seconds)",
+                  ["memory", "full pin", "PVDMA", "speedup"])
+    for row in measure_startup(memory_points=(16 * 10**9, int(1.6e12))):
+        table.add_row(format_decimal_bytes(row.memory_bytes),
+                      row.full_pin_seconds, row.pvdma_seconds,
+                      "%.0fx" % row.speedup)
+    table.print()
+
+
+def tour_gdr():
+    from repro.workloads import AtcMissExperiment, emtt_sweep, gdr_datapath_curve
+
+    sizes = [2 << 20, 4 << 20, 64 << 20]
+    atc = AtcMissExperiment().sweep(sizes=sizes)
+    emtt = emtt_sweep(sizes=sizes)
+    table = Table("Figure 8 (trimmed): GDR throughput (Gbps)",
+                  ["message", "CX6 ATS/ATC", "vStellar eMTT"])
+    for a, e in zip(atc, emtt):
+        table.add_row(format_bytes_axis(a.message_bytes), a.gbps, e.gbps)
+    table.print()
+
+    peaks = Table("Figure 14: GDR datapath peaks (Gbps)", ["datapath", "Gbps"])
+    for mode in ("vstellar", "hyv_masq"):
+        peaks.add_row(mode, max(r.gbps for r in gdr_datapath_curve(mode)))
+    peaks.print()
+
+
+def tour_spray():
+    from repro import calibration
+    from repro.core import make_selector
+    from repro.net import DualPlaneTopology, ServerAddress, StaticLoadModel
+    from repro.sim.rng import RngStream
+    from repro.sim.units import GB
+
+    topology = DualPlaneTopology(segments=2, servers_per_segment=2, rails=1)
+    table = Table("Figure 12 (trimmed): uplink imbalance vs path count",
+                  ["paths", "max-min delta %"])
+    for paths in (4, 32, 128):
+        model = StaticLoadModel(topology, seed=23)
+        for conn in range(16):
+            model.add_flow(
+                ServerAddress(0, 0), ServerAddress(1, 0), 0,
+                make_selector("obs", paths, rng=RngStream(23, "c", conn)),
+                int(calibration.RNIC_TOTAL_RATE / 8 * 0.5 / 16),
+                connection_id=conn,
+            )
+        table.add_row(paths, 100 * model.imbalance(0.5, segment=0, rail=0))
+    table.print()
+
+
+def tour_quickstart():
+    import examples.quickstart  # noqa: F401  (path fallback below)
+
+
+TOURS = {
+    "startup": tour_startup,
+    "gdr": tour_gdr,
+    "spray": tour_spray,
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Quick tour of the Stellar reproduction (%s)" % __version__,
+    )
+    parser.add_argument(
+        "tour", nargs="?", choices=sorted(TOURS) + ["all"], default="all",
+        help="which trimmed experiment to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+    print("repro %s — Alibaba Stellar (SIGCOMM 2025) reproduction" % __version__)
+    selected = sorted(TOURS) if args.tour == "all" else [args.tour]
+    for name in selected:
+        TOURS[name]()
+    print("\nFull regeneration: pytest benchmarks/ --benchmark-only -s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Statistics and report-rendering helpers."""
+
+from repro.analysis.diagnostics import (
+    fabric_report,
+    network_report,
+    pvdma_report,
+    render_report,
+    rnic_report,
+)
+from repro.analysis.report import Table, format_bytes_axis, format_decimal_bytes
+from repro.analysis.stats import (
+    coefficient_of_variation,
+    geometric_mean,
+    max_min_delta,
+    mean,
+    percentile,
+    relative_gain,
+)
+
+__all__ = [
+    "fabric_report",
+    "network_report",
+    "pvdma_report",
+    "render_report",
+    "rnic_report",
+    "Table",
+    "format_bytes_axis",
+    "format_decimal_bytes",
+    "coefficient_of_variation",
+    "geometric_mean",
+    "max_min_delta",
+    "mean",
+    "percentile",
+    "relative_gain",
+]

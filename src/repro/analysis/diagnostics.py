@@ -1,0 +1,112 @@
+"""Neohost-style diagnostics: counter reports for every simulated layer.
+
+The paper leans on Mellanox Neohost and Intel pcm-iio to diagnose the
+Figure 8 regressions; operators of this reproduction get the same view —
+structured counter snapshots for RNICs, the PCIe fabric, PVDMA, and the
+packet-level network.
+"""
+
+from repro.analysis.report import Table
+
+
+def rnic_report(nic):
+    """Counter snapshot for one RNIC (physical or vStellar)."""
+    report = {
+        "name": nic.name,
+        "mode": nic.mode.value,
+        "ops_executed": nic.ops_executed,
+        "bytes_sent": nic.bytes_sent,
+        "bytes_received": nic.bytes_received,
+        "mtt_entries": len(nic.mtt),
+        "mtt_lookups": nic.mtt.lookups,
+    }
+    if nic.atc is not None:
+        report["atc_hit_rate"] = nic.atc.cache.hit_rate
+        report["atc_evictions"] = nic.atc.cache.evictions
+    if hasattr(nic, "vdevices"):
+        report["vdevices"] = len(nic.vdevices)
+        report["vdev_bytes_sent"] = nic.vdev_bytes_sent
+    if hasattr(nic, "doorbell_rings"):
+        report["doorbell_rings"] = nic.doorbell_rings
+    return report
+
+
+def fabric_report(fabric):
+    """PCIe-level telemetry: LUT pressure, RC reflections, IOTLB health."""
+    rc = fabric.root_complex
+    return {
+        "switches": [
+            {
+                "name": switch.name,
+                "functions": len(switch.functions),
+                "lut_used": switch.lut_capacity - switch.lut_free,
+                "lut_capacity": switch.lut_capacity,
+                "p2p_tlps": switch.p2p_tlps,
+                "upstream_tlps": switch.upstream_tlps,
+            }
+            for switch in fabric.switches
+        ],
+        "rc_tlps": rc.tlps_processed,
+        "rc_p2p_reflected_tlps": rc.p2p_reflected_tlps,
+        "rc_p2p_reflected_bytes": rc.p2p_reflected_bytes,
+        "iotlb_hit_rate": fabric.iommu.iotlb.hit_rate,
+        "iotlb_size": len(fabric.iommu.iotlb),
+    }
+
+
+def pvdma_report(pvdma, containers):
+    """Map-cache and pinning economics per container."""
+    rows = []
+    for container in containers:
+        stats = pvdma.stats(container)
+        rows.append({
+            "container": container.name,
+            "map_cache_blocks": len(pvdma.cached_blocks(container)),
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "pinned_bytes": len(pvdma.cached_blocks(container))
+            * pvdma.block_size,
+        })
+    return {"block_size": pvdma.block_size,
+            "total_pin_seconds": pvdma.total_pin_seconds,
+            "containers": rows}
+
+
+def network_report(sim, top_n=10):
+    """The busiest ports of a packet-level simulation."""
+    ports = sorted(
+        sim._ports.values(), key=lambda p: p.bytes_tx + p.queue_max,
+        reverse=True,
+    )[:top_n]
+    return {
+        "packets_delivered": sim.packets_delivered,
+        "packets_dropped": sim.packets_dropped,
+        "hot_ports": [
+            {
+                "link": repr(port.ref),
+                "queue_max": port.queue_max,
+                "queue_avg": port.queue_avg,
+                "ecn_marks": port.ecn_marks,
+                "drops": port.drops_random + port.drops_overflow,
+            }
+            for port in ports
+        ],
+    }
+
+
+def render_report(title, report):
+    """Flatten any report dict into a printable two-column table."""
+    table = Table(title, ["counter", "value"])
+
+    def walk(prefix, value):
+        if isinstance(value, dict):
+            for key, sub in value.items():
+                walk("%s.%s" % (prefix, key) if prefix else str(key), sub)
+        elif isinstance(value, list):
+            for index, sub in enumerate(value):
+                walk("%s[%d]" % (prefix, index), sub)
+        else:
+            table.add_row(prefix, value)
+
+    walk("", report)
+    return table

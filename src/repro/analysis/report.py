@@ -1,0 +1,79 @@
+"""Fixed-width table rendering for benchmark output.
+
+Every benchmark prints the same rows/series the paper's figure or table
+reports; this module keeps that output consistent and diffable.  When the
+``REPRO_TABLES_FILE`` environment variable is set (the benchmark
+conftest sets it), every printed table is also appended there, so the
+full series survive pytest's stdout capture.
+"""
+
+import os
+
+
+class Table:
+    """A simple monospace table with typed column formatting."""
+
+    def __init__(self, title, headers):
+        self.title = title
+        self.headers = list(headers)
+        self.rows = []
+
+    def add_row(self, *cells):
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                "row has %d cells, table has %d columns"
+                % (len(cells), len(self.headers))
+            )
+        self.rows.append([self._format(cell) for cell in cells])
+
+    @staticmethod
+    def _format(cell):
+        if isinstance(cell, float):
+            if cell != 0 and (abs(cell) >= 10_000 or abs(cell) < 0.01):
+                return "%.3e" % cell
+            return "%.3f" % cell
+        return str(cell)
+
+    def render(self):
+        widths = [
+            max(len(self.headers[i]), *(len(row[i]) for row in self.rows))
+            if self.rows else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        lines = ["== %s ==" % self.title]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+        return "\n".join(lines)
+
+    def print(self):
+        print()
+        text = self.render()
+        print(text)
+        sink = os.environ.get("REPRO_TABLES_FILE")
+        if sink:
+            with open(sink, "a") as handle:
+                handle.write(text + "\n\n")
+
+
+def format_bytes_axis(byte_count):
+    """Message-size axis labels like the paper's figures (2B ... 8MB)."""
+    for threshold, suffix in ((1 << 30, "GB"), (1 << 20, "MB"), (1 << 10, "KB")):
+        if byte_count >= threshold:
+            value = byte_count / threshold
+            if value == int(value):
+                return "%d%s" % (int(value), suffix)
+            return "%.1f%s" % (value, suffix)
+    return "%dB" % byte_count
+
+
+def format_decimal_bytes(byte_count):
+    """Decimal (SI) byte labels: 16 GB, 1.6 TB — for capacity axes."""
+    for threshold, suffix in ((10**12, "TB"), (10**9, "GB"), (10**6, "MB")):
+        if byte_count >= threshold:
+            value = byte_count / threshold
+            if round(value, 1) == int(value):
+                return "%d%s" % (int(value), suffix)
+            return "%.1f%s" % (value, suffix)
+    return "%dB" % byte_count

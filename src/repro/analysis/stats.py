@@ -1,0 +1,62 @@
+"""Statistics helpers shared by benchmarks and reports."""
+
+import math
+
+
+def mean(values):
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def percentile(values, q):
+    """Linear-interpolated percentile, q in [0, 100]."""
+    values = sorted(values)
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("percentile q out of range: %r" % q)
+    if len(values) == 1:
+        return values[0]
+    rank = (len(values) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return values[low]
+    return values[low] + (values[high] - values[low]) * (rank - low)
+
+
+def max_min_delta(values, denominator):
+    """The Figure 12 imbalance metric: (max - min) / denominator."""
+    values = list(values)
+    if not values:
+        raise ValueError("imbalance of empty sequence")
+    if denominator <= 0:
+        raise ValueError("denominator must be positive: %r" % denominator)
+    return (max(values) - min(values)) / denominator
+
+
+def coefficient_of_variation(values):
+    values = list(values)
+    m = mean(values)
+    if m == 0:
+        return 0.0
+    variance = sum((v - m) ** 2 for v in values) / len(values)
+    return math.sqrt(variance) / m
+
+
+def geometric_mean(values):
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def relative_gain(new, old):
+    """(new - old) / old — how Figure 16 reports Stellar's advantage."""
+    if old == 0:
+        raise ValueError("relative gain against zero baseline")
+    return (new - old) / old

@@ -1,0 +1,197 @@
+"""Calibration constants derived from the Stellar paper.
+
+Every constant cites where in the paper it comes from.  Benchmarks and cost
+models import from here rather than hard-coding numbers so that the mapping
+from the paper's measurements to our simulators is auditable in one place.
+"""
+
+from repro.sim.units import GB, Gbps, KiB, MiB, TiB, usec
+
+# ---------------------------------------------------------------------------
+# Host / container startup (Section 3.1 problem 2, Section 5, Figure 6)
+# ---------------------------------------------------------------------------
+
+#: "Pinning a container with 1.6 TB of memory typically takes 390 seconds."
+PIN_SECONDS_PER_BYTE = 390.0 / (1.6 * 1e12)
+
+#: Base RunD container boot time excluding memory pinning (hypervisor,
+#: kernel, device plumbing).  Chosen so the PVDMA curve in Figure 6 stays
+#: below 20 s at 1.6 TB while a 16 GB pod boots in a few seconds.
+CONTAINER_BASE_BOOT_SECONDS = 3.5
+
+#: General hypervisor overhead that grows slowly with container memory even
+#: under PVDMA ("the slight increase in boot time (11 seconds) between the
+#: 160 GB and 1.6 TB configurations is attributable to general hypervisor
+#: overhead").  Linear coefficient fit to that 11 s delta over 1.44 TB.
+HYPERVISOR_OVERHEAD_SECONDS_PER_BYTE = 11.0 / (1.44 * 1e12)
+
+#: PVDMA pins on demand at this granularity (Section 5: "PVDMA operates
+#: with a memory granularity of 2 MiB").
+PVDMA_BLOCK_BYTES = 2 * MiB
+
+#: Device-register direct mappings use 4 KiB pages (Section 5).
+DOORBELL_PAGE_BYTES = 4 * KiB
+
+#: Cost of one IOMMU map/pin call.  Dominated by hypervisor/IOMMU
+#: interaction; calibrated so that full-pin of 1.6 TB in 2 MiB blocks
+#: reproduces the paper's 390 s (390 s / (1.6 TB / 2 MiB) ~= 465 us).
+IOMMU_PIN_CALL_SECONDS = PIN_SECONDS_PER_BYTE * PVDMA_BLOCK_BYTES
+
+#: Figure 6 sweep points for container memory sizes.
+FIG6_MEMORY_POINTS_BYTES = (16 * GB, 160 * GB, int(1.6e12))
+
+#: Headline claim: container initialisation is reduced 15x (abstract) and
+#: start-up accelerated up to 30x including registration (Section 4).
+STARTUP_SPEEDUP_MIN = 15.0
+
+# ---------------------------------------------------------------------------
+# SR-IOV / virtual-device scalability (Section 3.1 problems 1 and 3, Section 4)
+# ---------------------------------------------------------------------------
+
+#: "each VF claims 63 virtual queues of 5000 MTU messages each, consuming
+#: 2.4 GB of memory in total."
+VF_QUEUE_COUNT = 63
+VF_QUEUE_MTU_BYTES = 5000
+VF_MEMORY_BYTES = int(2.4 * 1e9)
+
+#: "each PCIe switch can only accommodate 32 BDFs" on the problem server.
+PCIE_SWITCH_LUT_CAPACITY = 32
+
+#: Server shape used throughout the paper's evaluation.
+SERVER_GPUS = 8
+SERVER_RNICS = 4
+SERVER_PCIE_SWITCHES = 4
+RNIC_PORTS = 2
+RNIC_PORT_GBPS = 200.0
+RNIC_PORT_RATE = Gbps(RNIC_PORT_GBPS)
+RNIC_TOTAL_RATE = Gbps(RNIC_PORT_GBPS * RNIC_PORTS)
+
+#: Stellar supports up to 64k virtual devices per RNIC (Section 4).
+STELLAR_MAX_VDEVICES = 64 * 1024
+
+#: "create a new vStellar device in 1.5 seconds (matching MasQ)".
+VSTELLAR_DEVICE_CREATE_SECONDS = 1.5
+
+# ---------------------------------------------------------------------------
+# GDR datapaths (Sections 2, 6, 8.1; Figures 8 and 14)
+# ---------------------------------------------------------------------------
+
+#: Peak GDR throughput of the 400G Stellar RNIC via PCIe P2P (Figure 14).
+GDR_P2P_PEAK_RATE = Gbps(393.0)
+
+#: HyV/MasQ route GDR through the root complex; the RC path caps at
+#: ~141 Gbps, "approximately 36% of the maximum bandwidth" (Figure 14).
+GDR_RC_ROUTED_RATE = Gbps(141.0)
+
+#: CX6 200G experiment of Figure 8: line-rate GDR is ~190 Gbps when the ATC
+#: covers the working set; ATC-miss regime drops to ~170 Gbps; when IOTLB
+#: also thrashes (>32 MB messages) it drops to ~150 Gbps.
+CX6_GDR_PEAK_RATE = Gbps(190.0)
+CX6_GDR_ATC_MISS_RATE = Gbps(170.0)
+CX6_GDR_IOTLB_MISS_RATE = Gbps(150.0)
+
+#: GDR page size used in the Figure 8 worst-case experiment.
+GDR_PAGE_BYTES = 4 * KiB
+
+#: "an ATC can only cache mappings for tens of thousands of memory pages."
+#: Sized so that the Figure 8 working set (16 connections x message size in
+#: 4 KiB pages) starts missing for messages over 2 MB (16 x 2 MB = 8192
+#: pages fit; 16 x 4 MB = 16384 pages thrash).
+ATC_CAPACITY_PAGES = 10_000
+
+#: IOTLB reach of the root-complex IOMMU for ATS-translated pages.  Sized so
+#: that messages over 32 MB (16 x 32 MB = 131072 pages) additionally thrash
+#: the IOTLB, reproducing the second knee of Figure 8.
+IOTLB_CAPACITY_PAGES = 150_000
+
+#: Figure 8 experiment shape: 16 connections, round-robin GDR writes.
+FIG8_CONNECTIONS = 16
+
+# ---------------------------------------------------------------------------
+# RDMA microbenchmark datapath costs (Figure 13)
+# ---------------------------------------------------------------------------
+
+#: Base one-way latency for a minimal RDMA write on the Stellar RNIC
+#: (doorbell + WQE fetch + wire + completion), bare metal.  Typical
+#: low-latency RNIC numbers are ~2 us.
+RDMA_BASE_LATENCY_SECONDS = 2.0e-6
+
+#: Extra latency the VF+VxLAN (CX7 SOTA) datapath adds for tiny messages:
+#: "a 7% latency overhead for 8 B packets".
+VXLAN_SMALL_MSG_LATENCY_OVERHEAD = 0.07
+
+#: Bandwidth loss of VF+VxLAN for large messages: "9% bandwidth loss for
+#: 8 MB messages".
+VXLAN_LARGE_MSG_BW_LOSS = 0.09
+
+#: virtio/SF/VxLAN TCP datapath penalty vs vfio/VF (Section 4): ~5%.
+VIRTIO_TCP_PENALTY = 0.05
+
+# ---------------------------------------------------------------------------
+# Multi-path transport (Section 7, Figures 9-12)
+# ---------------------------------------------------------------------------
+
+#: Production choice: 128-path Oblivious Packet Spraying.
+SPRAY_PATH_COUNT = 128
+
+#: "Our current implementation relies on a Retransmission Timeout (RTO) of
+#: 250 us to detect packet loss."
+SPRAY_RTO_SECONDS = usec(250)
+
+#: The HPN7.0 network has 60 aggregation switches per plane; 128 paths are
+#: "sufficient to uniformly cover all possible routes" (Figure 12).
+AGG_SWITCHES_PER_PLANE = 60
+
+#: Path-count sweep of Figure 12.
+FIG12_PATH_COUNTS = (4, 8, 16, 32, 64, 128, 256)
+
+#: AllReduce bus bandwidth target per server: "fully utilize the RNIC's
+#: bandwidth (50 GB/s)" (Figure 10a).
+ALLREDUCE_BUS_BANDWIDTH_TARGET_BYTES = 50 * GB
+
+#: Abstract headline: switch queue length reduced by ~90%.
+QUEUE_LENGTH_REDUCTION_TARGET = 0.90
+
+# ---------------------------------------------------------------------------
+# End-to-end training (Section 8.2, Figures 15-16, Table 1)
+# ---------------------------------------------------------------------------
+
+#: Figure 16a: reranked placement, Stellar beats CX7 SOTA by 0.72% average.
+FIG16_RERANKED_MEAN_GAIN = 0.0072
+
+#: Figure 16b: random placement, ~6% average and up to 14% max gain.
+FIG16_RANDOM_MEAN_GAIN = 0.06
+FIG16_RANDOM_MAX_GAIN = 0.14
+
+#: Abstract headline: average training speed improved by 14% (max).
+TRAINING_SPEEDUP_MAX = 0.14
+
+# ---------------------------------------------------------------------------
+# Address-translation micro-costs (used by the GDR cost models)
+# ---------------------------------------------------------------------------
+
+#: PCIe round trip for an ATS translation request to the IOMMU on hit.
+ATS_QUERY_SECONDS = 0.9e-6
+
+#: Additional cost when the IOMMU's IOTLB also misses and a page-table walk
+#: is required.
+IOTLB_WALK_SECONDS = 1.6e-6
+
+#: MTT/eMTT lookup on the RNIC itself (on-chip SRAM; effectively free
+#: relative to PCIe but modelled for completeness).
+MTT_LOOKUP_SECONDS = 25e-9
+
+#: ATC hit lookup cost inside the RNIC.
+ATC_HIT_SECONDS = 10e-9
+
+#: Number of ATS translation requests an RNIC keeps in flight.  Translation
+#: stalls are amortized over this depth, which is what turns a 0.9 us ATS
+#: round trip into the ~20 Gbps plateau drop seen in Figure 8 rather than a
+#: collapse: 4 KiB at 190 Gbps is 172 ns/page; adding 0.9 us / 48 = ~19 ns
+#: lands at ~171 Gbps, and adding (0.9+1.6) us / 48 = ~52 ns lands at
+#: ~146 Gbps — the paper's 170/150 Gbps regimes.
+ATS_PIPELINE_DEPTH = 48
+
+#: MTT capacity (entries).  "The MTT ... commonly has orders of magnitude
+#: larger capacity than the PCIe ATC" (Section 6).
+MTT_CAPACITY_ENTRIES = 4 * 1024 * 1024

@@ -1,0 +1,19 @@
+"""Collective-communication workloads: ring AllReduce traffic and the
+permutation/incast/bursty patterns of the transport evaluation."""
+
+from repro.collectives.allreduce import RingAllReduceTask, ring_wire_bytes
+from repro.collectives.patterns import (
+    BurstSchedule,
+    incast_flows_packet,
+    permutation_flows_packet,
+    permutation_pairs,
+)
+
+__all__ = [
+    "RingAllReduceTask",
+    "ring_wire_bytes",
+    "BurstSchedule",
+    "incast_flows_packet",
+    "permutation_flows_packet",
+    "permutation_pairs",
+]

@@ -1,0 +1,102 @@
+"""Traffic patterns used by the paper's transport experiments.
+
+* **Permutation** (Figure 9): every RNIC sends to one random remote RNIC;
+  no two senders share a destination.
+* **Incast**: many senders target one destination (stress test; not a
+  headline figure but a standard hard case the transport must survive).
+* **Bursty on/off** (Figure 10b): an AllReduce that is active 5 s and
+  silent 5 s, cyclically.
+"""
+
+from repro.sim.rng import RngStream
+
+
+def permutation_pairs(servers, rng=None, seed=0):
+    """Random sender->receiver pairing with no self-loops.
+
+    Returns a list of (src, dst) covering every server exactly once as a
+    source and once as a destination.
+    """
+    servers = list(servers)
+    rng = rng if rng is not None else RngStream(seed, "permutation")
+    perm = rng.permutation(len(servers))
+    return [(servers[i], servers[perm[i]]) for i in range(len(servers))]
+
+
+def permutation_flows_packet(sim, servers, rails, message_bytes, algorithm,
+                             path_count, mtu=64 * 1024, cc_factory=None,
+                             seed=0):
+    """Launch the Figure 9 permutation workload on a PacketNetSim.
+
+    One flow per (server, rail): each RNIC writes to the same-rail RNIC of
+    its paired destination server.  Returns the MessageFlow list.
+    """
+    from repro.net.packet_sim import MessageFlow
+
+    pairs = permutation_pairs(servers, seed=seed)
+    flows = []
+    for rail in range(rails):
+        for index, (src, dst) in enumerate(pairs):
+            cc = cc_factory() if cc_factory is not None else None
+            flows.append(
+                MessageFlow(
+                    sim,
+                    "perm-r%d-%d" % (rail, index),
+                    src,
+                    dst,
+                    rail,
+                    message_bytes=message_bytes,
+                    algorithm=algorithm,
+                    path_count=path_count,
+                    mtu=mtu,
+                    connection_id=rail * len(pairs) + index,
+                    cc=cc,
+                )
+            )
+    return flows
+
+
+def incast_flows_packet(sim, senders, destination, rail, message_bytes,
+                        algorithm, path_count, mtu=64 * 1024):
+    """N-to-1 incast onto one destination server's rail."""
+    from repro.net.packet_sim import MessageFlow
+
+    flows = []
+    for index, src in enumerate(senders):
+        if src == destination:
+            raise ValueError("incast sender equals destination: %r" % (src,))
+        flows.append(
+            MessageFlow(
+                sim,
+                "incast-%d" % index,
+                src,
+                destination,
+                rail,
+                message_bytes=message_bytes,
+                algorithm=algorithm,
+                path_count=path_count,
+                mtu=mtu,
+                connection_id=1000 + index,
+            )
+        )
+    return flows
+
+
+class BurstSchedule:
+    """The Figure 10b on/off cadence: active ``on`` s, silent ``off`` s."""
+
+    def __init__(self, on_seconds=5.0, off_seconds=5.0):
+        if on_seconds <= 0 or off_seconds < 0:
+            raise ValueError("invalid burst schedule")
+        self.on_seconds = on_seconds
+        self.off_seconds = off_seconds
+
+    @property
+    def period(self):
+        return self.on_seconds + self.off_seconds
+
+    def active(self, t):
+        return t % self.period < self.on_seconds
+
+    def duty_cycle(self):
+        return self.on_seconds / self.period

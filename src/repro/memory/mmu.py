@@ -1,0 +1,96 @@
+"""CPU MMU with Extended Page Tables (EPT).
+
+Models the hardware that translates guest-physical to host-physical
+addresses for RunD containers (Figure 1a), plus the 4 KiB direct mappings
+the hypervisor installs for device registers such as the vStellar doorbell.
+The overlap between those direct maps and PVDMA's 2 MiB IOMMU blocks is the
+hazard dissected in Figure 5, so the MMU exposes exactly the bookkeeping
+needed to reproduce it.
+"""
+
+from repro import calibration
+from repro.memory.address import AddressSpace, MemoryRegion
+from repro.memory.page_table import PageFault
+from repro.memory.range_table import RangeMap
+
+
+class MMU:
+    """Per-host MMU: one EPT per guest plus device-register direct maps."""
+
+    def __init__(self):
+        self._epts = {}  # guest id -> RangeMap (GPA -> HPA)
+        self._direct_maps = {}  # guest id -> {gpa -> MemoryRegion(HPA)}
+
+    def create_ept(self, guest_id):
+        """Create the EPT for a new guest; duplicate creation is an error."""
+        if guest_id in self._epts:
+            raise ValueError("guest %r already has an EPT" % (guest_id,))
+        self._epts[guest_id] = RangeMap(AddressSpace.GPA, AddressSpace.HPA)
+        self._direct_maps[guest_id] = {}
+        return self._epts[guest_id]
+
+    def destroy_ept(self, guest_id):
+        self._epts.pop(guest_id, None)
+        self._direct_maps.pop(guest_id, None)
+
+    def ept(self, guest_id):
+        try:
+            return self._epts[guest_id]
+        except KeyError:
+            raise PageFault(0, AddressSpace.GPA, "guest %r has no EPT" % (guest_id,))
+
+    def register_guest_memory(self, guest_id, gpa_start, hpa_region):
+        """Back a guest-physical range with host memory in the EPT."""
+        self.ept(guest_id).map_range(
+            gpa_start,
+            hpa_region.start,
+            hpa_region.length,
+            kind=hpa_region.kind,
+        )
+
+    def register_direct_map(self, guest_id, gpa, hpa_region, overwrite=False):
+        """Map a device-register window (e.g. a doorbell BAR page) at 4 KiB
+        granularity into the guest (Figure 5a, step 1).
+
+        ``overwrite=True`` models the guest reserving a page *inside* its
+        RAM range for the register window — the placement that enables the
+        Figure 5 hazard.
+        """
+        if hpa_region.length % calibration.DOORBELL_PAGE_BYTES != 0:
+            raise ValueError(
+                "direct maps use %d-byte pages, got length %d"
+                % (calibration.DOORBELL_PAGE_BYTES, hpa_region.length)
+            )
+        ept = self.ept(guest_id)
+        ept.map_range(
+            gpa,
+            hpa_region.start,
+            hpa_region.length,
+            kind=hpa_region.kind,
+            overwrite=overwrite,
+        )
+        self._direct_maps[guest_id][gpa] = MemoryRegion(
+            hpa_region.start, hpa_region.length, AddressSpace.HPA, hpa_region.kind
+        )
+
+    def unregister_direct_map(self, guest_id, gpa):
+        """Tear down a device-register mapping (Figure 5d: the EPT side is
+        released even though a stale IOMMU mapping may persist)."""
+        region = self._direct_maps[guest_id].pop(gpa, None)
+        if region is None:
+            raise PageFault(gpa, AddressSpace.GPA, "no direct map at this GPA")
+        self.ept(guest_id).unmap_range(gpa, region.length)
+        return region
+
+    def direct_maps(self, guest_id):
+        """Live device-register windows for a guest: {gpa: hpa_region}."""
+        return dict(self._direct_maps.get(guest_id, {}))
+
+    def translate(self, guest_id, gpa, write=False):
+        """GPA -> HPA through the guest's EPT."""
+        return self.ept(guest_id).translate(gpa, write=write)
+
+    def entry_kind(self, guest_id, gpa):
+        """Backing kind of the mapping covering ``gpa`` (or ``None``)."""
+        interval = self.ept(guest_id).lookup(gpa)
+        return interval.kind if interval else None

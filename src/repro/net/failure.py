@@ -1,0 +1,73 @@
+"""Failure injection: random drop, link-down, and flap scenarios.
+
+The paper's Figure 11 drops packets with 1% and 3% probability on a
+single link under a 960-GPU AllReduce; complete link failures are
+recovered first by the 250 us RTO re-spraying onto other paths, then by
+the control plane (BGP) rerouting — both modelled here.
+"""
+
+from repro import calibration
+
+
+class FailureScenario:
+    """Drives failures against a :class:`PacketNetSim`."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.injected = []
+
+    def random_drop(self, link, probability):
+        """Figure 11: random loss on one link."""
+        self.sim.inject_loss(link, probability)
+        self.injected.append((link, probability))
+        return link
+
+    def fail_link(self, link):
+        """Complete failure: every packet on the link is lost."""
+        return self.random_drop(link, 1.0)
+
+    def heal_link(self, link):
+        self.sim.inject_loss(link, 0.0)
+
+    def flap(self, link, down_at, up_at):
+        """Schedule a down/up cycle (optical flap)."""
+        if up_at <= down_at:
+            raise ValueError("flap must come back up after it goes down")
+        self.sim.scheduler.schedule_at(down_at, lambda: self.fail_link(link))
+        self.sim.scheduler.schedule_at(up_at, lambda: self.heal_link(link))
+
+
+def pick_victim_uplink(topology, segment=0, rail=0, plane=0, agg=0):
+    """A deterministic ToR uplink to injure (tests/benches need stability)."""
+    return topology.tor_up(segment, rail, plane, agg)
+
+
+def effective_loss_rate(link_loss_probability, path_count,
+                        paths_crossing_link=1):
+    """The paper's Figure 11 argument, as arithmetic: spraying over N paths
+    divides the loss a connection perceives on one bad link by ~N."""
+    if path_count <= 0:
+        raise ValueError("path_count must be positive")
+    share = min(1.0, paths_crossing_link / path_count)
+    return link_loss_probability * share
+
+
+def bgp_reroute(topology, sim, link, detect_seconds=1.0):
+    """Long-term recovery: after the control plane detects the failure the
+    link stops being offered to ECMP.  We model detection latency plus the
+    capacity effect (the link drains nothing until healed)."""
+    scenario = FailureScenario(sim)
+    scenario.fail_link(link)
+    sim.scheduler.schedule(detect_seconds, lambda: scenario.heal_link(link))
+    return scenario
+
+
+__all__ = [
+    "FailureScenario",
+    "pick_victim_uplink",
+    "effective_loss_rate",
+    "bgp_reroute",
+]
+
+# Re-export the RTO the recovery story depends on, for discoverability.
+RECOVERY_RTO_SECONDS = calibration.SPRAY_RTO_SECONDS

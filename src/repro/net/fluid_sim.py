@@ -1,0 +1,288 @@
+"""Time-stepped fluid (flow-level) network simulator.
+
+For 512-GPU-and-up collective workloads (Figures 10, 15, 16) packet
+granularity is unnecessary: what matters is how each algorithm's *path
+distribution* interacts with link capacities.  Each step:
+
+1. every active flow turns its selector into a weight vector over ECMP
+   buckets (analytic for single/RR/OBS, sampled for feedback-driven
+   algorithms),
+2. a max-min fair allocation is computed over all directed links
+   (vectorized with scipy.sparse),
+3. flows advance and selectors receive per-path congestion feedback
+   derived from bottleneck utilization — so BestRTT's herding and DWRR's
+   weight collapse emerge from the same code paths production would run.
+"""
+
+import collections
+
+import numpy as np
+from scipy import sparse
+
+from repro import calibration
+from repro.core.spray import make_selector
+from repro.net.ecmp import flow_entropy
+from repro.sim.rng import RngStream
+
+#: Selector draws per step used to estimate feedback-driven weights.
+FEEDBACK_SAMPLE_DRAWS = 192
+
+#: Utilization above which a path is considered congested (ECN proxy).
+CONGESTION_UTILIZATION = 0.95
+
+#: Analytic-weight algorithms: the per-packet distribution over path ids
+#: is uniform, so bucket weights follow directly from the hash map.
+_ANALYTIC = {"rr", "obs"}
+
+
+class FluidFlow:
+    """One long-lived transfer between two servers on one rail."""
+
+    def __init__(
+        self,
+        flow_id,
+        src,
+        dst,
+        rail,
+        algorithm="obs",
+        path_count=calibration.SPRAY_PATH_COUNT,
+        total_bytes=None,
+        connection_id=0,
+        start_time=0.0,
+        on_seconds=None,
+        off_seconds=None,
+        rng=None,
+    ):
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.rail = rail
+        self.algorithm = algorithm
+        self.path_count = path_count
+        self.total_bytes = total_bytes
+        self.connection_id = connection_id
+        self.start_time = start_time
+        self.on_seconds = on_seconds
+        self.off_seconds = off_seconds
+        self.transferred = 0.0
+        self.finish_time = None
+        self.rate_history = []
+        self.entropy = flow_entropy(src.node_id, dst.node_id, connection_id)
+        rng = rng if rng is not None else RngStream(0, "fluid", flow_id)
+        self.selector = make_selector(algorithm, path_count, rng=rng)
+        #: (weights, routes) memo for algorithms whose distribution is
+        #: static across steps (single/RR/OBS) — saves re-hashing 128
+        #: routes per flow per step.
+        self._static_plan = None
+
+    @property
+    def done(self):
+        return self.total_bytes is not None and self.transferred >= self.total_bytes
+
+    def active(self, now):
+        if now < self.start_time or self.done:
+            return False
+        if self.on_seconds is None:
+            return True
+        period = self.on_seconds + (self.off_seconds or 0.0)
+        return (now - self.start_time) % period < self.on_seconds
+
+    def mean_rate(self):
+        """Average achieved rate over active steps, bits/second."""
+        rates = [r for r in self.rate_history if r is not None]
+        return sum(rates) / len(rates) if rates else 0.0
+
+    def __repr__(self):
+        return "FluidFlow(%r, %s x %d)" % (
+            self.flow_id,
+            self.algorithm,
+            self.path_count,
+        )
+
+
+class FluidSimulation:
+    """Max-min fluid allocation over the dual-plane topology."""
+
+    def __init__(self, topology, dt=0.01, seed=0):
+        self.topology = topology
+        self.dt = dt
+        self.seed = seed
+        self.now = 0.0
+        self.flows = []
+        self.steps_run = 0
+        self._link_index = {}
+        self._link_caps = []
+        self._rng = RngStream(seed, "fluid-sim")
+
+    def add_flow(self, *args, **kwargs):
+        kwargs.setdefault(
+            "rng", RngStream(self.seed, "fluid-flow", len(self.flows))
+        )
+        flow = FluidFlow(*args, **kwargs)
+        self.flows.append(flow)
+        return flow
+
+    # -- link table -----------------------------------------------------
+
+    def _link_id(self, link):
+        idx = self._link_index.get(link)
+        if idx is None:
+            idx = len(self._link_caps)
+            self._link_index[link] = idx
+            self._link_caps.append(self.topology.link_rate(link))
+        return idx
+
+    # -- weights ---------------------------------------------------------
+
+    def _flow_paths(self, flow):
+        """(path_id -> probability) for this step."""
+        if flow.algorithm == "single":
+            return {flow.selector.next_path(now=self.now): 1.0}
+        if flow.algorithm in _ANALYTIC:
+            share = 1.0 / flow.path_count
+            return {p: share for p in range(flow.path_count)}
+        draws = collections.Counter(
+            flow.selector.next_path(now=self.now)
+            for _ in range(FEEDBACK_SAMPLE_DRAWS)
+        )
+        return {p: n / FEEDBACK_SAMPLE_DRAWS for p, n in draws.items()}
+
+    def _flow_link_weights(self, flow, path_probs):
+        """Aggregate path probabilities into per-link weight sums."""
+        weights = collections.defaultdict(float)
+        routes = {}
+        for path_id, prob in path_probs.items():
+            route = self.topology.route(
+                flow.src, flow.dst, flow.rail,
+                path_id=path_id, connection_id=flow.connection_id,
+            )
+            routes[path_id] = route
+            for link in route:
+                weights[self._link_id(link)] += prob
+        return weights, routes
+
+    # -- the max-min allocator ------------------------------------------
+
+    @staticmethod
+    def max_min_rates(weight_rows, capacities):
+        """Progressive-filling max-min fairness.
+
+        ``weight_rows[f]`` maps link index -> weight; returns rates such
+        that no flow can increase without decreasing a poorer flow.
+        """
+        flow_count = len(weight_rows)
+        if flow_count == 0:
+            return np.zeros(0)
+        rows, cols, vals = [], [], []
+        for f, weights in enumerate(weight_rows):
+            for link, weight in weights.items():
+                rows.append(f)
+                cols.append(link)
+                vals.append(weight)
+        link_count = len(capacities)
+        matrix = sparse.csr_matrix(
+            (vals, (rows, cols)), shape=(flow_count, link_count)
+        )
+        caps = np.asarray(capacities, dtype=float)
+        rates = np.zeros(flow_count)
+        active = np.ones(flow_count, dtype=bool)
+        for _ in range(flow_count + 1):
+            if not active.any():
+                break
+            demand = matrix.T @ active.astype(float)
+            load = matrix.T @ rates
+            headroom = caps - load
+            constrained = demand > 1e-12
+            if not constrained.any():
+                break
+            delta = np.min(headroom[constrained] / demand[constrained])
+            delta = max(delta, 0.0)
+            rates[active] += delta
+            load = matrix.T @ rates
+            saturated = (caps - load) <= caps * 1e-9 + 1.0
+            if not saturated.any():
+                break
+            touching = (matrix[:, saturated].getnnz(axis=1) > 0) & active
+            if not touching.any():
+                break
+            active &= ~touching
+        return rates
+
+    # -- stepping -------------------------------------------------------
+
+    def step(self):
+        """Advance the simulation by one dt."""
+        active_flows = [f for f in self.flows if f.active(self.now)]
+        weight_rows = []
+        route_maps = []
+        for flow in active_flows:
+            static = flow.algorithm in _ANALYTIC or flow.algorithm == "single"
+            if static and flow._static_plan is not None:
+                probs, weights, routes = flow._static_plan
+            else:
+                probs = self._flow_paths(flow)
+                weights, routes = self._flow_link_weights(flow, probs)
+                if static:
+                    flow._static_plan = (probs, weights, routes)
+            weight_rows.append(weights)
+            route_maps.append((probs, routes))
+        rates = self.max_min_rates(weight_rows, self._link_caps)
+        # Link utilization for feedback.
+        if len(self._link_caps):
+            loads = np.zeros(len(self._link_caps))
+            for f, weights in enumerate(weight_rows):
+                for link, weight in weights.items():
+                    loads[link] += rates[f] * weight
+            caps = np.asarray(self._link_caps)
+            utilization = np.divide(loads, caps, out=np.zeros_like(loads),
+                                    where=caps > 0)
+        else:
+            utilization = np.zeros(0)
+        for flow in self.flows:
+            flow.rate_history.append(None)
+        for f, flow in enumerate(active_flows):
+            rate = float(rates[f])
+            flow.rate_history[-1] = rate
+            flow.transferred += rate / 8.0 * self.dt
+            if flow.done and flow.finish_time is None:
+                flow.finish_time = self.now + self.dt
+            self._feed_back(flow, route_maps[f], utilization)
+        self.now += self.dt
+        self.steps_run += 1
+        return rates
+
+    def _feed_back(self, flow, probs_routes, utilization):
+        """Translate link utilization into selector feedback signals."""
+        if flow.algorithm in _ANALYTIC or flow.algorithm == "single":
+            return
+        probs, routes = probs_routes
+        base_rtt = 8e-6
+        for path_id, route in routes.items():
+            worst = max(
+                utilization[self._link_index[link]]
+                for link in route
+            )
+            # ECN marking is probabilistic in utilization, like a RED/ECN
+            # threshold seen through sampled ACKs.  The stochastic
+            # asymmetry is what lets DWRR's weights diverge and collapse
+            # onto few paths — the pathology Figure 10a reports.
+            mark_probability = min(1.0, max(0.0, (worst - 0.8) / 0.4))
+            congested = self._rng.random() < mark_probability
+            rtt = base_rtt * (1.0 + 8.0 * max(0.0, worst - 0.8))
+            flow.selector.on_feedback(path_id, rtt=rtt, ecn=congested)
+
+    def run(self, duration=None, until_done=False, max_steps=10_000):
+        """Run for a duration and/or until all bounded flows finish."""
+        steps = 0
+        while steps < max_steps:
+            if duration is not None and self.now >= duration - 1e-12:
+                break
+            if until_done and all(
+                f.done for f in self.flows if f.total_bytes is not None
+            ):
+                break
+            if duration is None and not until_done:
+                raise ValueError("run() needs a duration or until_done=True")
+            self.step()
+            steps += 1
+        return steps

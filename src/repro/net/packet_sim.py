@@ -1,0 +1,410 @@
+"""Packet-granularity discrete-event network simulator.
+
+Models output-queued switch ports with ECN marking, tail drop, random
+loss injection (Figure 11), per-packet path spraying, ACK-clocked
+window congestion control, and RTO-driven retransmission on a different
+path — the full Stellar transport of Section 7 at packet granularity.
+
+Used for the queue-depth (Figure 9) and loss-resilience (Figure 11)
+experiments; the fluid simulator handles the 512+-GPU collective runs.
+"""
+
+from repro import calibration
+from repro.core.spray import SprayConnection
+from repro.sim.engine import EventScheduler
+from repro.sim.rng import RngStream
+
+#: One-way propagation + switching latency per hop (short DC cables).
+HOP_PROPAGATION_SECONDS = 1.0e-6
+
+#: ECN marking threshold, as queue depth in bytes (per port).
+DEFAULT_ECN_THRESHOLD_BYTES = 512 * 1024
+
+#: Tail-drop limit per port.
+DEFAULT_MAX_QUEUE_BYTES = 16 * 1024 * 1024
+
+
+class PortState:
+    """Transmit-port state: virtual queue via busy time, plus statistics."""
+
+    __slots__ = (
+        "ref",
+        "rate",
+        "busy_until",
+        "drop_prob",
+        "ecn_threshold",
+        "max_queue",
+        "bytes_tx",
+        "packets_tx",
+        "drops_random",
+        "drops_overflow",
+        "ecn_marks",
+        "queue_samples",
+        "queue_sample_sum",
+        "queue_max",
+    )
+
+    def __init__(self, ref, rate, ecn_threshold, max_queue):
+        self.ref = ref
+        self.rate = rate
+        self.busy_until = 0.0
+        self.drop_prob = 0.0
+        self.ecn_threshold = ecn_threshold
+        self.max_queue = max_queue
+        self.bytes_tx = 0
+        self.packets_tx = 0
+        self.drops_random = 0
+        self.drops_overflow = 0
+        self.ecn_marks = 0
+        self.queue_samples = 0
+        self.queue_sample_sum = 0.0
+        self.queue_max = 0.0
+
+    def queue_bytes(self, now):
+        """Backlog implied by the busy horizon (virtual output queue)."""
+        return max(0.0, (self.busy_until - now) * self.rate / 8.0)
+
+    def sample_queue(self, now):
+        depth = self.queue_bytes(now)
+        self.queue_samples += 1
+        self.queue_sample_sum += depth
+        self.queue_max = max(self.queue_max, depth)
+        return depth
+
+    @property
+    def queue_avg(self):
+        return self.queue_sample_sum / self.queue_samples if self.queue_samples else 0.0
+
+
+class PacketNetSim:
+    """The event-driven fabric: ports + packet forwarding."""
+
+    def __init__(
+        self,
+        topology,
+        seed=0,
+        ecn_threshold=DEFAULT_ECN_THRESHOLD_BYTES,
+        max_queue=DEFAULT_MAX_QUEUE_BYTES,
+    ):
+        self.topology = topology
+        self.scheduler = EventScheduler()
+        self.rng = RngStream(seed, "packet-sim")
+        self.ecn_threshold = ecn_threshold
+        self.max_queue = max_queue
+        self._ports = {}
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+
+    @property
+    def now(self):
+        return self.scheduler.now
+
+    def port(self, ref):
+        state = self._ports.get(ref)
+        if state is None:
+            state = PortState(
+                ref, self.topology.link_rate(ref), self.ecn_threshold, self.max_queue
+            )
+            self._ports[ref] = state
+        return state
+
+    def inject_loss(self, ref, drop_prob):
+        """Random loss on one port (the Figure 11 failure model)."""
+        if not 0.0 <= drop_prob <= 1.0:
+            raise ValueError("drop probability out of range: %r" % drop_prob)
+        self.port(ref).drop_prob = drop_prob
+
+    def send_packet(self, route, size, on_delivered, on_dropped=None):
+        """Forward one packet along ``route`` (a list of LinkRefs).
+
+        ``on_delivered(latency, ecn_marked)`` fires at the destination;
+        ``on_dropped(link)`` fires at the drop point.
+        """
+        start_time = self.now
+        self._hop(route, 0, size, False, start_time, on_delivered, on_dropped)
+
+    def _hop(self, route, index, size, ecn, start_time, on_delivered, on_dropped):
+        if index >= len(route):
+            self.packets_delivered += 1
+            on_delivered(self.now - start_time, ecn)
+            return
+        port = self.port(route[index])
+        queue = port.sample_queue(self.now)
+        dropped = False
+        if port.drop_prob > 0 and self.rng.random() < port.drop_prob:
+            port.drops_random += 1
+            dropped = True
+        elif queue + size > port.max_queue:
+            port.drops_overflow += 1
+            dropped = True
+        if dropped:
+            self.packets_dropped += 1
+            if on_dropped is not None:
+                on_dropped(route[index])
+            return
+        if queue >= port.ecn_threshold:
+            port.ecn_marks += 1
+            ecn = True
+        tx_time = size * 8.0 / port.rate
+        depart = max(self.now, port.busy_until) + tx_time
+        port.busy_until = depart
+        delay = depart - self.now + HOP_PROPAGATION_SECONDS
+        self.scheduler.schedule(
+            delay,
+            lambda: self._hop(
+                route, index + 1, size, ecn, start_time, on_delivered, on_dropped
+            ),
+        )
+
+    # -- statistics -------------------------------------------------------
+
+    def start_queue_monitor(self, interval=100e-6, segment=None, rail=None):
+        """Periodically sample every ToR uplink queue (switch telemetry).
+
+        Time-based sampling is unbiased where arrival-based sampling
+        over-weights busy instants; Figure 9's queue-depth series is
+        reported from these samples via :meth:`monitored_queue_stats`.
+        """
+        links = self.topology.tor_uplinks(segment=segment, rail=rail)
+        self._monitor_samples = []
+        self._monitor_links = links
+
+        def sample():
+            depths = [
+                self._ports[link].queue_bytes(self.now)
+                if link in self._ports else 0.0
+                for link in links
+            ]
+            self._monitor_samples.append(depths)
+            self.scheduler.schedule(interval, sample)
+
+        self.scheduler.schedule(0.0, sample)
+
+    def monitored_queue_stats(self):
+        """(avg, max) queue depth in bytes over all monitored samples."""
+        samples = getattr(self, "_monitor_samples", None)
+        if not samples:
+            raise ValueError("start_queue_monitor() was never called")
+        total = sum(sum(row) for row in samples)
+        count = sum(len(row) for row in samples)
+        peak = max(max(row) for row in samples)
+        return total / count, peak
+
+    def tor_queue_stats(self, segment=None, rail=None):
+        """(avg, max) sampled queue depth in bytes over ToR uplink ports.
+
+        Ports that never carried traffic contribute zero-depth samples via
+        their absence — we average over ports that exist in the sim plus
+        untouched uplinks, mirroring a switch-counter sweep.
+        """
+        links = self.topology.tor_uplinks(segment=segment, rail=rail)
+        total = 0.0
+        worst = 0.0
+        for link in links:
+            state = self._ports.get(link)
+            if state is None or state.queue_samples == 0:
+                continue
+            total += state.queue_avg
+            worst = max(worst, state.queue_max)
+        return (total / len(links) if links else 0.0), worst
+
+    def run(self, until=None, max_events=None):
+        return self.scheduler.run(until=until, max_events=max_events)
+
+
+class FlowResult:
+    """Outcome of one finished (or cut-off) message flow."""
+
+    __slots__ = (
+        "flow_id",
+        "bytes_acked",
+        "completion_time",
+        "retransmissions",
+        "rtos",
+    )
+
+    def __init__(self, flow_id, bytes_acked, completion_time, retransmissions, rtos):
+        self.flow_id = flow_id
+        self.bytes_acked = bytes_acked
+        self.completion_time = completion_time
+        self.retransmissions = retransmissions
+        self.rtos = rtos
+
+    @property
+    def goodput(self):
+        """Achieved rate in bits/second."""
+        if not self.completion_time:
+            return 0.0
+        return self.bytes_acked * 8.0 / self.completion_time
+
+    def __repr__(self):
+        return "FlowResult(%r, %.1fMB acked, %.2fms)" % (
+            self.flow_id,
+            self.bytes_acked / 1e6,
+            (self.completion_time or 0) * 1e3,
+        )
+
+
+class MessageFlow:
+    """One RDMA message driven through a SprayConnection over the sim."""
+
+    def __init__(
+        self,
+        sim,
+        flow_id,
+        src,
+        dst,
+        rail,
+        message_bytes,
+        algorithm="obs",
+        path_count=calibration.SPRAY_PATH_COUNT,
+        mtu=64 * 1024,
+        connection_id=0,
+        rto=calibration.SPRAY_RTO_SECONDS,
+        cc=None,
+        start_time=0.0,
+        recovery="selective",
+    ):
+        self.sim = sim
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.rail = rail
+        self.message_bytes = message_bytes
+        self.mtu = mtu
+        self.connection_id = connection_id
+        self.conn = SprayConnection(
+            flow_id,
+            algorithm=algorithm,
+            path_count=path_count,
+            rng=RngStream(sim.rng.seed, "flow", flow_id),
+            cc=cc,
+            rto=rto,
+        )
+        self.bytes_unsent = message_bytes
+        self.bytes_acked = 0
+        self.start_time = start_time
+        self.finish_time = None
+        self.rto_count = 0
+        self._next_seq = 0
+        #: seq -> (rto event, size, path) for every unacked packet.
+        self._outstanding = {}
+        if recovery not in ("selective", "go_back_n"):
+            raise ValueError("unknown recovery mode %r" % recovery)
+        #: "selective" is Stellar's out-of-order-tolerant recovery (Direct
+        #: Packet Placement); "go_back_n" is classic single-path RoCE,
+        #: where one loss retransmits the entire tail of the window.
+        self.recovery = recovery
+        self.on_complete = None
+        sim.scheduler.schedule_at(start_time, self._pump)
+
+    @property
+    def done(self):
+        return self.finish_time is not None
+
+    def result(self):
+        completion = (
+            (self.finish_time - self.start_time) if self.finish_time else
+            (self.sim.now - self.start_time)
+        )
+        return FlowResult(
+            self.flow_id,
+            self.bytes_acked,
+            completion,
+            self.conn.retransmissions,
+            self.rto_count,
+        )
+
+    # -- transmission machinery ----------------------------------------
+
+    def _pump(self):
+        while self.bytes_unsent > 0 and self.conn.cc.can_send(self.mtu):
+            size = min(self.mtu, self.bytes_unsent)
+            self.bytes_unsent -= size
+            seq = self._next_seq
+            self._next_seq += 1
+            self.conn.cc.on_send(size)
+            self._transmit(seq, size, self.conn.next_path(now=self.sim.now))
+
+    def _transmit(self, seq, size, path):
+        route = self.sim.topology.route(
+            self.src, self.dst, self.rail,
+            path_id=path, connection_id=self.connection_id,
+        )
+        sent_at = self.sim.now
+        rto_event = self.sim.scheduler.schedule(
+            self.conn.rto, lambda: self._on_rto(seq, size, path)
+        )
+        self._outstanding[seq] = (rto_event, size, path)
+        self.sim.send_packet(
+            route,
+            size,
+            on_delivered=lambda latency, ecn: self._on_delivered(
+                seq, size, path, sent_at, latency, ecn
+            ),
+            on_dropped=lambda link: None,  # loss is detected by RTO only
+        )
+
+    def _on_delivered(self, seq, size, path, sent_at, latency, ecn):
+        # The ACK flies back contention-free (ACKs are tiny).
+        ack_delay = HOP_PROPAGATION_SECONDS * 2
+        self.sim.scheduler.schedule(
+            ack_delay, lambda: self._on_ack(seq, size, path, sent_at, ecn)
+        )
+
+    def _on_ack(self, seq, size, path, sent_at, ecn):
+        if seq not in self._outstanding:
+            return  # already retransmitted; ignore the stale ACK
+        if self.recovery == "go_back_n" and seq != min(self._outstanding):
+            # A go-back-N receiver discards out-of-order arrivals: a gap
+            # ahead of this packet means it will be retransmitted anyway.
+            return
+        entry = self._outstanding.pop(seq)
+        entry[0].cancel()
+        rtt = self.sim.now - sent_at
+        self.bytes_acked += size
+        self.conn.on_ack(path, size, rtt=rtt, ecn=ecn, now=self.sim.now)
+        if self.bytes_acked >= self.message_bytes and self.finish_time is None:
+            self.finish_time = self.sim.now
+            if self.on_complete is not None:
+                self.on_complete(self)
+            return
+        self._pump()
+
+    def _on_rto(self, seq, size, path):
+        if seq not in self._outstanding:
+            return
+        self.rto_count += 1
+        self.conn.on_loss(path)
+        if self.recovery == "go_back_n":
+            # Classic RoCE: the loss invalidates every later in-flight
+            # packet; cancel their timers and retransmit the whole tail.
+            tail = sorted(s for s in self._outstanding if s >= seq)
+            resend = []
+            for s in tail:
+                event, sz, p = self._outstanding.pop(s)
+                event.cancel()
+                resend.append((s, sz, p))
+            self.conn.cc.on_rto()  # full stall: halve window, clear flight
+            for s, sz, p in resend:
+                self.conn.cc.on_send(sz)
+                self._transmit(s, sz, self.conn.next_path(now=self.sim.now))
+            return
+        del self._outstanding[seq]
+        self.conn.cc.on_rto(size)
+        # Instant recovery: retransmit on a different path (Section 7.2).
+        retry_path = self.conn.retransmit_path(path)
+        self.conn.cc.on_send(size)
+        self._transmit(seq, size, retry_path)
+
+
+def run_flows(sim, flows, timeout=5.0):
+    """Run until every flow completes (or the timeout hits); returns results."""
+    deadline = timeout
+    while not all(flow.done for flow in flows):
+        executed = sim.run(until=deadline, max_events=200_000)
+        if executed == 0 and sim.scheduler.peek_time() is None:
+            break
+        if sim.now >= deadline:
+            break
+    return [flow.result() for flow in flows]

@@ -1,0 +1,239 @@
+"""The dual-plane, rail-optimized training fabric (HPN7.0-style).
+
+Topology model (Section 3.1 problem 6 and Section 7.2 of the paper):
+
+* Each **server** has 4 RNICs ("rails"), each with two 200 Gbps ports —
+  port 0 on network **plane A**, port 1 on **plane B**.
+* Each (segment, rail, plane) triple has one **ToR** switch; a server's
+  rail-``r`` RNIC connects to the rail-``r`` ToRs of its segment.
+* Each plane has ``aggs_per_plane`` (60 in production) **aggregation**
+  switches; every ToR uplinks to all of them.  Cross-segment traffic on
+  one rail goes ToR -> agg -> ToR within a plane, so the equivalent-path
+  count per rail is ``planes x aggs_per_plane`` (120).
+* The planes are additionally joined at a **core** layer that serves as a
+  failure-escape route; normal traffic never uses it, and neither do our
+  experiments, so the core is represented only as spare capacity.
+
+Links are directed; a :class:`LinkRef` names one transmit port.  The
+topology is pure structure — the packet/fluid simulators attach state
+(queues, rates) to the link names it hands out.
+"""
+
+from repro import calibration
+from repro.net.ecmp import EcmpHasher, flow_entropy
+
+
+class LinkRef:
+    """A directed link (transmit port) in the fabric."""
+
+    __slots__ = ("kind", "key")
+
+    # kinds: "host_up", "host_down", "tor_up", "tor_down"
+    def __init__(self, kind, key):
+        self.kind = kind
+        self.key = key
+
+    def as_tuple(self):
+        return (self.kind, self.key)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, LinkRef)
+            and self.kind == other.kind
+            and self.key == other.key
+        )
+
+    def __hash__(self):
+        return hash((self.kind, self.key))
+
+    def __repr__(self):
+        return "LinkRef(%s, %r)" % (self.kind, self.key)
+
+
+class ServerAddress:
+    """Where a server lives: (segment, index within segment)."""
+
+    __slots__ = ("segment", "index")
+
+    def __init__(self, segment, index):
+        self.segment = segment
+        self.index = index
+
+    def as_tuple(self):
+        return (self.segment, self.index)
+
+    @property
+    def node_id(self):
+        return self.segment * 100_000 + self.index
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ServerAddress) and self.as_tuple() == other.as_tuple()
+        )
+
+    def __hash__(self):
+        return hash(self.as_tuple())
+
+    def __repr__(self):
+        return "ServerAddress(seg=%d, idx=%d)" % (self.segment, self.index)
+
+
+class DualPlaneTopology:
+    """Structure + routing for the rail-optimized dual-plane fabric."""
+
+    def __init__(
+        self,
+        segments=2,
+        servers_per_segment=16,
+        rails=calibration.SERVER_RNICS,
+        planes=2,
+        aggs_per_plane=calibration.AGG_SWITCHES_PER_PLANE,
+        port_rate=calibration.RNIC_PORT_RATE,
+        tor_uplink_rate=None,
+    ):
+        if min(segments, servers_per_segment, rails, planes, aggs_per_plane) <= 0:
+            raise ValueError("all topology dimensions must be positive")
+        self.segments = segments
+        self.servers_per_segment = servers_per_segment
+        self.rails = rails
+        self.planes = planes
+        self.aggs_per_plane = aggs_per_plane
+        self.port_rate = port_rate
+        self.tor_uplink_rate = (
+            tor_uplink_rate if tor_uplink_rate is not None else port_rate
+        )
+        self._hasher = EcmpHasher(planes * aggs_per_plane)
+
+    # -- enumeration -------------------------------------------------------
+
+    @property
+    def path_diversity(self):
+        """Equivalent cross-segment paths per rail (plane x agg choices)."""
+        return self.planes * self.aggs_per_plane
+
+    def servers(self):
+        for segment in range(self.segments):
+            for index in range(self.servers_per_segment):
+                yield ServerAddress(segment, index)
+
+    @property
+    def server_count(self):
+        return self.segments * self.servers_per_segment
+
+    def gpu_count(self, gpus_per_server=calibration.SERVER_GPUS):
+        return self.server_count * gpus_per_server
+
+    # -- link naming ---------------------------------------------------------
+
+    def host_up(self, server, rail, plane):
+        return LinkRef("host_up", (server.segment, server.index, rail, plane))
+
+    def host_down(self, server, rail, plane):
+        return LinkRef("host_down", (server.segment, server.index, rail, plane))
+
+    def tor_up(self, segment, rail, plane, agg):
+        """ToR(segment, rail, plane) -> aggregation switch ``agg``.
+
+        These are the ports whose queue depth Figures 9 and 12 report.
+        """
+        return LinkRef("tor_up", (segment, rail, plane, agg))
+
+    def tor_down(self, segment, rail, plane, agg):
+        """Aggregation switch ``agg`` -> ToR(segment, rail, plane)."""
+        return LinkRef("tor_down", (segment, rail, plane, agg))
+
+    def link_rate(self, link):
+        if link.kind in ("host_up", "host_down"):
+            return self.port_rate
+        # ToR uplinks and core escape links run at the fabric rate.
+        return self.tor_uplink_rate
+
+    def tor_uplinks(self, segment=None, rail=None):
+        """All ToR uplink ports, optionally filtered (for imbalance stats)."""
+        segments = range(self.segments) if segment is None else [segment]
+        rails = range(self.rails) if rail is None else [rail]
+        refs = []
+        for seg in segments:
+            for r in rails:
+                for plane in range(self.planes):
+                    for agg in range(self.aggs_per_plane):
+                        refs.append(self.tor_up(seg, r, plane, agg))
+        return refs
+
+    # -- routing ---------------------------------------------------------
+
+    def ecmp_choice(self, entropy, path_id):
+        """Map a (flow, path id) to a (plane, agg) choice.
+
+        The plane (i.e. which of the RNIC's two ports) alternates
+        deterministically with the path id — the NIC spreads its ports
+        evenly by construction, with a per-connection random base so
+        single-path flows still pick a random port ("the RNIC randomly
+        chooses one of its two ports", Section 3).  Only the aggregation
+        switch is ECMP-hashed in the network.
+        """
+        plane = (path_id + entropy) % self.planes
+        agg = self._hasher.bucket(entropy, path_id) % self.aggs_per_plane
+        return plane, agg
+
+    def route(self, src, dst, rail, path_id=0, connection_id=0):
+        """The directed links from ``src`` to ``dst`` on ``rail`` for one
+        path id.  Rail-optimized: traffic never changes rails.
+        """
+        entropy = flow_entropy(src.node_id, dst.node_id, connection_id)
+        plane, agg = self.ecmp_choice(entropy, path_id)
+        if src == dst:
+            raise ValueError("route to self: %r" % (src,))
+        if src.segment == dst.segment:
+            # Same ToR: host -> ToR -> host; the plane still matters (two
+            # single-plane ToRs), the agg layer is not involved.
+            return [
+                self.host_up(src, rail, plane),
+                self.host_down(dst, rail, plane),
+            ]
+        return [
+            self.host_up(src, rail, plane),
+            self.tor_up(src.segment, rail, plane, agg),
+            self.tor_down(dst.segment, rail, plane, agg),
+            self.host_down(dst, rail, plane),
+        ]
+
+    def escape_route(self, src, dst, rail, path_id=0, connection_id=0):
+        """The core-layer escape path (Section 3.1 problem 6 context).
+
+        "Both planes are connected at the core switch to create an
+        'escape' layer for failure resiliency."  When a rail's selected
+        plane is unusable end-to-end, traffic climbs one plane, crosses
+        the core, and descends the other — longer, but it keeps the rail
+        alive through a whole-plane event.
+        """
+        entropy = flow_entropy(src.node_id, dst.node_id, connection_id)
+        plane, agg = self.ecmp_choice(entropy, path_id)
+        other_plane = (plane + 1) % self.planes
+        if src.segment == dst.segment:
+            # Same ToR on the healthy plane suffices; no core needed.
+            return [
+                self.host_up(src, rail, other_plane),
+                self.host_down(dst, rail, other_plane),
+            ]
+        return [
+            self.host_up(src, rail, plane),
+            self.tor_up(src.segment, rail, plane, agg),
+            LinkRef("core_up", (rail, plane, agg)),
+            LinkRef("core_down", (rail, other_plane, agg)),
+            self.tor_down(dst.segment, rail, other_plane, agg),
+            self.host_down(dst, rail, other_plane),
+        ]
+
+    def __repr__(self):
+        return (
+            "DualPlaneTopology(segments=%d, servers/seg=%d, rails=%d, "
+            "planes=%d, aggs=%d)"
+            % (
+                self.segments,
+                self.servers_per_segment,
+                self.rails,
+                self.planes,
+                self.aggs_per_plane,
+            )
+        )

@@ -1,0 +1,35 @@
+"""PCIe substrate: BDFs, TLPs with the AT field, switches with bounded
+LUTs and ACS, the root complex hosting the IOMMU, and fabric routing.
+
+Models Figure 1(b) and the eMTT routing semantics of Figure 7.
+"""
+
+from repro.pcie.atc import AtcTranslation, DeviceAtc
+from repro.pcie.bdf import Bdf, BdfAllocator
+from repro.pcie.device import GpuDevice, HostMemoryTarget, PcieError, PcieFunction
+from repro.pcie.root_complex import RC_PROCESS_SECONDS, RootComplex
+from repro.pcie.switch import PCIE_HOP_SECONDS, LutCapacityError, PcieSwitch
+from repro.pcie.tlp import AddressType, Delivery, Tlp, TlpKind
+from repro.pcie.topology import PcieFabric, build_ai_server_fabric
+
+__all__ = [
+    "AtcTranslation",
+    "DeviceAtc",
+    "Bdf",
+    "BdfAllocator",
+    "GpuDevice",
+    "HostMemoryTarget",
+    "PcieError",
+    "PcieFunction",
+    "RootComplex",
+    "RC_PROCESS_SECONDS",
+    "PCIE_HOP_SECONDS",
+    "LutCapacityError",
+    "PcieSwitch",
+    "AddressType",
+    "Delivery",
+    "Tlp",
+    "TlpKind",
+    "PcieFabric",
+    "build_ai_server_fabric",
+]

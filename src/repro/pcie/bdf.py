@@ -1,0 +1,84 @@
+"""Bus-Device-Function identifiers.
+
+Every PCIe function — physical or SR-IOV virtual — owns a BDF.  BDFs are
+the scarce resource behind the paper's problem 3: the PCIe switch LUT on
+one server model only holds 32 of them, capping GDR-capable VFs.
+"""
+
+import re
+
+_BDF_RE = re.compile(r"^([0-9a-fA-F]{1,2}):([0-9a-fA-F]{1,2})\.([0-7])$")
+
+
+class Bdf:
+    """A PCIe Bus:Device.Function triple, e.g. ``3a:00.1``."""
+
+    __slots__ = ("bus", "device", "function")
+
+    def __init__(self, bus, device, function):
+        if not 0 <= bus <= 0xFF:
+            raise ValueError("bus out of range: %r" % bus)
+        if not 0 <= device <= 0x1F:
+            raise ValueError("device out of range: %r" % device)
+        if not 0 <= function <= 0x7:
+            raise ValueError("function out of range: %r" % function)
+        self.bus = bus
+        self.device = device
+        self.function = function
+
+    @classmethod
+    def parse(cls, text):
+        match = _BDF_RE.match(text.strip())
+        if match is None:
+            raise ValueError("unparseable BDF: %r" % text)
+        bus, device, function = match.groups()
+        return cls(int(bus, 16), int(device, 16), int(function))
+
+    def as_tuple(self):
+        return (self.bus, self.device, self.function)
+
+    def __eq__(self, other):
+        if not isinstance(other, Bdf):
+            return NotImplemented
+        return self.as_tuple() == other.as_tuple()
+
+    def __lt__(self, other):
+        return self.as_tuple() < other.as_tuple()
+
+    def __hash__(self):
+        return hash(self.as_tuple())
+
+    def __str__(self):
+        return "%02x:%02x.%d" % (self.bus, self.device, self.function)
+
+    def __repr__(self):
+        return "Bdf(%s)" % self
+
+
+class BdfAllocator:
+    """Hands out unique BDFs bus by bus (one bus per switch port)."""
+
+    def __init__(self):
+        self._next_bus = 1  # bus 0 is the root complex
+        self._next_fn = {}
+
+    def new_bus(self):
+        bus = self._next_bus
+        if bus > 0xFF:
+            raise ValueError("out of PCIe bus numbers")
+        self._next_bus += 1
+        self._next_fn[bus] = 0
+        return bus
+
+    def allocate(self, bus=None):
+        """Allocate the next free function on ``bus`` (or a fresh bus)."""
+        if bus is None:
+            bus = self.new_bus()
+        if bus not in self._next_fn:
+            self._next_fn[bus] = 0
+        index = self._next_fn[bus]
+        device, function = divmod(index, 8)
+        if device > 0x1F:
+            raise ValueError("bus %d is out of device numbers" % bus)
+        self._next_fn[bus] = index + 1
+        return Bdf(bus, device, function)

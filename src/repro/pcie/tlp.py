@@ -1,0 +1,94 @@
+"""Transaction-Layer Packets and the Address Translation field.
+
+The AT field is the crux of eMTT (Section 6, Figure 7): a TLP marked
+``TRANSLATED`` (0b10) carries a final host-physical address and ACS-enabled
+switches route it peer-to-peer without a detour through the root complex;
+an ``UNTRANSLATED`` (0b00) TLP must climb to the RC for IOMMU translation.
+"""
+
+import enum
+import itertools
+
+_tlp_ids = itertools.count()
+
+
+class AddressType(enum.IntEnum):
+    """PCIe TLP AT field encodings (PCIe spec section 10.1)."""
+
+    UNTRANSLATED = 0b00
+    TRANSLATION_REQUEST = 0b01
+    TRANSLATED = 0b10
+
+
+class TlpKind(enum.Enum):
+    MEM_READ = "MRd"
+    MEM_WRITE = "MWr"
+    COMPLETION = "Cpl"
+
+
+class Tlp:
+    """A memory request TLP as seen by switches and the root complex."""
+
+    __slots__ = ("kind", "address", "length", "at", "requester", "pasid", "tag")
+
+    def __init__(self, kind, address, length, at, requester, pasid=None):
+        if length <= 0:
+            raise ValueError("TLP length must be positive: %r" % length)
+        self.kind = kind
+        self.address = int(address)
+        self.length = int(length)
+        self.at = AddressType(at)
+        self.requester = requester
+        #: Process Address Space ID: distinguishes IOMMU domains when many
+        #: virtual devices share one BDF (the vStellar situation).
+        self.pasid = pasid
+        self.tag = next(_tlp_ids)
+
+    @classmethod
+    def mem_write(cls, address, length, requester, at=AddressType.UNTRANSLATED,
+                  pasid=None):
+        return cls(TlpKind.MEM_WRITE, address, length, at, requester, pasid=pasid)
+
+    @classmethod
+    def mem_read(cls, address, length, requester, at=AddressType.UNTRANSLATED,
+                 pasid=None):
+        return cls(TlpKind.MEM_READ, address, length, at, requester, pasid=pasid)
+
+    @property
+    def is_translated(self):
+        return self.at == AddressType.TRANSLATED
+
+    def __repr__(self):
+        return "Tlp(%s, addr=0x%x, len=%d, at=%s, req=%s)" % (
+            self.kind.value,
+            self.address,
+            self.length,
+            self.at.name,
+            self.requester,
+        )
+
+
+class Delivery:
+    """Where a TLP ended up and what it cost to get there.
+
+    ``path`` is the ordered list of component names the TLP traversed —
+    tests assert that eMTT traffic bypasses the RC by inspecting it.
+    """
+
+    __slots__ = ("destination", "path", "latency", "translated_address")
+
+    def __init__(self, destination, path, latency, translated_address=None):
+        self.destination = destination
+        self.path = list(path)
+        self.latency = latency
+        self.translated_address = translated_address
+
+    def visited(self, component_name):
+        return component_name in self.path
+
+    def __repr__(self):
+        return "Delivery(to=%s, path=%s, latency=%.2fus)" % (
+            self.destination,
+            "->".join(self.path),
+            self.latency * 1e6,
+        )

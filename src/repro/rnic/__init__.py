@@ -1,0 +1,62 @@
+"""RNIC substrate: verbs resources, the MTT, DMA datapaths, the embedded
+vSwitch with its steering pitfalls, and window-based congestion control.
+"""
+
+from repro.rnic.cc import PerPathCC, WindowCC
+from repro.rnic.datapath import AccessResult, DatapathMode, RnicDatapath
+from repro.rnic.mtt import Mtt, MttEntry, MttError
+from repro.rnic.rnic import BaseRnic
+from repro.rnic.verbs import (
+    CompletionQueue,
+    MemoryRegionHandle,
+    Opcode,
+    ProtectionDomain,
+    QpState,
+    QueuePair,
+    VerbsError,
+    WcStatus,
+    WorkCompletion,
+    WorkRequest,
+    connect_qps,
+)
+from repro.rnic.vswitch import (
+    FlowRule,
+    KernelRoutingTable,
+    LookupResult,
+    SteeringError,
+    TrafficClass,
+    VSwitch,
+    VxlanHeader,
+    encapsulate,
+)
+
+__all__ = [
+    "PerPathCC",
+    "WindowCC",
+    "AccessResult",
+    "DatapathMode",
+    "RnicDatapath",
+    "Mtt",
+    "MttEntry",
+    "MttError",
+    "BaseRnic",
+    "CompletionQueue",
+    "MemoryRegionHandle",
+    "Opcode",
+    "ProtectionDomain",
+    "QpState",
+    "QueuePair",
+    "VerbsError",
+    "WcStatus",
+    "WorkCompletion",
+    "WorkRequest",
+    "connect_qps",
+    "FlowRule",
+    "KernelRoutingTable",
+    "LookupResult",
+    "SteeringError",
+    "TrafficClass",
+    "VSwitch",
+    "VxlanHeader",
+    "encapsulate",
+]

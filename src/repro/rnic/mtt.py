@@ -1,0 +1,114 @@
+"""The RNIC Memory Translation Table (MTT).
+
+The MTT maps a memory region's virtual addresses to the target addresses
+the RNIC should emit on PCIe (Figure 1c).  In a bare-metal environment the
+targets are final HPAs; in a RunD container they are GPAs that still need
+IOMMU translation.  Stellar's eMTT (:mod:`repro.core.emtt`) extends the
+entries with the backing kind so the RNIC can choose the TLP AT field.
+"""
+
+from repro import calibration
+from repro.memory.address import AddressError
+from repro.memory.range_table import RangeMap
+
+
+class MttError(AddressError):
+    """Raised on invalid MTT operations (bad key, out-of-bounds access)."""
+
+
+class MttEntry:
+    """Translation state for one registered memory region (one key)."""
+
+    __slots__ = ("key", "va_base", "length", "kind", "translated", "map")
+
+    def __init__(self, key, va_base, length, kind, translated):
+        self.key = key
+        self.va_base = va_base
+        self.length = length
+        self.kind = kind
+        #: True when ``map`` holds final HPAs (bare metal / eMTT);
+        #: False when it holds device addresses needing IOMMU translation.
+        self.translated = translated
+        self.map = RangeMap()
+
+    def covers(self, va, length):
+        return self.va_base <= va and va + length <= self.va_base + self.length
+
+    def __repr__(self):
+        return "MttEntry(key=%d, va=0x%x, len=%d, kind=%s, translated=%s)" % (
+            self.key,
+            self.va_base,
+            self.length,
+            self.kind.value if self.kind else None,
+            self.translated,
+        )
+
+
+class Mtt:
+    """Capacity-bounded table of region translations keyed by lkey/rkey."""
+
+    def __init__(self, capacity=calibration.MTT_CAPACITY_ENTRIES):
+        self.capacity = capacity
+        self._entries = {}
+        self._next_key = 1
+        self.lookups = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def register(self, va_base, chunks, kind, translated):
+        """Install a region and return its key.
+
+        ``chunks`` is a list of ``(va, target, length)`` triples (typically
+        from :meth:`RangeMap.translate_region`) covering the region
+        contiguously in VA space.
+        """
+        if not chunks:
+            raise MttError("cannot register a region with no chunks")
+        if len(self._entries) >= self.capacity:
+            raise MttError("MTT full (%d entries)" % self.capacity)
+        length = sum(chunk_len for _, _, chunk_len in chunks)
+        expected_va = va_base
+        for va, _, chunk_len in chunks:
+            if va != expected_va:
+                raise MttError(
+                    "chunks not VA-contiguous: expected 0x%x, got 0x%x"
+                    % (expected_va, va)
+                )
+            expected_va += chunk_len
+        key = self._next_key
+        self._next_key += 1
+        entry = MttEntry(key, va_base, length, kind, translated)
+        for va, target, chunk_len in chunks:
+            entry.map.map_range(va, target, chunk_len, kind=kind)
+        self._entries[key] = entry
+        return key
+
+    def deregister(self, key):
+        if key not in self._entries:
+            raise MttError("deregister of unknown MTT key %r" % key)
+        del self._entries[key]
+
+    def entry(self, key):
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise MttError("unknown MTT key %r" % key)
+
+    def lookup(self, key, va, length=1):
+        """Translate ``[va, va+length)`` under ``key``.
+
+        Returns ``(chunks, entry)`` where chunks are ``(va, target, length)``
+        triples in target space.
+        """
+        entry = self.entry(key)
+        if not entry.covers(va, length):
+            raise MttError(
+                "access [0x%x, 0x%x) outside region key=%d [0x%x, 0x%x)"
+                % (va, va + length, key, entry.va_base, entry.va_base + entry.length)
+            )
+        self.lookups += 1
+        return entry.map.translate_region(va, length), entry
+
+    def __repr__(self):
+        return "Mtt(%d/%d entries)" % (len(self._entries), self.capacity)

@@ -1,0 +1,234 @@
+"""Verbs-style RDMA resources: PDs, MRs, CQs, and QPs.
+
+This is the user-facing API of every RNIC in the repo — bare-metal
+Stellar, vStellar devices inside secure containers, and the legacy VF
+stack all hand out these objects.  Protection-domain enforcement follows
+the RDMA spec (and Section 9 of the paper): a QP may only touch an MR in
+its own PD, which is what isolates co-hosted vStellar tenants.
+"""
+
+import enum
+import itertools
+
+
+class VerbsError(Exception):
+    """Invalid verbs usage (bad state transition, PD violation, ...)."""
+
+
+class QpState(enum.Enum):
+    RESET = "RESET"
+    INIT = "INIT"
+    RTR = "RTR"  #: ready to receive
+    RTS = "RTS"  #: ready to send
+    ERROR = "ERR"
+
+
+_VALID_TRANSITIONS = {
+    QpState.RESET: {QpState.INIT, QpState.ERROR},
+    QpState.INIT: {QpState.RTR, QpState.ERROR, QpState.RESET},
+    QpState.RTR: {QpState.RTS, QpState.ERROR, QpState.RESET},
+    QpState.RTS: {QpState.ERROR, QpState.RESET},
+    QpState.ERROR: {QpState.RESET},
+}
+
+
+class Opcode(enum.Enum):
+    RDMA_WRITE = "RDMA_WRITE"
+    RDMA_READ = "RDMA_READ"
+    SEND = "SEND"
+    RECV = "RECV"
+
+
+class WcStatus(enum.Enum):
+    SUCCESS = "SUCCESS"
+    LOCAL_PROTECTION_ERROR = "LOC_PROT_ERR"
+    REMOTE_ACCESS_ERROR = "REM_ACCESS_ERR"
+    RETRY_EXCEEDED = "RETRY_EXC_ERR"
+
+
+class ProtectionDomain:
+    """A protection domain; owner is the tenant/VM identity."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, owner):
+        self.handle = next(ProtectionDomain._ids)
+        self.owner = owner
+
+    def __repr__(self):
+        return "ProtectionDomain(handle=%d, owner=%r)" % (self.handle, self.owner)
+
+
+class MemoryRegionHandle:
+    """A registered memory region: keys plus MTT linkage."""
+
+    _keys = itertools.count(0x1000)
+
+    def __init__(self, pd, va_base, length, kind, mtt_key):
+        self.pd = pd
+        self.va_base = va_base
+        self.length = length
+        self.kind = kind
+        self.mtt_key = mtt_key
+        token = next(MemoryRegionHandle._keys)
+        self.lkey = token
+        self.rkey = token
+        self.valid = True
+
+    def covers(self, va, length):
+        return self.va_base <= va and va + length <= self.va_base + self.length
+
+    def __repr__(self):
+        return "MR(lkey=0x%x, va=0x%x, len=%d, kind=%s)" % (
+            self.lkey,
+            self.va_base,
+            self.length,
+            self.kind.value if self.kind else None,
+        )
+
+
+class WorkCompletion:
+    __slots__ = ("wr_id", "status", "opcode", "byte_len")
+
+    def __init__(self, wr_id, status, opcode, byte_len):
+        self.wr_id = wr_id
+        self.status = status
+        self.opcode = opcode
+        self.byte_len = byte_len
+
+    @property
+    def ok(self):
+        return self.status is WcStatus.SUCCESS
+
+    def __repr__(self):
+        return "WC(wr_id=%r, %s, %s, %dB)" % (
+            self.wr_id,
+            self.status.value,
+            self.opcode.value,
+            self.byte_len,
+        )
+
+
+class CompletionQueue:
+    """A completion queue with bounded depth."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, depth=4096):
+        self.handle = next(CompletionQueue._ids)
+        self.depth = depth
+        self._completions = []
+        self.overflows = 0
+
+    def push(self, wc):
+        if len(self._completions) >= self.depth:
+            self.overflows += 1
+            raise VerbsError("CQ %d overflow (depth %d)" % (self.handle, self.depth))
+        self._completions.append(wc)
+
+    def poll(self, max_entries=1):
+        """Pop up to ``max_entries`` completions, oldest first."""
+        polled = self._completions[:max_entries]
+        del self._completions[:max_entries]
+        return polled
+
+    def __len__(self):
+        return len(self._completions)
+
+
+class WorkRequest:
+    """A send-queue work request."""
+
+    __slots__ = (
+        "wr_id",
+        "opcode",
+        "local_va",
+        "length",
+        "lkey",
+        "remote_va",
+        "rkey",
+    )
+
+    def __init__(self, wr_id, opcode, local_va, length, lkey,
+                 remote_va=None, rkey=None):
+        self.wr_id = wr_id
+        self.opcode = opcode
+        self.local_va = local_va
+        self.length = length
+        self.lkey = lkey
+        self.remote_va = remote_va
+        self.rkey = rkey
+
+    def __repr__(self):
+        return "WR(%r, %s, %dB)" % (self.wr_id, self.opcode.value, self.length)
+
+
+class QueuePair:
+    """A reliable-connected queue pair with the standard state machine."""
+
+    _qpns = itertools.count(0x100)
+
+    def __init__(self, pd, send_cq, recv_cq, max_send_wr=1024):
+        self.qpn = next(QueuePair._qpns)
+        self.pd = pd
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.max_send_wr = max_send_wr
+        self.state = QpState.RESET
+        self.remote_qpn = None
+        self.remote_nic = None
+        self.send_queue = []
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def modify(self, new_state, remote_qpn=None, remote_nic=None):
+        """Transition the QP; RTR requires remote endpoint info."""
+        if new_state not in _VALID_TRANSITIONS[self.state]:
+            raise VerbsError(
+                "invalid QP transition %s -> %s" % (self.state.value, new_state.value)
+            )
+        if new_state is QpState.RTR:
+            if remote_qpn is None:
+                raise VerbsError("RTR requires the remote QPN")
+            self.remote_qpn = remote_qpn
+            self.remote_nic = remote_nic
+        if new_state is QpState.RESET:
+            self.remote_qpn = None
+            self.remote_nic = None
+            self.send_queue.clear()
+        self.state = new_state
+        return self
+
+    @property
+    def connected(self):
+        return self.state in (QpState.RTR, QpState.RTS)
+
+    def post_send(self, wr):
+        if self.state is not QpState.RTS:
+            raise VerbsError(
+                "post_send on QP 0x%x in state %s" % (self.qpn, self.state.value)
+            )
+        if len(self.send_queue) >= self.max_send_wr:
+            raise VerbsError("send queue full on QP 0x%x" % self.qpn)
+        self.send_queue.append(wr)
+        return wr
+
+    def __repr__(self):
+        return "QP(qpn=0x%x, state=%s, pd=%d)" % (
+            self.qpn,
+            self.state.value,
+            self.pd.handle,
+        )
+
+
+def connect_qps(qp_a, qp_b, nic_a=None, nic_b=None):
+    """Drive both QPs through INIT/RTR/RTS against each other."""
+    for qp in (qp_a, qp_b):
+        if qp.state is not QpState.RESET:
+            raise VerbsError("connect_qps requires RESET QPs")
+        qp.modify(QpState.INIT)
+    qp_a.modify(QpState.RTR, remote_qpn=qp_b.qpn, remote_nic=nic_b)
+    qp_b.modify(QpState.RTR, remote_qpn=qp_a.qpn, remote_nic=nic_a)
+    qp_a.modify(QpState.RTS)
+    qp_b.modify(QpState.RTS)
+    return qp_a, qp_b

@@ -1,0 +1,181 @@
+"""The RNIC's embedded vSwitch: hardware flow steering and VxLAN encap.
+
+In the legacy framework (Figure 2), TCP and RDMA traffic share one ordered
+hardware rule pipeline, and a host Controller offloads VxLAN entries for
+active connections.  Two production incidents live here (Section 3.1
+problem 5):
+
+* rule-order interference — TCP entries installed ahead of RDMA entries
+  lengthen every RDMA packet's lookup;
+* the zero-MAC bug — the driver fills VxLAN outer MACs from its kernel
+  routing table, which says "local delivery" for two VFs on the same
+  server even when they sit on *different* RNICs and must cross the ToR.
+"""
+
+import enum
+
+#: Per-rule match cost in the hardware TCAM/hash pipeline.  The absolute
+#: value only matters relative to rule position.
+RULE_LOOKUP_SECONDS = 5e-9
+
+
+class TrafficClass(enum.Enum):
+    TCP = "tcp"
+    RDMA = "rdma"
+    ARP = "arp"
+    UDP = "udp"
+
+
+class SteeringError(Exception):
+    """Raised when the vSwitch cannot steer a packet."""
+
+
+class FlowRule:
+    """One steering rule: exact-match fields -> action label."""
+
+    def __init__(self, traffic_class, match, action, vxlan_vni=None):
+        self.traffic_class = traffic_class
+        self.match = dict(match)
+        self.action = action
+        self.vxlan_vni = vxlan_vni
+        self.hit_count = 0
+
+    def matches(self, header):
+        return all(header.get(field) == value for field, value in self.match.items())
+
+    def __repr__(self):
+        return "FlowRule(%s, %r -> %r)" % (
+            self.traffic_class.value,
+            self.match,
+            self.action,
+        )
+
+
+class LookupResult:
+    __slots__ = ("rule", "position", "latency")
+
+    def __init__(self, rule, position, latency):
+        self.rule = rule
+        self.position = position
+        self.latency = latency
+
+    def __repr__(self):
+        return "LookupResult(pos=%d, latency=%.0fns)" % (
+            self.position,
+            self.latency * 1e9,
+        )
+
+
+class VSwitch:
+    """An ordered shared rule pipeline with bounded capacity."""
+
+    def __init__(self, capacity=4096):
+        self.capacity = capacity
+        self.rules = []
+        self.lookup_count = 0
+        self.miss_count = 0
+
+    def install(self, rule, position=None):
+        """Insert a rule; ``position=None`` appends (hardware default)."""
+        if len(self.rules) >= self.capacity:
+            raise SteeringError("vSwitch rule table full (%d)" % self.capacity)
+        if position is None:
+            self.rules.append(rule)
+        else:
+            self.rules.insert(position, rule)
+        return rule
+
+    def remove(self, rule):
+        self.rules.remove(rule)
+
+    def remove_class(self, traffic_class):
+        """Drop all rules of one traffic class (management churn)."""
+        before = len(self.rules)
+        self.rules = [r for r in self.rules if r.traffic_class is not traffic_class]
+        return before - len(self.rules)
+
+    def lookup(self, header):
+        """Linear-priority match; latency grows with the matched position.
+
+        This is the problem-5a mechanism: an RDMA packet whose rule sits
+        behind a pile of TCP entries pays for every entry it walks past.
+        """
+        self.lookup_count += 1
+        for position, rule in enumerate(self.rules):
+            if rule.matches(header):
+                rule.hit_count += 1
+                return LookupResult(rule, position, (position + 1) * RULE_LOOKUP_SECONDS)
+        self.miss_count += 1
+        raise SteeringError("no steering rule matches header %r" % (header,))
+
+    def position_of_class(self, traffic_class):
+        """First rule position of a class (for interference diagnostics)."""
+        for position, rule in enumerate(self.rules):
+            if rule.traffic_class is traffic_class:
+                return position
+        return None
+
+    def __len__(self):
+        return len(self.rules)
+
+
+class VxlanHeader:
+    """The outer encapsulation produced by the vSwitch."""
+
+    __slots__ = ("vni", "src_mac", "dst_mac", "src_ip", "dst_ip")
+
+    def __init__(self, vni, src_mac, dst_mac, src_ip, dst_ip):
+        self.vni = vni
+        self.src_mac = src_mac
+        self.dst_mac = dst_mac
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+
+    @property
+    def macs_zeroed(self):
+        return self.src_mac == "00:00:00:00:00:00" or self.dst_mac == "00:00:00:00:00:00"
+
+    def __repr__(self):
+        return "VxlanHeader(vni=%d, %s -> %s)" % (self.vni, self.src_mac, self.dst_mac)
+
+
+class KernelRoutingTable:
+    """The host kernel's routing view that the legacy RNIC driver consults.
+
+    For destinations on the same host the kernel says "local delivery" and
+    the driver fills zero MACs — correct for the kernel stack, fatal for
+    RDMA packets that must transit the ToR between two RNICs (problem 5b).
+    """
+
+    def __init__(self):
+        self._local_ips = set()
+        self._gateway_macs = {}  # ip -> next-hop MAC
+
+    def add_local(self, ip):
+        self._local_ips.add(ip)
+
+    def add_remote(self, ip, gateway_mac):
+        self._gateway_macs[ip] = gateway_mac
+
+    def is_local(self, ip):
+        return ip in self._local_ips
+
+    def next_hop_mac(self, ip):
+        if ip in self._local_ips:
+            return "00:00:00:00:00:00"  # local delivery: no MAC needed (kernel view)
+        try:
+            return self._gateway_macs[ip]
+        except KeyError:
+            raise SteeringError("no route to %s" % ip)
+
+
+def encapsulate(routing_table, vni, src_ip, dst_ip, src_mac):
+    """Build the VxLAN outer header the way the legacy driver does.
+
+    Faithfully reproduces the bug: the MAC comes straight from the kernel
+    routing table, zeroed for host-local destinations.
+    """
+    dst_mac = routing_table.next_hop_mac(dst_ip)
+    if routing_table.is_local(dst_ip):
+        src_mac = "00:00:00:00:00:00"
+    return VxlanHeader(vni, src_mac, dst_mac, src_ip, dst_ip)

@@ -1,0 +1,52 @@
+"""Deterministic discrete-event simulation substrate.
+
+Every Stellar experiment runs on top of this package: a heap-based event
+scheduler (:mod:`repro.sim.engine`), unit helpers for bytes/time/bandwidth
+(:mod:`repro.sim.units`), and seeded random-number streams
+(:mod:`repro.sim.rng`) so that every run is reproducible bit-for-bit.
+"""
+
+from repro.sim.engine import Event, EventScheduler, SimProcessError
+from repro.sim.rng import RngStream, derive_seed
+from repro.sim.units import (
+    GB,
+    GiB,
+    Gbps,
+    KB,
+    KiB,
+    MB,
+    MiB,
+    TB,
+    TiB,
+    bits_per_sec,
+    format_bytes,
+    format_rate,
+    format_time,
+    parse_size,
+    transfer_time,
+    usec,
+)
+
+__all__ = [
+    "Event",
+    "EventScheduler",
+    "SimProcessError",
+    "RngStream",
+    "derive_seed",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "Gbps",
+    "bits_per_sec",
+    "usec",
+    "parse_size",
+    "format_bytes",
+    "format_rate",
+    "format_time",
+    "transfer_time",
+]

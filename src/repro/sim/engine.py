@@ -1,0 +1,115 @@
+"""Heap-based discrete-event scheduler.
+
+The scheduler is deliberately minimal: events are ``(time, sequence,
+callback)`` triples, ties broken by insertion order so runs are fully
+deterministic.  Components schedule callbacks; the run loop executes them
+in timestamp order until the queue drains or a time/ event budget is hit.
+"""
+
+import heapq
+import itertools
+
+
+class SimProcessError(RuntimeError):
+    """Raised when the simulation is driven incorrectly (e.g. time travel)."""
+
+
+class Event:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "callback", "cancelled", "seq")
+
+    def __init__(self, time, seq, callback):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self):
+        """Mark the event dead; the run loop skips cancelled events."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self):
+        state = " cancelled" if self.cancelled else ""
+        return "Event(t=%g, seq=%d%s)" % (self.time, self.seq, state)
+
+
+class EventScheduler:
+    """Discrete-event run loop with deterministic tie-breaking."""
+
+    def __init__(self, start_time=0.0):
+        self.now = float(start_time)
+        self._heap = []
+        self._counter = itertools.count()
+        self.events_executed = 0
+
+    def schedule(self, delay, callback):
+        """Schedule ``callback()`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimProcessError("cannot schedule into the past (delay=%r)" % delay)
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time, callback):
+        """Schedule ``callback()`` at an absolute simulation time."""
+        if time < self.now:
+            raise SimProcessError(
+                "cannot schedule at t=%g before now=%g" % (time, self.now)
+            )
+        event = Event(float(time), next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self):
+        """Timestamp of the next live event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self):
+        """Execute the next live event.  Returns ``False`` when queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_executed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until=None, max_events=None):
+        """Run events in order.
+
+        Args:
+            until: stop once simulation time would exceed this value.  The
+                clock is advanced to ``until`` when the queue outlives it.
+            max_events: safety valve against runaway event storms.
+
+        Returns:
+            The number of events executed by this call.
+        """
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                return executed
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = float(until)
+                return executed
+            self.step()
+            executed += 1
+        if until is not None and self.now < until:
+            self.now = float(until)
+        return executed
+
+    def pending(self):
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __repr__(self):
+        return "EventScheduler(now=%g, pending=%d)" % (self.now, self.pending())

@@ -1,0 +1,118 @@
+"""Unit helpers for sizes, time, and bandwidth.
+
+Conventions used across the whole code base:
+
+* sizes are **bytes** (plain ``int``),
+* time is **seconds** (``float``),
+* bandwidth is **bits per second** (``float``).
+
+Keeping a single convention makes cost models composable: a DMA engine can
+hand a byte count to a link model without conversions scattered around.
+"""
+
+import re
+
+# Decimal (SI) sizes — used for link speeds and marketing-style capacities.
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+# Binary (IEC) sizes — used for memory pages and buffers.
+KiB = 1 << 10
+MiB = 1 << 20
+GiB = 1 << 30
+TiB = 1 << 40
+
+_SIZE_UNITS = {
+    "b": 1,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "tb": TB,
+    "kib": KiB,
+    "mib": MiB,
+    "gib": GiB,
+    "tib": TiB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*([a-zA-Z]+)?\s*$")
+
+
+def Gbps(value):
+    """Return a bandwidth in bits/second given a value in gigabits/second."""
+    return float(value) * 1e9
+
+
+def bits_per_sec(byte_count, seconds):
+    """Average rate in bits/second for ``byte_count`` bytes over ``seconds``."""
+    if seconds <= 0:
+        raise ValueError("duration must be positive, got %r" % seconds)
+    return byte_count * 8.0 / seconds
+
+
+def usec(value):
+    """Return a duration in seconds given a value in microseconds."""
+    return float(value) * 1e-6
+
+
+def transfer_time(byte_count, rate_bps):
+    """Seconds needed to move ``byte_count`` bytes at ``rate_bps`` bits/second."""
+    if rate_bps <= 0:
+        raise ValueError("rate must be positive, got %r" % rate_bps)
+    if byte_count < 0:
+        raise ValueError("byte count must be non-negative, got %r" % byte_count)
+    return byte_count * 8.0 / rate_bps
+
+
+def parse_size(text):
+    """Parse a human-readable size such as ``"8MB"`` or ``"2 MiB"`` to bytes.
+
+    Bare numbers are interpreted as bytes.  Raises :class:`ValueError` on
+    malformed input or unknown units.
+    """
+    if isinstance(text, (int, float)):
+        return int(text)
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ValueError("unparseable size: %r" % text)
+    value, unit = match.groups()
+    multiplier = _SIZE_UNITS.get((unit or "b").lower())
+    if multiplier is None:
+        raise ValueError("unknown size unit in %r" % text)
+    return int(float(value) * multiplier)
+
+
+def format_bytes(byte_count):
+    """Format a byte count with a binary suffix, e.g. ``2.0MiB``."""
+    magnitude = float(byte_count)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if magnitude < 1024 or suffix == "TiB":
+            if suffix == "B":
+                return "%d%s" % (int(magnitude), suffix)
+            return "%.1f%s" % (magnitude, suffix)
+        magnitude /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_rate(rate_bps):
+    """Format a bandwidth, e.g. ``393.2Gbps``."""
+    magnitude = float(rate_bps)
+    for suffix in ("bps", "Kbps", "Mbps", "Gbps"):
+        if magnitude < 1000 or suffix == "Gbps":
+            return "%.1f%s" % (magnitude, suffix)
+        magnitude /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def format_time(seconds):
+    """Format a duration using the most readable unit, e.g. ``250.0us``."""
+    if seconds < 0:
+        return "-" + format_time(-seconds)
+    if seconds >= 1.0:
+        return "%.2fs" % seconds
+    if seconds >= 1e-3:
+        return "%.1fms" % (seconds * 1e3)
+    if seconds >= 1e-6:
+        return "%.1fus" % (seconds * 1e6)
+    return "%.0fns" % (seconds * 1e9)

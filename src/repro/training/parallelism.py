@@ -1,0 +1,64 @@
+"""Job placement: mapping a training job's servers onto the fabric.
+
+The paper's Figure 16 controls network congestion with two cluster
+scheduling strategies:
+
+* **reranking** — communicating GPUs are co-located: the job's servers
+  fill segments contiguously, so DP rings are mostly ToR-local and only
+  the segment-boundary edges cross the aggregation layer;
+* **random ranking** — servers are scattered, every ring hop is likely
+  cross-segment, and the aggregation layer sees the full load.
+"""
+
+import enum
+
+from repro import calibration
+from repro.net.topology import ServerAddress
+from repro.sim.rng import RngStream
+
+
+class Placement(enum.Enum):
+    RERANKED = "reranked"
+    RANDOM = "random"
+
+
+def place_job(gpu_count, topology, placement, seed=0,
+              gpus_per_server=calibration.SERVER_GPUS):
+    """Pick and order the servers hosting a job.
+
+    Returns servers in *ring order*: consecutive entries are DP-ring
+    neighbours.  Reranked placement keeps that order segment-contiguous;
+    random placement shuffles it across segments — half the cluster from
+    one segment and half from another, as in the paper's setup.
+    """
+    servers_needed = gpu_count // gpus_per_server
+    if servers_needed < 2:
+        raise ValueError("job needs at least 2 servers, got %d" % servers_needed)
+    if servers_needed > topology.server_count:
+        raise ValueError(
+            "job needs %d servers but the fabric has %d"
+            % (servers_needed, topology.server_count)
+        )
+    # Draw half the servers from each segment (paper: "half drawn from one
+    # network segment and half from another").
+    per_segment = servers_needed // topology.segments
+    chosen = []
+    for segment in range(topology.segments):
+        count = per_segment if segment < topology.segments - 1 else (
+            servers_needed - per_segment * (topology.segments - 1)
+        )
+        if count > topology.servers_per_segment:
+            raise ValueError("segment %d cannot host %d servers" % (segment, count))
+        chosen.extend(ServerAddress(segment, i) for i in range(count))
+    if placement is Placement.RANDOM:
+        rng = RngStream(seed, "placement", "random")
+        rng.shuffle(chosen)
+    return chosen
+
+
+def cross_segment_edges(servers):
+    """How many ring edges cross segments — the congestion exposure."""
+    n = len(servers)
+    return sum(
+        1 for i in range(n) if servers[i].segment != servers[(i + 1) % n].segment
+    )

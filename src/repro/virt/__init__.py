@@ -1,0 +1,62 @@
+"""Virtualization substrate: RunD containers, the hypervisor, SR-IOV VFs,
+scalable functions, VFIO passthrough, and virtio devices with shm regions.
+"""
+
+from repro.virt.container import ContainerState, RunDContainer
+from repro.virt.hypervisor import Hypervisor, HypervisorError, MemoryMode
+from repro.virt.sf import (
+    SF_CREATE_SECONDS,
+    SF_MEMORY_BYTES,
+    ScalableFunction,
+    ScalableFunctionManager,
+    SfError,
+)
+from repro.virt.sriov import SriovError, SriovManager, VirtualFunction
+from repro.virt.tcp_path import (
+    TCP_BASELINE_RATE,
+    TcpDatapath,
+    compare_tcp_datapaths,
+    tcp_throughput,
+)
+from repro.virt.vfio import VfioAttachment, VfioDriver, VfioError
+from repro.virt.virtio import (
+    CONTROL_ROUND_TRIP_SECONDS,
+    ControlRequest,
+    ControlResponse,
+    ShmRegion,
+    VirtioDevice,
+    VirtioDeviceType,
+    VirtioError,
+    VirtioQueue,
+)
+
+__all__ = [
+    "ContainerState",
+    "RunDContainer",
+    "Hypervisor",
+    "HypervisorError",
+    "MemoryMode",
+    "SF_CREATE_SECONDS",
+    "SF_MEMORY_BYTES",
+    "ScalableFunction",
+    "ScalableFunctionManager",
+    "SfError",
+    "SriovError",
+    "SriovManager",
+    "VirtualFunction",
+    "TCP_BASELINE_RATE",
+    "TcpDatapath",
+    "compare_tcp_datapaths",
+    "tcp_throughput",
+    "VfioAttachment",
+    "VfioDriver",
+    "VfioError",
+    "CONTROL_ROUND_TRIP_SECONDS",
+    "ControlRequest",
+    "ControlResponse",
+    "ShmRegion",
+    "VirtioDevice",
+    "VirtioDeviceType",
+    "VirtioError",
+    "VirtioQueue",
+]

@@ -1,0 +1,153 @@
+"""RunD secure containers: lifecycle, guest address spaces, boot timing.
+
+A container owns a guest page table (GVA->GPA), a GPA layout (RAM at 0,
+MMIO windows above RAM), an IOMMU domain, and a boot-time ledger that the
+Figure 6 experiment reads.
+"""
+
+import enum
+
+from repro import calibration
+from repro.memory.address import (
+    AddressSpace,
+    MemoryKind,
+    MemoryRegion,
+    align_up,
+)
+from repro.memory.range_table import RangeMap
+from repro.virt.hypervisor import HypervisorError, MemoryMode
+
+
+class ContainerState(enum.Enum):
+    CREATED = "created"
+    RUNNING = "running"
+    STOPPED = "stopped"
+
+
+class RunDContainer:
+    """One secure container (MicroVM) on a host."""
+
+    def __init__(self, name, memory_bytes, hypervisor,
+                 memory_mode=MemoryMode.PVDMA):
+        self.name = name
+        self.memory_bytes = int(memory_bytes)
+        self.hypervisor = hypervisor
+        self.memory_mode = memory_mode
+        self.state = ContainerState.CREATED
+        self.domain_name = "dom-%s" % name
+        self.guest_pt = RangeMap(AddressSpace.GVA, AddressSpace.GPA)
+        self.hpa_base = None
+        self.fully_pinned = False
+        self.boot_seconds = None
+        self.vfio_attachments = []
+        self.virtio_devices = []
+        self._gva_cursor = 0x0000_1000_0000  # apps allocate high in GVA
+        self._gpa_cursor = 0
+        # Device MMIO windows live above guest RAM, 2 MiB-aligned headroom.
+        self._mmio_cursor = align_up(self.memory_bytes, 1 << 21) + (1 << 30)
+        hypervisor.register_container(self)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def boot(self):
+        """Boot the MicroVM; returns (and records) the start-up seconds.
+
+        FULL_PIN mode pays the entire pin cost here (the pre-Stellar
+        behaviour); PVDMA mode defers pinning to first DMA.
+        """
+        if self.state is not ContainerState.CREATED:
+            raise HypervisorError("container %r already booted" % self.name)
+        hv = self.hypervisor
+        ram = hv.allocate_guest_ram(self.memory_bytes)
+        self.hpa_base = ram.start
+        hv.mmu.create_ept(self.name)
+        hv.mmu.register_guest_memory(self.name, 0, ram)
+        hv.iommu.create_domain(
+            self.domain_name, pin_block_size=calibration.PVDMA_BLOCK_BYTES
+        )
+        cost = calibration.CONTAINER_BASE_BOOT_SECONDS
+        cost += hv.hypervisor_overhead_seconds(self.memory_bytes)
+        if self.memory_mode is MemoryMode.FULL_PIN:
+            cost += hv.pin_all_guest_memory(self)
+        self.state = ContainerState.RUNNING
+        self.boot_seconds = cost
+        return cost
+
+    def shutdown(self):
+        if self.state is not ContainerState.RUNNING:
+            raise HypervisorError("container %r is not running" % self.name)
+        hv = self.hypervisor
+        hv.mmu.destroy_ept(self.name)
+        if hv.iommu.has_domain(self.domain_name):
+            hv.iommu.destroy_domain(self.domain_name)
+        hv.forget_container(self)
+        self.state = ContainerState.STOPPED
+
+    def _require_running(self):
+        if self.state is not ContainerState.RUNNING:
+            raise HypervisorError("container %r is not running" % self.name)
+
+    # -- guest address-space management -------------------------------------
+
+    def alloc_buffer(self, length, alignment=4096):
+        """Allocate guest memory: returns a GVA region backed by fresh GPA."""
+        self._require_running()
+        gpa = align_up(self._gpa_cursor, alignment)
+        if gpa + length > self.memory_bytes:
+            raise HypervisorError(
+                "container %r out of guest RAM (%d bytes requested)"
+                % (self.name, length)
+            )
+        self._gpa_cursor = gpa + length
+        gva = align_up(self._gva_cursor, alignment)
+        self._gva_cursor = gva + length
+        self.guest_pt.map_range(gva, gpa, length, kind=MemoryKind.HOST_DRAM)
+        return MemoryRegion(gva, length, AddressSpace.GVA, MemoryKind.HOST_DRAM)
+
+    def allocate_mmio_window(self, length):
+        """Reserve a GPA window above RAM for a passed-through BAR."""
+        self._require_running()
+        gpa = align_up(self._mmio_cursor, 4096)
+        self._mmio_cursor = gpa + length
+        return gpa
+
+    def alloc_gpa_at(self, gpa, length):
+        """Place a guest allocation at a *specific* GPA (used by the
+        Figure 5 hazard scenario, where adjacency matters)."""
+        self._require_running()
+        gva = align_up(self._gva_cursor, 4096)
+        self._gva_cursor = gva + length
+        self.guest_pt.map_range(gva, gpa, length, kind=MemoryKind.HOST_DRAM)
+        return MemoryRegion(gva, length, AddressSpace.GVA, MemoryKind.HOST_DRAM)
+
+    def gva_to_gpa_chunks(self, gva, length):
+        """Translate a guest-virtual range to (gva, gpa, len) chunks."""
+        return self.guest_pt.translate_region(gva, length)
+
+    def gpa_to_hpa(self, gpa):
+        """GPA -> HPA through the hypervisor's EPT for this guest."""
+        return self.hypervisor.mmu.translate(self.name, gpa)
+
+    def gva_to_hpa_chunks(self, gva, length):
+        """Full GVA -> GPA -> HPA translation to contiguous HPA chunks."""
+        chunks = []
+        for chunk_gva, gpa, chunk_len in self.gva_to_gpa_chunks(gva, length):
+            hpa = self.gpa_to_hpa(gpa)
+            if chunks and chunks[-1][1] + chunks[-1][2] == hpa:
+                prev_gva, prev_hpa, prev_len = chunks[-1]
+                chunks[-1] = (prev_gva, prev_hpa, prev_len + chunk_len)
+            else:
+                chunks.append((chunk_gva, hpa, chunk_len))
+        return chunks
+
+    def add_virtio_device(self, device):
+        self.virtio_devices.append(device)
+        return device
+
+    def __repr__(self):
+        return "RunDContainer(%r, %s, %s, mem=%d)" % (
+            self.name,
+            self.state.value,
+            self.memory_mode.value,
+            self.memory_bytes,
+        )

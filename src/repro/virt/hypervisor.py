@@ -1,0 +1,130 @@
+"""The RunD hypervisor: guest memory backing, EPT/IOMMU plumbing.
+
+The hypervisor is where the two memory-management regimes of the paper
+meet:
+
+* **FULL_PIN** — the VFIO-era behaviour: all guest memory is pinned at
+  boot so device DMA can never hit a moved page (problem 2, the 390 s
+  start-up at 1.6 TB).
+* **PVDMA** — Stellar's regime: nothing is pinned up front; the PVDMA
+  engine (:mod:`repro.core.pvdma`) pins 2 MiB blocks on first DMA.
+"""
+
+import enum
+
+from repro import calibration
+from repro.memory.address import AddressSpace, MemoryKind, PhysicalMemoryMap
+from repro.memory.iommu import Iommu
+from repro.memory.mmu import MMU
+from repro.memory.pinning import full_pin_seconds
+
+
+class MemoryMode(enum.Enum):
+    FULL_PIN = "full_pin"
+    PVDMA = "pvdma"
+
+
+class HypervisorError(Exception):
+    """Invalid guest lifecycle operation."""
+
+
+class Hypervisor:
+    """Hosts RunD containers on one server."""
+
+    def __init__(self, fabric=None, iommu=None):
+        self.fabric = fabric
+        self.mmu = MMU()
+        if fabric is not None:
+            self.iommu = fabric.iommu
+        else:
+            self.iommu = iommu if iommu is not None else Iommu()
+            self._hpa_map = PhysicalMemoryMap(AddressSpace.HPA, 1 << 50)
+        self.containers = {}
+
+    def allocate_guest_ram(self, memory_bytes):
+        """Back a guest's RAM with one contiguous HPA region."""
+        if self.fabric is not None:
+            return self.fabric.allocate_host_buffer(memory_bytes, alignment=1 << 21)
+        return self._hpa_map.allocate(
+            memory_bytes, MemoryKind.HOST_DRAM, alignment=1 << 21
+        )
+
+    def register_container(self, container):
+        if container.name in self.containers:
+            raise HypervisorError("container %r already exists" % container.name)
+        self.containers[container.name] = container
+
+    def forget_container(self, container):
+        self.containers.pop(container.name, None)
+
+    def bind_device_domain(self, container, function):
+        """Attach a device's DMA to the container's IOMMU domain."""
+        if self.fabric is not None and function.bdf is not None:
+            self.fabric.root_complex.bind_domain(function.bdf, container.domain_name)
+
+    def pin_all_guest_memory(self, container):
+        """The VFIO full-pin: map+pin the whole guest at once.
+
+        The cost is the paper's pin-rate times the container size; the
+        mapping itself is one IOMMU interval (identity GPA->HPA offset).
+        """
+        if container.fully_pinned:
+            return 0.0
+        self.iommu.map(
+            container.domain_name,
+            0,
+            container.hpa_base,
+            container.memory_bytes,
+            kind=MemoryKind.HOST_DRAM,
+            pin=False,  # cost accounted analytically below
+        )
+        container.fully_pinned = True
+        cost = full_pin_seconds(container.memory_bytes)
+        self.iommu.total_config_seconds += cost
+        return cost
+
+    def swap_out(self, container, gpa, length=4096):
+        """Host memory pressure relocates a guest page to new backing.
+
+        This is the root cause of problem 2: if a device holds a DMA
+        mapping to the old frame, the EPT moves but the IOMMU does not,
+        and the device reads or writes freed memory ("the RNIC driver
+        inside the RunD container behaves unpredictably and crashes").
+        Pinned frames refuse to move — that is what pinning is *for*.
+
+        Returns ``True`` if the page moved, ``False`` if pinning held it.
+        """
+        old_hpa = self.mmu.translate(container.name, gpa)
+        if container.fully_pinned:
+            return False
+        if self.iommu.has_domain(container.domain_name):
+            pins = self.iommu.domain(container.domain_name).pins
+            if pins.is_pinned(old_hpa):
+                return False
+        new_backing = self.allocate_guest_ram(length)
+        self.mmu.ept(container.name).map_range(
+            gpa, new_backing.start, length,
+            kind=MemoryKind.HOST_DRAM, overwrite=True,
+        )
+        return True
+
+    def device_dma_is_consistent(self, container, gpa):
+        """Does a device DMA to ``gpa`` still land where the guest thinks?
+
+        Compares the IOMMU's view (what the device hits) with the EPT's
+        (what the guest believes).  A mismatch is the problem-2 crash.
+        """
+        device_hpa = self.iommu.rc_translate(container.domain_name, gpa).hpa
+        guest_hpa = self.mmu.translate(container.name, gpa)
+        return device_hpa == guest_hpa
+
+    def hypervisor_overhead_seconds(self, memory_bytes):
+        """Size-dependent boot overhead independent of pinning (the 11 s
+        creep between 160 GB and 1.6 TB in Figure 6)."""
+        return memory_bytes * calibration.HYPERVISOR_OVERHEAD_SECONDS_PER_BYTE
+
+    def __repr__(self):
+        return "Hypervisor(containers=%d, fabric=%s)" % (
+            len(self.containers),
+            "yes" if self.fabric is not None else "no",
+        )

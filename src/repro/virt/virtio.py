@@ -1,0 +1,149 @@
+"""virtio devices: queues, a control-path transport, and shm regions.
+
+Stellar exposes two virtio devices per secure container (Figure 3):
+``virtio-net`` for TCP/UDP/ARP and ``virtio-vStellar`` for RDMA.  The
+vStellar *control* path rides virtio (QP/MR commands are intercepted by
+the host backend); the *data* path bypasses it.  The virtio shared-memory
+region feature is the fix for the PVDMA/doorbell overlap hazard
+(Section 5, Figure 5f): shm regions live in an I/O space distinct from
+guest physical memory, so PVDMA's 2 MiB blocks can never cover them.
+"""
+
+import enum
+import itertools
+
+
+class VirtioError(Exception):
+    """Invalid virtio usage."""
+
+
+class VirtioDeviceType(enum.Enum):
+    NET = "virtio-net"
+    VSTELLAR = "virtio-vstellar"
+
+
+#: One guest->host->guest control-path round trip (vmexit + backend work).
+CONTROL_ROUND_TRIP_SECONDS = 12e-6
+
+
+class VirtioQueue:
+    """A bounded descriptor ring (FIFO semantics are all we need)."""
+
+    def __init__(self, size=256):
+        if size <= 0 or size & (size - 1):
+            raise VirtioError("virtqueue size must be a power of two: %r" % size)
+        self.size = size
+        self._ring = []
+        self.enqueued = 0
+        self.dropped = 0
+
+    def push(self, item):
+        if len(self._ring) >= self.size:
+            self.dropped += 1
+            raise VirtioError("virtqueue full (size %d)" % self.size)
+        self._ring.append(item)
+        self.enqueued += 1
+
+    def pop(self):
+        if not self._ring:
+            return None
+        return self._ring.pop(0)
+
+    def __len__(self):
+        return len(self._ring)
+
+
+class ShmRegion:
+    """A virtio shared-memory region: device I/O space outside guest RAM.
+
+    ``shmid`` distinguishes regions; addresses here are *not* GPAs — the
+    guest reaches them through a dedicated aperture, which is precisely why
+    mapping the vStellar doorbell here removes the Figure 5 hazard.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, name, length, backing_hpa_region=None):
+        self.shmid = next(ShmRegion._ids)
+        self.name = name
+        self.length = length
+        self.backing = backing_hpa_region
+
+    def __repr__(self):
+        return "ShmRegion(%r, shmid=%d, len=%d)" % (self.name, self.shmid, self.length)
+
+
+class ControlRequest:
+    """A control-path command (QP create/modify, MR register, ...)."""
+
+    __slots__ = ("op", "payload")
+
+    def __init__(self, op, payload=None):
+        self.op = op
+        self.payload = payload if payload is not None else {}
+
+    def __repr__(self):
+        return "ControlRequest(%r)" % self.op
+
+
+class ControlResponse:
+    __slots__ = ("ok", "result", "error", "latency")
+
+    def __init__(self, ok, result=None, error=None,
+                 latency=CONTROL_ROUND_TRIP_SECONDS):
+        self.ok = ok
+        self.result = result
+        self.error = error
+        self.latency = latency
+
+    def __repr__(self):
+        return "ControlResponse(ok=%s, error=%r)" % (self.ok, self.error)
+
+
+class VirtioDevice:
+    """A virtio device instance plugged into one container."""
+
+    _ids = itertools.count()
+
+    def __init__(self, device_type, backend=None, queue_pairs=1, queue_size=256):
+        self.device_id = next(VirtioDevice._ids)
+        self.device_type = device_type
+        self.backend = backend  # host-side handler: callable(ControlRequest)
+        self.queues = [VirtioQueue(queue_size) for _ in range(2 * queue_pairs)]
+        self.shm_regions = {}
+        self.control_round_trips = 0
+
+    @property
+    def name(self):
+        return "%s.%d" % (self.device_type.value, self.device_id)
+
+    def add_shm_region(self, region):
+        if region.name in self.shm_regions:
+            raise VirtioError("duplicate shm region %r" % region.name)
+        self.shm_regions[region.name] = region
+        return region
+
+    def control(self, op, **payload):
+        """Issue a control-path request to the host backend.
+
+        This is the virtio interception point where the host applies
+        security and virtualization policy (Section 4).
+        """
+        if self.backend is None:
+            raise VirtioError("device %s has no host backend" % self.name)
+        self.control_round_trips += 1
+        request = ControlRequest(op, payload)
+        try:
+            result = self.backend(request)
+        except VirtioError:
+            raise
+        except Exception as exc:  # backend policy rejections surface as errors
+            return ControlResponse(False, error=str(exc))
+        return ControlResponse(True, result=result)
+
+    def __repr__(self):
+        return "VirtioDevice(%s, queues=%d, shm=%d)" % (
+            self.name,
+            len(self.queues),
+            len(self.shm_regions),
+        )

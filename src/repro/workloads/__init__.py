@@ -1,0 +1,38 @@
+"""Workload harnesses: perftest analogs, GDR sweeps, startup timing."""
+
+from repro.workloads.gdr_bench import (
+    AtcMissExperiment,
+    GdrSweepRow,
+    default_gdr_sizes,
+    emtt_sweep,
+    gdr_datapath_curve,
+)
+from repro.workloads.perftest import (
+    PROFILES,
+    DatapathProfile,
+    PerftestRow,
+    default_message_sizes,
+    run_functional_perftest,
+    run_perftest,
+    write_bandwidth,
+    write_latency,
+)
+from repro.workloads.startup import StartupRow, measure_startup
+
+__all__ = [
+    "AtcMissExperiment",
+    "GdrSweepRow",
+    "default_gdr_sizes",
+    "emtt_sweep",
+    "gdr_datapath_curve",
+    "PROFILES",
+    "DatapathProfile",
+    "PerftestRow",
+    "default_message_sizes",
+    "run_functional_perftest",
+    "run_perftest",
+    "write_bandwidth",
+    "write_latency",
+    "StartupRow",
+    "measure_startup",
+]

@@ -1,0 +1,144 @@
+"""perftest analogs: ``ib_write_lat`` / ``ib_write_bw`` sweeps (Figure 13).
+
+Compares the three datapath stacks of the microbenchmark:
+
+* **bare-metal Stellar** — the reference;
+* **vStellar in a RunD container** — same direct-mapped data path, so the
+  curves must coincide (the paper's headline: virtualization overhead is
+  negligible);
+* **VF+VxLAN on a CX7** — the SOTA competitor, paying VxLAN encap on every
+  packet: "+7% latency for 8 B packets and 9% bandwidth loss for 8 MB".
+"""
+
+from repro import calibration
+from repro.sim.units import transfer_time
+
+
+class DatapathProfile:
+    """Datapath cost deltas relative to the bare-metal reference."""
+
+    def __init__(self, name, per_message_overhead=0.0, rate_factor=1.0):
+        self.name = name
+        #: Extra seconds per message (header build, encap lookup).
+        self.per_message_overhead = per_message_overhead
+        #: Multiplier on achievable wire rate (encap bytes, pipeline cost).
+        self.rate_factor = rate_factor
+
+    def __repr__(self):
+        return "DatapathProfile(%r)" % self.name
+
+
+#: The Figure 13 contenders.  The VxLAN numbers are back-solved from the
+#: paper's two endpoints: +7% latency at 8 B and -9% bandwidth at 8 MB.
+PROFILES = {
+    "bare_metal": DatapathProfile("bare-metal Stellar"),
+    "vstellar": DatapathProfile("vStellar (secure container)"),
+    "vf_vxlan_cx7": DatapathProfile(
+        "VF+VxLAN (CX7)",
+        per_message_overhead=(
+            calibration.VXLAN_SMALL_MSG_LATENCY_OVERHEAD
+            * calibration.RDMA_BASE_LATENCY_SECONDS
+        ),
+        rate_factor=1.0 - calibration.VXLAN_LARGE_MSG_BW_LOSS,
+    ),
+}
+
+
+def default_message_sizes(start=2, stop=8 * 1024 * 1024):
+    """The perftest sweep: powers of two from 2 B to 8 MB."""
+    sizes = []
+    size = start
+    while size <= stop:
+        sizes.append(size)
+        size *= 2
+    return sizes
+
+
+def write_latency(profile, size, wire_rate=calibration.RNIC_TOTAL_RATE):
+    """One-way RDMA write latency for a message of ``size`` bytes."""
+    base = calibration.RDMA_BASE_LATENCY_SECONDS
+    return (
+        base
+        + profile.per_message_overhead
+        + transfer_time(size, wire_rate * profile.rate_factor)
+    )
+
+
+def write_bandwidth(profile, size, wire_rate=calibration.RNIC_TOTAL_RATE,
+                    queue_depth=128):
+    """Achieved bandwidth (bits/s) with ``queue_depth`` outstanding writes.
+
+    Small messages are op-rate-bound (the doorbell/WQE overhead divided by
+    pipelining); large ones are wire-rate-bound.
+    """
+    effective_rate = wire_rate * profile.rate_factor
+    per_message = (
+        calibration.RDMA_BASE_LATENCY_SECONDS + profile.per_message_overhead
+    ) / queue_depth
+    seconds_per_message = per_message + transfer_time(size, effective_rate)
+    return size * 8.0 / seconds_per_message
+
+
+class PerftestRow:
+    __slots__ = ("size", "latency", "bandwidth")
+
+    def __init__(self, size, latency, bandwidth):
+        self.size = size
+        self.latency = latency
+        self.bandwidth = bandwidth
+
+    def __repr__(self):
+        return "PerftestRow(size=%d, lat=%.2fus, bw=%.1fGbps)" % (
+            self.size,
+            self.latency * 1e6,
+            self.bandwidth / 1e9,
+        )
+
+
+def run_perftest(profile_name, sizes=None,
+                 wire_rate=calibration.RNIC_TOTAL_RATE):
+    """The full sweep for one stack; returns a list of PerftestRow."""
+    profile = PROFILES[profile_name]
+    sizes = sizes if sizes is not None else default_message_sizes()
+    return [
+        PerftestRow(
+            size,
+            write_latency(profile, size, wire_rate),
+            write_bandwidth(profile, size, wire_rate),
+        )
+        for size in sizes
+    ]
+
+
+def run_functional_perftest(client, server, sizes, iterations=4):
+    """Latency sweep through *real* simulated RNICs (verbs + MTT + CC).
+
+    Exercises the object datapath end-to-end (QP state machine, PD checks,
+    MTT lookups) rather than the closed-form model; used to validate that
+    the functional stack and the cost model agree in shape.
+    """
+    from repro.memory.address import MemoryKind
+    from repro.rnic.verbs import connect_qps
+
+    pd_c, pd_s = client.alloc_pd("perftest"), server.alloc_pd("perftest")
+    size_cap = max(sizes)
+    mr_c = client.reg_mr(
+        pd_c, 0x0, [(0x0, 0x10000000, size_cap)], MemoryKind.HOST_DRAM, True
+    )
+    mr_s = server.reg_mr(
+        pd_s, 0x0, [(0x0, 0x20000000, size_cap)], MemoryKind.HOST_DRAM, True
+    )
+    qp_c = client.create_qp(pd_c)
+    qp_s = server.create_qp(pd_s)
+    connect_qps(qp_c, qp_s, nic_a=client, nic_b=server)
+    rows = []
+    for size in sizes:
+        latencies = [
+            client.rdma_write(qp_c, "wr-%d-%d" % (size, i), mr_c, 0x0, size,
+                              mr_s.rkey, 0x0)
+            for i in range(iterations)
+        ]
+        qp_c.send_cq.poll(iterations)
+        latency = sum(latencies) / len(latencies)
+        rows.append(PerftestRow(size, latency, size * 8.0 / latency))
+    return rows

@@ -1,0 +1,47 @@
+"""GPU pod startup timing (Figure 6).
+
+Boots containers of 16 GB / 160 GB / 1.6 TB under the legacy VFIO
+full-pin regime and under Stellar's PVDMA regime, reporting the wall
+times the hypervisor would spend.
+"""
+
+from repro import calibration
+from repro.core.stellar import StellarHost
+from repro.legacy.framework import LegacyHost
+from repro.sim.units import GiB
+
+
+class StartupRow:
+    __slots__ = ("memory_bytes", "full_pin_seconds", "pvdma_seconds")
+
+    def __init__(self, memory_bytes, full_pin_seconds, pvdma_seconds):
+        self.memory_bytes = memory_bytes
+        self.full_pin_seconds = full_pin_seconds
+        self.pvdma_seconds = pvdma_seconds
+
+    @property
+    def speedup(self):
+        return self.full_pin_seconds / self.pvdma_seconds
+
+    def __repr__(self):
+        return "StartupRow(%.0fGB: full=%.0fs pvdma=%.1fs %.0fx)" % (
+            self.memory_bytes / 1e9,
+            self.full_pin_seconds,
+            self.pvdma_seconds,
+            self.speedup,
+        )
+
+
+def measure_startup(memory_points=calibration.FIG6_MEMORY_POINTS_BYTES):
+    """Run the Figure 6 sweep; returns one StartupRow per memory size."""
+    rows = []
+    for index, memory_bytes in enumerate(memory_points):
+        legacy = LegacyHost.build(host_memory_bytes=memory_bytes + 64 * GiB)
+        legacy.sriov_managers[0].set_num_vfs(1)
+        _, full_pin = legacy.launch_container_with_vf(
+            "legacy-%d" % index, memory_bytes
+        )
+        stellar = StellarHost.build(host_memory_bytes=memory_bytes + 64 * GiB)
+        record = stellar.launch_container("stellar-%d" % index, memory_bytes)
+        rows.append(StartupRow(memory_bytes, full_pin, record.total_seconds))
+    return rows

@@ -1,0 +1,95 @@
+"""Unit tests for statistics helpers and table rendering."""
+
+import pytest
+
+from repro.analysis import (
+    Table,
+    coefficient_of_variation,
+    format_bytes_axis,
+    geometric_mean,
+    max_min_delta,
+    mean,
+    percentile,
+    relative_gain,
+)
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_percentile_interpolates(self):
+        values = [0, 10, 20, 30, 40]
+        assert percentile(values, 0) == 0
+        assert percentile(values, 100) == 40
+        assert percentile(values, 50) == 20
+        assert percentile(values, 62.5) == 25
+        assert percentile([7], 99) == 7
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_max_min_delta(self):
+        assert max_min_delta([10, 30, 20], 200) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            max_min_delta([], 1)
+        with pytest.raises(ValueError):
+            max_min_delta([1], 0)
+
+    def test_cv(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0
+        assert coefficient_of_variation([0, 0]) == 0
+        assert coefficient_of_variation([1, 3]) == pytest.approx(0.5)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1, 0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_relative_gain(self):
+        assert relative_gain(106, 100) == pytest.approx(0.06)
+        with pytest.raises(ValueError):
+            relative_gain(1, 0)
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table("demo", ["name", "value"])
+        table.add_row("alpha", 1.5)
+        table.add_row("b", 123456.0)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert "alpha" in text and "1.500" in text
+        assert "1.235e+05" in text  # scientific for large magnitudes
+
+    def test_row_arity_checked(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_empty_table_renders(self):
+        table = Table("empty", ["a"])
+        assert "empty" in table.render()
+
+
+class TestAxisFormat:
+    @pytest.mark.parametrize(
+        "size,text",
+        [
+            (2, "2B"),
+            (1024, "1KB"),
+            (8 * 1024 * 1024, "8MB"),
+            (1536, "1.5KB"),
+            (1 << 30, "1GB"),
+        ],
+    )
+    def test_labels(self, size, text):
+        assert format_bytes_axis(size) == text

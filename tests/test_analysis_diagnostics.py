@@ -1,0 +1,64 @@
+"""Unit tests for the diagnostics/report surfaces."""
+
+from repro.analysis import (
+    fabric_report,
+    format_decimal_bytes,
+    network_report,
+    pvdma_report,
+    render_report,
+    rnic_report,
+)
+from repro.core import StellarHost
+from repro.net import DualPlaneTopology, MessageFlow, PacketNetSim, ServerAddress, run_flows
+from repro.sim.units import GiB, MB, MiB
+
+
+def test_rnic_and_fabric_reports():
+    host = StellarHost.build(host_memory_bytes=32 * GiB, gpu_hbm_bytes=4 * GiB)
+    record = host.launch_container("diag", 1 * GiB)
+    vdev = record.container.vstellar_device
+    buf = record.container.alloc_buffer(1 * MiB)
+    host.dma_prepare(record.container, buf)
+    vdev.reg_mr_host(buf)
+
+    report = rnic_report(vdev)
+    assert report["name"] == vdev.name
+    assert report["mtt_entries"] == 1
+    assert report["doorbell_rings"] == 0
+
+    parent = rnic_report(vdev.parent)
+    assert parent["vdevices"] == 1
+
+    fab = fabric_report(host.fabric)
+    assert len(fab["switches"]) == 4
+    assert all(sw["lut_used"] == 1 for sw in fab["switches"])
+
+    pv = pvdma_report(host.pvdma, [record.container])
+    assert pv["containers"][0]["misses"] >= 1
+    assert pv["containers"][0]["pinned_bytes"] > 0
+
+
+def test_network_report_lists_hot_ports():
+    topo = DualPlaneTopology(segments=2, servers_per_segment=2, rails=1,
+                             planes=2, aggs_per_plane=4)
+    sim = PacketNetSim(topo, seed=3)
+    flow = MessageFlow(sim, "f", ServerAddress(0, 0), ServerAddress(1, 0), 0,
+                       message_bytes=4 * MB, algorithm="obs", path_count=8,
+                       mtu=64 * 1024)
+    run_flows(sim, [flow], timeout=1.0)
+    report = network_report(sim, top_n=3)
+    assert report["packets_delivered"] > 0
+    assert report["packets_dropped"] == 0
+    assert 1 <= len(report["hot_ports"]) <= 3
+
+
+def test_render_report_flattens_nested_structures():
+    table = render_report("demo", {"a": 1, "b": {"c": [2, 3]}})
+    text = table.render()
+    assert "a" in text and "b.c[0]" in text and "b.c[1]" in text
+
+
+def test_format_decimal_bytes():
+    assert format_decimal_bytes(16 * 10**9) == "16GB"
+    assert format_decimal_bytes(int(1.6e12)) == "1.6TB"
+    assert format_decimal_bytes(500) == "500B"

@@ -1,0 +1,105 @@
+"""CLI smoke test plus property tests for the event engine and verbs
+byte conservation."""
+
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import MemoryKind
+from repro.rnic import BaseRnic, connect_qps
+from repro.sim import EventScheduler
+
+
+@pytest.mark.slow
+def test_cli_tour_spray():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "spray"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "uplink imbalance vs path count" in result.stdout
+    assert "128" in result.stdout
+
+
+@pytest.mark.slow
+def test_cli_rejects_unknown_tour():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "warp"],
+        capture_output=True, text=True, timeout=60,
+    )
+    assert result.returncode != 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=1, max_size=50)
+)
+def test_engine_executes_in_nondecreasing_time_order(delays):
+    """Whatever the schedule, callbacks observe a monotone clock and every
+    event fires exactly once."""
+    sched = EventScheduler()
+    fired = []
+    for delay in delays:
+        sched.schedule(delay, lambda: fired.append(sched.now))
+    sched.run()
+    assert len(fired) == len(delays)
+    assert fired == sorted(fired)
+    assert fired == sorted(delays)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=10.0),
+                    min_size=2, max_size=30),
+    cancel_index=st.integers(min_value=0, max_value=29),
+)
+def test_engine_cancellation_is_exact(delays, cancel_index):
+    sched = EventScheduler()
+    fired = []
+    events = [
+        sched.schedule(delay, lambda i=i: fired.append(i))
+        for i, delay in enumerate(delays)
+    ]
+    victim = cancel_index % len(events)
+    events[victim].cancel()
+    sched.run()
+    assert victim not in fired
+    assert len(fired) == len(delays) - 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["write", "read"]),
+            st.integers(min_value=1, max_value=1 << 20),
+        ),
+        min_size=1, max_size=20,
+    )
+)
+def test_verbs_byte_conservation(ops):
+    """Across any mix of successful reads and writes, the two NICs' byte
+    counters mirror each other exactly."""
+    a, b = BaseRnic(name="pa"), BaseRnic(name="pb")
+    pd_a, pd_b = a.alloc_pd("t"), b.alloc_pd("t")
+    mr_a = a.reg_mr(pd_a, 0x0, [(0x0, 0xA00000, 1 << 20)],
+                    MemoryKind.HOST_DRAM, True)
+    mr_b = b.reg_mr(pd_b, 0x0, [(0x0, 0xB00000, 1 << 20)],
+                    MemoryKind.HOST_DRAM, True)
+    qp_a, qp_b = a.create_qp(pd_a), b.create_qp(pd_b)
+    connect_qps(qp_a, qp_b, nic_a=a, nic_b=b)
+    written = read = 0
+    for index, (op, size) in enumerate(ops):
+        if op == "write":
+            a.rdma_write(qp_a, index, mr_a, 0x0, size, mr_b.rkey, 0x0)
+            written += size
+        else:
+            a.rdma_read(qp_a, index, mr_a, 0x0, size, mr_b.rkey, 0x0)
+            read += size
+    assert a.bytes_sent == b.bytes_received == written
+    assert a.bytes_received == b.bytes_sent == read
+    assert len(qp_a.send_cq.poll(len(ops))) == len(ops)

@@ -1,0 +1,114 @@
+"""Unit tests for traffic patterns: permutation, incast, burst schedules."""
+
+import pytest
+
+from repro.collectives import (
+    BurstSchedule,
+    incast_flows_packet,
+    permutation_flows_packet,
+    permutation_pairs,
+)
+from repro.net import DualPlaneTopology, PacketNetSim, ServerAddress, run_flows
+from repro.sim.units import MB
+
+
+def topo(**kwargs):
+    defaults = dict(segments=2, servers_per_segment=4, rails=2, planes=2,
+                    aggs_per_plane=4)
+    defaults.update(kwargs)
+    return DualPlaneTopology(**defaults)
+
+
+class TestPermutationPairs:
+    def test_every_server_sends_and_receives_once(self):
+        servers = list(topo().servers())
+        pairs = permutation_pairs(servers, seed=5)
+        sources = [src for src, _ in pairs]
+        destinations = [dst for _, dst in pairs]
+        assert sorted(s.as_tuple() for s in sources) == \
+            sorted(s.as_tuple() for s in servers)
+        assert sorted(d.as_tuple() for d in destinations) == \
+            sorted(s.as_tuple() for s in servers)
+
+    def test_no_self_loops(self):
+        pairs = permutation_pairs(list(topo().servers()), seed=6)
+        assert all(src != dst for src, dst in pairs)
+
+    def test_deterministic_under_seed(self):
+        servers = list(topo().servers())
+        a = permutation_pairs(servers, seed=7)
+        b = permutation_pairs(servers, seed=7)
+        assert a == b
+
+
+class TestPermutationFlows:
+    def test_one_flow_per_server_rail(self):
+        t = topo()
+        sim = PacketNetSim(t, seed=1)
+        flows = permutation_flows_packet(
+            sim, list(t.servers()), rails=t.rails, message_bytes=1 * MB,
+            algorithm="obs", path_count=8, seed=1,
+        )
+        assert len(flows) == t.server_count * t.rails
+        # Connection ids are unique (distinct ECMP entropy per flow).
+        ids = {flow.connection_id for flow in flows}
+        assert len(ids) == len(flows)
+        results = run_flows(sim, flows, timeout=1.0)
+        assert all(flow.done for flow in flows)
+        assert sum(r.bytes_acked for r in results) == len(flows) * 1 * MB
+
+
+class TestIncast:
+    def test_incast_converges_on_one_host_port(self):
+        t = topo()
+        sim = PacketNetSim(t, seed=2)
+        destination = ServerAddress(1, 0)
+        senders = [ServerAddress(0, i) for i in range(4)]
+        flows = incast_flows_packet(
+            sim, senders, destination, rail=0, message_bytes=4 * MB,
+            algorithm="obs", path_count=16,
+        )
+        run_flows(sim, flows, timeout=1.0)
+        assert all(flow.done for flow in flows)
+        # The receiver's host_down ports are the incast bottleneck: they
+        # carried everything and built the deepest queues.
+        down_ports = [
+            port for ref, port in sim._ports.items()
+            if ref.kind == "host_down"
+            and ref.key[:2] == destination.as_tuple()
+        ]
+        assert max(p.queue_max for p in down_ports) >= max(
+            (p.queue_max for ref, p in sim._ports.items()
+             if ref.kind == "host_up"), default=0.0,
+        )
+
+    def test_incast_rejects_self_send(self):
+        t = topo()
+        sim = PacketNetSim(t, seed=3)
+        with pytest.raises(ValueError):
+            incast_flows_packet(
+                sim, [ServerAddress(1, 0)], ServerAddress(1, 0), 0,
+                message_bytes=1 * MB, algorithm="obs", path_count=4,
+            )
+
+
+class TestBurstSchedule:
+    def test_duty_cycle_and_phases(self):
+        schedule = BurstSchedule(on_seconds=5.0, off_seconds=5.0)
+        assert schedule.period == 10.0
+        assert schedule.duty_cycle() == 0.5
+        assert schedule.active(0.0)
+        assert schedule.active(4.999)
+        assert not schedule.active(5.0)
+        assert not schedule.active(9.999)
+        assert schedule.active(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstSchedule(on_seconds=0)
+        with pytest.raises(ValueError):
+            BurstSchedule(on_seconds=1, off_seconds=-1)
+
+    def test_always_on_when_off_zero(self):
+        schedule = BurstSchedule(on_seconds=2.0, off_seconds=0.0)
+        assert all(schedule.active(t / 10) for t in range(100))

@@ -1,0 +1,67 @@
+"""GPUDirect Async: the GPU rings the vStellar doorbell via the IOMMU.
+
+The virtio-shm fix (Figure 5f) removes the doorbell from guest-physical
+space, which would break GPUDirect Async; Section 5's remedy registers
+the doorbell's I/O memory in the GPU's IOMMU page table on demand.
+"""
+
+import pytest
+
+from repro.core import StellarHost, VStellarError
+from repro.memory import PageFault
+from repro.pcie import AddressType, Tlp
+from repro.sim.units import GiB
+
+
+@pytest.fixture(scope="module")
+def setup():
+    host = StellarHost.build(host_memory_bytes=32 * GiB, gpu_hbm_bytes=4 * GiB)
+    record = host.launch_container("gda", 2 * GiB)
+    vdev = record.container.vstellar_device
+    gpu = host.rail_gpus(0)[0]
+    return host, vdev, gpu
+
+
+def test_gpu_cannot_reach_shm_doorbell_by_default(setup):
+    host, vdev, gpu = setup
+    # Nothing maps the doorbell into the container's IOMMU domain yet;
+    # the GPU's DMA would fault at the IOMMU (or lack a domain binding).
+    da_guess = (1 << 46) + vdev.pasid * 4096
+    from repro.pcie.device import PcieError
+
+    with pytest.raises((PageFault, PcieError)):
+        host.fabric.route(Tlp.mem_write(da_guess, 8, gpu.bdf,
+                                        at=AddressType.UNTRANSLATED))
+
+
+def test_enable_gpudirect_async_routes_gpu_dma_to_doorbell(setup):
+    host, vdev, gpu = setup
+    da = vdev.enable_gpudirect_async(host.hypervisor, gpu)
+    delivery = host.fabric.route(
+        Tlp.mem_write(da, 8, gpu.bdf, at=AddressType.UNTRANSLATED)
+    )
+    # The write lands on the RNIC function (the doorbell lives in its BAR)
+    # after IOMMU translation at the root complex.
+    assert delivery.destination is vdev.parent.function
+    assert delivery.visited("RC")
+    assert delivery.translated_address == vdev.doorbell_region.start
+
+
+def test_gda_requires_shm_doorbell(setup):
+    host, vdev, gpu = setup
+    # Build a GPA-doorbell device directly (needs hypervisor + vdb_gpa).
+    container = host.launch_container("gda-tmp", 1 * GiB).container
+    legacy_vdev, _ = host.rnics[2].create_vdevice(
+        container, use_shm_doorbell=False, vdb_gpa=0x40000000,
+        hypervisor=host.hypervisor,
+    )
+    with pytest.raises(VStellarError):
+        legacy_vdev.enable_gpudirect_async(host.hypervisor, gpu)
+
+
+def test_doorbell_das_are_per_device(setup):
+    host, vdev, gpu = setup
+    other = host.launch_container("gda-2", 1 * GiB).container.vstellar_device
+    da_a = vdev.enable_gpudirect_async(host.hypervisor, gpu)
+    da_b = other.enable_gpudirect_async(host.hypervisor, gpu)
+    assert da_a != da_b

@@ -1,0 +1,153 @@
+"""Unit and property tests for the multi-path spray algorithms."""
+
+import collections
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ALGORITHMS, SprayConnection, make_selector
+from repro.sim.rng import RngStream
+
+
+def spread(counts, path_count):
+    """Max/min load ratio over all paths (inf if any path unused)."""
+    loads = [counts.get(p, 0) for p in range(path_count)]
+    if min(loads) == 0:
+        return float("inf")
+    return max(loads) / min(loads)
+
+
+class TestSelectorsBasics:
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_paths_in_range(self, name):
+        selector = make_selector(name, 16, rng=RngStream(1, name))
+        for _ in range(200):
+            assert 0 <= selector.next_path() < 16
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            make_selector("warp-drive", 4)
+
+    def test_zero_paths_rejected(self):
+        with pytest.raises(ValueError):
+            make_selector("obs", 0)
+
+    def test_single_path_pins_one_path(self):
+        selector = make_selector("single", 128, rng=RngStream(2, "s"))
+        paths = {selector.next_path() for _ in range(500)}
+        assert len(paths) == 1
+
+    def test_rr_cycles_uniformly(self):
+        selector = make_selector("rr", 8, rng=RngStream(3, "rr"))
+        counts = collections.Counter(selector.next_path() for _ in range(8 * 100))
+        assert set(counts.values()) == {100}
+
+    def test_obs_is_near_uniform(self):
+        selector = make_selector("obs", 128, rng=RngStream(4, "obs"))
+        counts = collections.Counter(selector.next_path() for _ in range(128 * 200))
+        assert spread(counts, 128) < 2.0
+
+    def test_obs_deterministic_under_seed(self):
+        a = make_selector("obs", 32, rng=RngStream(7, "x"))
+        b = make_selector("obs", 32, rng=RngStream(7, "x"))
+        assert [a.next_path() for _ in range(50)] == [b.next_path() for _ in range(50)]
+
+
+class TestFeedbackDrivenSelectors:
+    def test_best_rtt_herds_to_fast_path(self):
+        """BestRTT's pathology: it concentrates on whatever looks fastest."""
+        selector = make_selector("best_rtt", 8, rng=RngStream(5, "brtt"))
+        # Give path 3 the lowest RTT, everyone else higher.
+        for path in range(8):
+            selector.on_feedback(path, rtt=10e-6 if path == 3 else 50e-6)
+        counts = collections.Counter(selector.next_path() for _ in range(1000))
+        assert counts[3] > 0.9 * 1000
+
+    def test_dwrr_downweights_congested_path(self):
+        selector = make_selector("dwrr", 4, rng=RngStream(6, "dwrr"))
+        for _ in range(10):
+            selector.on_feedback(0, ecn=True)
+        counts = collections.Counter(selector.next_path() for _ in range(4000))
+        assert counts[0] < counts[1] * 0.5
+
+    def test_dwrr_recovers_weight_on_clean_acks(self):
+        selector = make_selector("dwrr", 4, rng=RngStream(6, "dwrr2"))
+        for _ in range(10):
+            selector.on_feedback(0, ecn=True)
+        low = selector.weights[0]
+        for _ in range(100):
+            selector.on_feedback(0, rtt=1e-6)
+        assert selector.weights[0] > low
+
+    def test_mprdma_shifts_probability_away_from_marked_path(self):
+        selector = make_selector("mprdma", 4, rng=RngStream(8, "mp"))
+        for _ in range(20):
+            selector.on_feedback(2, ecn=True)
+        counts = collections.Counter(selector.next_path() for _ in range(4000))
+        assert counts[2] < min(counts[p] for p in (0, 1, 3))
+
+    def test_obs_ignores_feedback(self):
+        selector = make_selector("obs", 8, rng=RngStream(9, "obs"))
+        draws_before = [selector.next_path() for _ in range(20)]
+        fresh = make_selector("obs", 8, rng=RngStream(9, "obs"))
+        for path in range(8):
+            fresh.on_feedback(path, ecn=True, loss=True, rtt=1.0)
+        draws_after = [fresh.next_path() for _ in range(20)]
+        assert draws_before == draws_after
+
+
+class TestSprayConnection:
+    def test_retransmit_avoids_lost_path(self):
+        conn = SprayConnection("c0", algorithm="obs", path_count=4,
+                               rng=RngStream(10, "c0"))
+        for _ in range(100):
+            assert conn.retransmit_path(2) != 2
+        assert conn.retransmissions == 100
+
+    def test_retransmit_single_path_has_no_choice(self):
+        conn = SprayConnection("c0", algorithm="single", path_count=1,
+                               rng=RngStream(11, "c0"))
+        assert conn.retransmit_path(0) == 0
+
+    def test_ack_feeds_cc_and_selector(self):
+        conn = SprayConnection("c0", algorithm="dwrr", path_count=4,
+                               rng=RngStream(12, "c0"))
+        conn.cc.on_send(1024)
+        conn.on_ack(0, 1024, ecn=True)
+        assert conn.cc.ecn_marks == 1
+        assert conn.selector.weights[0] < 1.0
+
+    def test_default_parameters_match_production(self):
+        from repro import calibration
+
+        conn = SprayConnection("c0", rng=RngStream(13, "c0"))
+        assert conn.path_count == calibration.SPRAY_PATH_COUNT
+        assert conn.algorithm == "obs"
+        assert conn.rto == calibration.SPRAY_RTO_SECONDS
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    name=st.sampled_from(ALGORITHMS),
+    path_count=st.sampled_from([1, 2, 4, 16, 128]),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_every_selector_stays_in_range_property(name, path_count, seed):
+    selector = make_selector(name, path_count, rng=RngStream(seed, name))
+    for i in range(100):
+        path = selector.next_path()
+        assert 0 <= path < path_count
+        selector.on_feedback(path, rtt=20e-6, ecn=(i % 7 == 0))
+    assert selector.packets_sent == 100
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_sprayers_cover_all_paths_eventually(seed):
+    """RR and OBS must use every one of 128 paths — the paper's whole point
+    about covering the 60-aggregation-switch fan-out."""
+    for name in ("rr", "obs"):
+        selector = make_selector(name, 128, rng=RngStream(seed, name))
+        used = {selector.next_path() for _ in range(128 * 30)}
+        assert used == set(range(128))

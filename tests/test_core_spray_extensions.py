@@ -1,0 +1,107 @@
+"""Tests for the extension selectors: flowlet switching and path-aware
+spraying (paper Sections 7.1 and 9)."""
+
+import collections
+
+import pytest
+
+from repro.core import make_selector
+from repro.core.spray import EXTENDED_ALGORITHMS, FlowletSelector
+from repro.sim.rng import RngStream
+
+
+class TestFlowlet:
+    def make(self, gap=50e-6):
+        return make_selector("flowlet", 16, rng=RngStream(1, "fl"))
+
+    def test_bulk_traffic_degenerates_to_single_path(self):
+        """The paper's critique: RDMA bulk transfers have no inter-packet
+        gaps, so flowlet switching never switches."""
+        selector = self.make()
+        # Back-to-back packets 1.3 us apart (256 KiB at 200 Gbps pace).
+        paths = {selector.next_path(now=i * 1.3e-6) for i in range(2000)}
+        assert len(paths) == 1
+        assert selector.flowlets == 1
+
+    def test_gaps_open_new_flowlets(self):
+        selector = self.make()
+        first = selector.next_path(now=0.0)
+        # A gap far above the threshold re-hashes.
+        seen = {first}
+        for i in range(1, 50):
+            seen.add(selector.next_path(now=i * 1e-3))
+        assert selector.flowlets > 25
+        assert len(seen) > 4
+
+    def test_sub_threshold_gaps_do_not_switch(self):
+        selector = FlowletSelector(8, rng=RngStream(2, "fl"),
+                                   gap_seconds=100e-6)
+        a = selector.next_path(now=0.0)
+        b = selector.next_path(now=99e-6)
+        assert a == b
+        c = selector.next_path(now=99e-6 + 101e-6)
+        assert selector.flowlets == 2
+        assert 0 <= c < 8
+
+    def test_clockless_calls_stick(self):
+        selector = self.make()
+        paths = {selector.next_path() for _ in range(100)}
+        assert len(paths) == 1
+
+    def test_paths_in_range(self):
+        selector = self.make()
+        for i in range(200):
+            assert 0 <= selector.next_path(now=i * 1e-3) < 16
+
+
+class TestPathAware:
+    def test_explores_until_feedback_arrives(self):
+        selector = make_selector("path_aware", 64, rng=RngStream(3, "pa"))
+        draws = {selector.next_path() for _ in range(300)}
+        assert len(draws) > 20  # random exploration
+
+    def test_reuses_clean_paths(self):
+        selector = make_selector("path_aware", 64, rng=RngStream(4, "pa"))
+        for path in (3, 9):
+            selector.on_feedback(path, rtt=10e-6)
+        draws = collections.Counter(selector.next_path() for _ in range(200))
+        assert set(draws) == {3, 9}
+
+    def test_evicts_congested_paths(self):
+        selector = make_selector("path_aware", 64, rng=RngStream(5, "pa"))
+        for path in (3, 9):
+            selector.on_feedback(path, rtt=10e-6)
+        selector.on_feedback(3, ecn=True)
+        draws = set(selector.next_path() for _ in range(100))
+        assert draws == {9}
+
+    def test_cache_bounded(self):
+        selector = make_selector("path_aware", 128, rng=RngStream(6, "pa"))
+        for i in range(10_000):
+            selector.on_feedback(i % 128, rtt=1e-6)
+        assert len(selector._good) <= selector.CACHE_LIMIT
+
+
+class TestExtendedRegistry:
+    def test_extended_algorithms_registered(self):
+        assert "flowlet" in EXTENDED_ALGORITHMS
+        assert "path_aware" in EXTENDED_ALGORITHMS
+        for name in EXTENDED_ALGORITHMS:
+            selector = make_selector(name, 8, rng=RngStream(7, name))
+            path = selector.next_path(now=0.0)
+            assert 0 <= path < 8
+
+    def test_flowlet_in_packet_sim(self):
+        """End to end: a flowlet flow completes on the packet simulator."""
+        from repro.net import DualPlaneTopology, MessageFlow, PacketNetSim, ServerAddress, run_flows
+        from repro.sim.units import MB
+
+        topo = DualPlaneTopology(segments=2, servers_per_segment=2, rails=1,
+                                 planes=2, aggs_per_plane=4)
+        sim = PacketNetSim(topo, seed=8)
+        flow = MessageFlow(sim, "fl", ServerAddress(0, 0), ServerAddress(1, 0),
+                           0, message_bytes=4 * MB, algorithm="flowlet",
+                           path_count=16, mtu=64 * 1024)
+        results = run_flows(sim, [flow], timeout=1.0)
+        assert flow.done
+        assert results[0].bytes_acked == 4 * MB

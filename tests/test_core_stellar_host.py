@@ -1,0 +1,74 @@
+"""Unit tests for StellarHost assembly and its PVDMA front door."""
+
+import pytest
+
+from repro import calibration
+from repro.core import StellarHost
+from repro.sim.units import GiB, MiB
+from repro.virt import MemoryMode
+
+
+class TestBuild:
+    def test_default_shape_matches_paper_server(self):
+        host = StellarHost.build(host_memory_bytes=32 * GiB,
+                                 gpu_hbm_bytes=2 * GiB)
+        assert len(host.rnics) == calibration.SERVER_RNICS
+        assert len(host.gpus) == calibration.SERVER_GPUS
+        assert len(host.sf_managers) == len(host.rnics)
+        # Each RNIC function is LUT-registered once for eMTT P2P.
+        for rnic in host.rnics:
+            switch = host.fabric.switch_of(rnic.function.bdf)
+            assert switch.lut_contains(rnic.function.bdf)
+
+    def test_custom_shape(self):
+        host = StellarHost.build(host_memory_bytes=16 * GiB, gpus=4, rnics=2,
+                                 gpu_hbm_bytes=1 * GiB)
+        assert len(host.rnics) == 2
+        assert len(host.gpus) == 4
+        assert host.rail_gpus(0) == host.gpus[:2]
+        assert host.rail_gpus(1) == host.gpus[2:]
+
+    def test_rail_gpus_share_switch_with_rnic(self):
+        host = StellarHost.build(host_memory_bytes=32 * GiB,
+                                 gpu_hbm_bytes=2 * GiB)
+        for index, rnic in enumerate(host.rnics):
+            switch = host.fabric.switch_of(rnic.function.bdf)
+            for gpu in host.rail_gpus(index):
+                assert gpu.port is switch
+
+
+class TestLaunchRecords:
+    def test_launches_are_recorded_with_breakdown(self):
+        host = StellarHost.build(host_memory_bytes=32 * GiB,
+                                 gpu_hbm_bytes=2 * GiB)
+        record = host.launch_container("rec", 2 * GiB)
+        assert host.launches[-1] is record
+        assert record.total_seconds == pytest.approx(
+            record.boot_seconds + record.device_seconds
+        )
+        assert record.container.virtio_net_sf.assigned_to == "rec"
+
+    def test_full_pin_mode_still_available(self):
+        """Operators can opt back into full pinning (e.g. for latency-
+        critical pods that must never take a first-touch stall)."""
+        host = StellarHost.build(host_memory_bytes=64 * GiB,
+                                 gpu_hbm_bytes=2 * GiB)
+        record = host.launch_container("pinned", 8 * GiB,
+                                       memory_mode=MemoryMode.FULL_PIN)
+        assert record.container.fully_pinned
+        assert record.boot_seconds > 1.9  # 8 GiB at the paper's pin rate
+
+
+class TestDmaPrepare:
+    def test_cost_scales_with_fresh_blocks_only(self):
+        host = StellarHost.build(host_memory_bytes=32 * GiB,
+                                 gpu_hbm_bytes=2 * GiB)
+        container = host.launch_container("pv", 4 * GiB).container
+        small = container.alloc_buffer(2 * MiB, alignment=2 * MiB)
+        big = container.alloc_buffer(8 * MiB, alignment=2 * MiB)
+        cost_small = host.dma_prepare(container, small)
+        cost_big = host.dma_prepare(container, big)
+        assert cost_big == pytest.approx(4 * cost_small, rel=0.05)
+        assert host.dma_prepare(container, small) == 0.0
+        stats = host.pvdma.stats(container)
+        assert stats.misses == 5  # 1 + 4 fresh 2 MiB blocks

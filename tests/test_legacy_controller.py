@@ -1,0 +1,86 @@
+"""Unit tests for the VxLAN Controller's rule offload dynamics.
+
+"Since this mapping's requirements exceed the vSwitch's capacity, the
+Controller tracks the active network connections of each container and
+dynamically offloads relevant rules to the vSwitch." — Figure 2's control
+loop, including the eviction/re-offload interference it creates.
+"""
+
+import pytest
+
+from repro.legacy import VxlanController
+from repro.legacy.framework import CONTROLLER_ROUND_TRIP_SECONDS
+from repro.rnic import SteeringError, VSwitch
+
+
+def make_controller(capacity=4, remotes=64):
+    controller = VxlanController()
+    for i in range(remotes):
+        controller.register_remote("10.1.0.%d" % i, "aa:bb:cc:00:00:%02x" % i)
+    return controller, VSwitch(capacity=capacity)
+
+
+def offload(controller, vswitch, index):
+    return controller.offload_connection(
+        vswitch, vni=index, src_ip="10.0.0.1", dst_ip="10.1.0.%d" % index,
+        src_mac="02:00:00:00:00:01",
+    )
+
+
+class TestOffloadEviction:
+    def test_full_table_evicts_lru(self):
+        controller, vswitch = make_controller(capacity=2)
+        _, first = offload(controller, vswitch, 0)
+        offload(controller, vswitch, 1)
+        offload(controller, vswitch, 2)  # evicts connection 0
+        assert controller.evictions == 1
+        assert first not in vswitch.rules
+        assert len(vswitch) == 2
+
+    def test_touch_refreshes_lru_position(self):
+        controller, vswitch = make_controller(capacity=2)
+        _, first = offload(controller, vswitch, 0)
+        _, second = offload(controller, vswitch, 1)
+        controller.touch(first)          # now `second` is the LRU
+        offload(controller, vswitch, 2)
+        assert first in vswitch.rules
+        assert second not in vswitch.rules
+
+    def test_touch_unknown_rule_raises(self):
+        controller, vswitch = make_controller()
+        _, rule = offload(controller, vswitch, 0)
+        controller.touch(rule)
+        controller.installed.remove(rule)
+        with pytest.raises(SteeringError):
+            controller.touch(rule)
+
+
+class TestMissPenalty:
+    def test_hit_is_nanoseconds_miss_is_controller_round_trip(self):
+        controller, vswitch = make_controller(capacity=1)
+        offload(controller, vswitch, 0)
+        hit_latency, _ = controller.lookup_or_reoffload(
+            vswitch, {"src_ip": "10.0.0.1", "dst_ip": "10.1.0.0"},
+            vni=0, src_ip="10.0.0.1", dst_ip="10.1.0.0",
+            src_mac="02:00:00:00:00:01",
+        )
+        offload(controller, vswitch, 1)  # evicts connection 0
+        miss_latency, rule = controller.lookup_or_reoffload(
+            vswitch, {"src_ip": "10.0.0.1", "dst_ip": "10.1.0.0"},
+            vni=0, src_ip="10.0.0.1", dst_ip="10.1.0.0",
+            src_mac="02:00:00:00:00:01",
+        )
+        assert miss_latency == CONTROLLER_ROUND_TRIP_SECONDS
+        assert miss_latency > 1000 * hit_latency
+        assert controller.reoffloads == 1
+        assert rule in vswitch.rules
+
+    def test_churn_interferes_with_other_tenants(self):
+        """One tenant's connection churn evicts another tenant's rule —
+        the cross-container interference of problem 5."""
+        controller, vswitch = make_controller(capacity=3)
+        _, victim = offload(controller, vswitch, 0)   # tenant A
+        for index in range(1, 4):                      # tenant B churns
+            offload(controller, vswitch, index)
+        assert victim not in vswitch.rules
+        assert controller.evictions >= 1

@@ -1,0 +1,114 @@
+"""The six Section 3.1 problems must reproduce on the legacy stack, and
+Stellar's design must avoid each one."""
+
+import pytest
+
+from repro import calibration
+from repro.core import StellarHost
+from repro.legacy import (
+    LegacyHost,
+    problem_1_vf_inflexibility,
+    problem_2_vfio_full_pin,
+    problem_3_lut_capacity,
+    problem_4_conflicting_fabric_settings,
+    problem_5a_rule_order_interference,
+    problem_5b_zero_mac_vxlan,
+    problem_6_single_path_imbalance,
+)
+from repro.sim.units import GiB
+
+
+class TestProblemsReproduce:
+    def test_problem_1(self):
+        evidence = problem_1_vf_inflexibility()
+        assert evidence.triggered, evidence
+
+    def test_problem_2(self):
+        evidence = problem_2_vfio_full_pin(memory_bytes=int(1.6e12))
+        assert evidence.triggered, evidence
+        assert "390" in evidence.detail or "startup" in evidence.detail
+
+    def test_problem_3(self):
+        evidence = problem_3_lut_capacity()
+        assert evidence.triggered, evidence
+        assert "8 of 12" in evidence.detail
+
+    def test_problem_4(self):
+        evidence = problem_4_conflicting_fabric_settings()
+        assert evidence.triggered, evidence
+
+    def test_problem_5a(self):
+        evidence = problem_5a_rule_order_interference()
+        assert evidence.triggered, evidence
+
+    def test_problem_5b(self):
+        evidence = problem_5b_zero_mac_vxlan()
+        assert evidence.triggered, evidence
+
+    def test_problem_6(self):
+        evidence = problem_6_single_path_imbalance()
+        assert evidence.triggered, evidence
+
+
+class TestStellarAvoidsThem:
+    @pytest.fixture(scope="class")
+    def host(self):
+        return StellarHost.build(host_memory_bytes=64 * GiB,
+                                 gpu_hbm_bytes=4 * GiB)
+
+    def test_avoids_1_dynamic_devices(self, host):
+        """vStellar devices come and go dynamically — no reset semantics."""
+        rnic = host.rnics[0]
+        a = host.launch_container("dyn-a", 1 * GiB)
+        before = len(rnic.vdevices)
+        b = host.launch_container("dyn-b", 1 * GiB)  # grow without reset
+        assert len(rnic.vdevices) == before + 1
+        rnic.destroy_vdevice(b.container.vstellar_device)  # shrink one
+        assert len(rnic.vdevices) == before
+        c = host.launch_container("dyn-c", 1 * GiB)  # grow again
+        assert len(rnic.vdevices) == before + 1
+
+    def test_avoids_2_no_upfront_pin(self, host):
+        record = host.launch_container("quick", 8 * GiB)
+        assert record.total_seconds < 20
+        assert not record.container.fully_pinned
+
+    def test_avoids_3_no_new_bdfs(self, host):
+        """100+ virtual devices fit without a single extra LUT entry."""
+        rnic = host.rnics[1]
+        switch = host.fabric.switch_of(rnic.function.bdf)
+        free_before = switch.lut_free
+        records = [
+            host.launch_container("dense-%d" % i, 1 * GiB, rnic_index=1)
+            for i in range(12)
+        ]
+        assert switch.lut_free == free_before
+        assert len(rnic.vdevices) >= 12
+        for record in records:
+            rnic.destroy_vdevice(record.container.vstellar_device)
+
+    def test_avoids_5_rdma_separate_from_tcp(self, host, tenant_buffers=None):
+        """RDMA rides virtio-vStellar; TCP rides virtio-net/SF — there is
+        no shared steering pipeline to interfere through."""
+        record = host.launch_container("sep", 1 * GiB)
+        vdev = record.container.vstellar_device
+        assert not hasattr(vdev, "vswitch")
+        assert record.container.virtio_net_sf is not None
+
+    def test_avoids_6_headline_speedups_are_calibrated(self):
+        assert calibration.SPRAY_PATH_COUNT == 128
+        assert calibration.SPRAY_RTO_SECONDS == pytest.approx(250e-6)
+
+
+class TestLegacyHostShape:
+    def test_build_matches_server_model(self):
+        host = LegacyHost.build()
+        assert len(host.rnics) == calibration.SERVER_RNICS
+        assert len(host.gpus) == calibration.SERVER_GPUS
+
+    def test_vf_exhaustion_raises(self):
+        host = LegacyHost.build()
+        host.sriov_managers[0].set_num_vfs(1)
+        host.launch_container_with_vf("a", 1 * GiB)
+        with pytest.raises(RuntimeError):
+            host.launch_container_with_vf("b", 1 * GiB)

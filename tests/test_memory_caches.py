@@ -1,0 +1,106 @@
+"""Unit and property tests for the LRU translation cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import TranslationCache
+
+
+def test_hit_and_miss_counting():
+    cache = TranslationCache(2)
+    hit, _ = cache.lookup("a")
+    assert not hit
+    cache.insert("a", 1)
+    hit, value = cache.lookup("a")
+    assert hit and value == 1
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == pytest.approx(0.5)
+    assert cache.miss_rate == pytest.approx(0.5)
+
+
+def test_lru_eviction_order():
+    cache = TranslationCache(2)
+    cache.insert("a", 1)
+    cache.insert("b", 2)
+    cache.lookup("a")  # refresh a; b is now LRU
+    cache.insert("c", 3)
+    assert "a" in cache
+    assert "b" not in cache
+    assert "c" in cache
+    assert cache.evictions == 1
+
+
+def test_reinsert_does_not_evict():
+    cache = TranslationCache(2)
+    cache.insert("a", 1)
+    cache.insert("b", 2)
+    cache.insert("a", 10)  # update, not a new entry
+    assert cache.evictions == 0
+    assert cache.peek("a") == 10
+
+
+def test_invalidate():
+    cache = TranslationCache(4)
+    cache.insert("a", 1)
+    cache.insert("b", 2)
+    cache.invalidate("a")
+    cache.invalidate("missing")  # no-op
+    assert "a" not in cache and "b" in cache
+    assert cache.invalidations == 1
+
+
+def test_invalidate_where_and_clear():
+    cache = TranslationCache(8)
+    for i in range(6):
+        cache.insert(("dom", i), i)
+    removed = cache.invalidate_where(lambda key: key[1] % 2 == 0)
+    assert removed == 3
+    assert len(cache) == 3
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_reset_counters_keeps_contents():
+    cache = TranslationCache(2)
+    cache.insert("a", 1)
+    cache.lookup("a")
+    cache.lookup("zz")
+    cache.reset_counters()
+    assert cache.hits == cache.misses == 0
+    assert "a" in cache
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        TranslationCache(0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=16),
+    keys=st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=200),
+)
+def test_cache_never_exceeds_capacity_and_counts_balance(capacity, keys):
+    cache = TranslationCache(capacity)
+    for key in keys:
+        hit, _ = cache.lookup(key)
+        if not hit:
+            cache.insert(key, key)
+        assert len(cache) <= capacity
+    assert cache.hits + cache.misses == len(keys)
+
+
+@settings(max_examples=30, deadline=None)
+@given(capacity=st.integers(min_value=1, max_value=8))
+def test_cyclic_access_beyond_capacity_always_misses(capacity):
+    """LRU's pathology: a cyclic scan one entry wider than the cache never
+    hits — this is exactly the Figure 8 round-robin worst case."""
+    cache = TranslationCache(capacity)
+    working_set = capacity + 1
+    for _ in range(5):  # several full cycles
+        for key in range(working_set):
+            hit, _ = cache.lookup(key)
+            if not hit:
+                cache.insert(key, key)
+    assert cache.hits == 0

@@ -1,0 +1,185 @@
+"""Unit tests for the MMU/EPT, IOMMU, ATS, and pinning models."""
+
+import pytest
+
+from repro import calibration
+from repro.memory import (
+    AddressSpace,
+    Iommu,
+    MMU,
+    MemoryKind,
+    MemoryRegion,
+    PageFault,
+    PinError,
+    PinManager,
+    full_pin_seconds,
+)
+from repro.sim.units import GiB, MiB
+
+
+def hpa(start, length, kind=MemoryKind.HOST_DRAM):
+    return MemoryRegion(start, length, AddressSpace.HPA, kind)
+
+
+class TestMmu:
+    def test_ept_round_trip(self):
+        mmu = MMU()
+        mmu.create_ept("vm1")
+        mmu.register_guest_memory("vm1", 0x0, hpa(0x100000, 0x4000))
+        assert mmu.translate("vm1", 0x1234) == 0x101234
+        assert mmu.entry_kind("vm1", 0x0) is MemoryKind.HOST_DRAM
+
+    def test_duplicate_ept_rejected(self):
+        mmu = MMU()
+        mmu.create_ept("vm1")
+        with pytest.raises(ValueError):
+            mmu.create_ept("vm1")
+
+    def test_missing_guest_faults(self):
+        mmu = MMU()
+        with pytest.raises(PageFault):
+            mmu.translate("ghost", 0x0)
+
+    def test_direct_map_lifecycle(self):
+        mmu = MMU()
+        mmu.create_ept("vm1")
+        doorbell = hpa(0xF000_0000, 4096, MemoryKind.DEVICE_MMIO)
+        mmu.register_direct_map("vm1", 0x7000_0000, doorbell)
+        assert mmu.translate("vm1", 0x7000_0008) == 0xF000_0008
+        assert 0x7000_0000 in mmu.direct_maps("vm1")
+        released = mmu.unregister_direct_map("vm1", 0x7000_0000)
+        assert released.start == 0xF000_0000
+        with pytest.raises(PageFault):
+            mmu.translate("vm1", 0x7000_0000)
+
+    def test_direct_map_requires_4k_multiple(self):
+        mmu = MMU()
+        mmu.create_ept("vm1")
+        with pytest.raises(ValueError):
+            mmu.register_direct_map("vm1", 0x0, hpa(0x1000, 100))
+
+    def test_destroy_ept_clears_state(self):
+        mmu = MMU()
+        mmu.create_ept("vm1")
+        mmu.destroy_ept("vm1")
+        assert mmu.direct_maps("vm1") == {}
+        mmu.create_ept("vm1")  # recreate allowed after destroy
+
+
+class TestPinManager:
+    def test_pin_charges_only_new_blocks(self):
+        pins = PinManager(block_size=2 * MiB)
+        first = pins.pin(0x0, 2 * MiB)
+        again = pins.pin(0x0, 2 * MiB)
+        assert first > 0
+        assert again == 0.0
+        assert pins.pinned_blocks == 1
+
+    def test_refcounted_unpin(self):
+        pins = PinManager(block_size=4096)
+        pins.pin(0x0, 4096)
+        pins.pin(0x0, 4096)
+        pins.unpin(0x0, 4096)
+        assert pins.is_pinned(0x0)
+        pins.unpin(0x0, 4096)
+        assert not pins.is_pinned(0x0)
+
+    def test_unpin_unpinned_raises(self):
+        pins = PinManager()
+        with pytest.raises(PinError):
+            pins.unpin(0x0, 4096)
+
+    def test_range_spanning_blocks(self):
+        pins = PinManager(block_size=4096)
+        pins.pin(4000, 200)  # crosses a block boundary
+        assert pins.pinned_blocks == 2
+        assert pins.range_pinned(4000, 200)
+        assert not pins.range_pinned(0x0, 3 * 4096)
+
+    def test_full_pin_matches_paper_datum(self):
+        seconds = full_pin_seconds(int(1.6e12))
+        assert seconds == pytest.approx(390.0, rel=1e-6)
+
+    def test_block_size_validation(self):
+        with pytest.raises(PinError):
+            PinManager(block_size=3000)
+
+
+class TestIommu:
+    def test_map_translate_unmap(self):
+        iommu = Iommu()
+        iommu.create_domain("vm1")
+        cost = iommu.map("vm1", 0x0, 0x100000, 0x4000, kind=MemoryKind.HOST_DRAM)
+        assert cost > 0
+        assert iommu.translate("vm1", 0x123) == 0x100123
+        iommu.unmap("vm1", 0x0, 0x4000)
+        with pytest.raises(PageFault):
+            iommu.translate("vm1", 0x0)
+
+    def test_map_without_pin_costs_nothing(self):
+        iommu = Iommu()
+        iommu.create_domain("vm1")
+        assert iommu.map("vm1", 0x0, 0x100000, 0x1000, pin=False) == 0.0
+
+    def test_ats_latency_iotlb_hit_vs_miss(self):
+        iommu = Iommu()
+        iommu.create_domain("vm1")
+        iommu.map("vm1", 0x0, 0x200000, 0x2000, kind=MemoryKind.GPU_HBM)
+        miss = iommu.ats_translate("vm1", 0x0)
+        hit = iommu.ats_translate("vm1", 0x0)
+        assert not miss.iotlb_hit and hit.iotlb_hit
+        assert miss.latency == pytest.approx(
+            calibration.ATS_QUERY_SECONDS + calibration.IOTLB_WALK_SECONDS
+        )
+        assert hit.latency == pytest.approx(calibration.ATS_QUERY_SECONDS)
+        assert hit.kind is MemoryKind.GPU_HBM
+        assert hit.hpa == 0x200000
+
+    def test_ats_disabled_raises(self):
+        iommu = Iommu(ats_enabled=False)
+        iommu.create_domain("vm1")
+        iommu.map("vm1", 0x0, 0x100000, 0x1000)
+        with pytest.raises(PageFault):
+            iommu.ats_translate("vm1", 0x0)
+
+    def test_ats_unmapped_page_faults(self):
+        iommu = Iommu()
+        iommu.create_domain("vm1")
+        with pytest.raises(PageFault):
+            iommu.ats_translate("vm1", 0xDEAD000)
+
+    def test_unmap_invalidates_iotlb(self):
+        iommu = Iommu()
+        iommu.create_domain("vm1")
+        iommu.map("vm1", 0x0, 0x100000, 0x1000)
+        iommu.ats_translate("vm1", 0x0)
+        iommu.unmap("vm1", 0x0, 0x1000)
+        assert ("vm1", 0x0) not in iommu.iotlb
+
+    def test_rc_translate_uses_iotlb(self):
+        iommu = Iommu()
+        iommu.create_domain("vm1")
+        iommu.map("vm1", 0x0, 0x100000, 0x1000)
+        miss = iommu.rc_translate("vm1", 0x10)
+        hit = iommu.rc_translate("vm1", 0x20)
+        assert not miss.iotlb_hit and hit.iotlb_hit
+        assert miss.latency > hit.latency == 0.0
+
+    def test_domain_lifecycle(self):
+        iommu = Iommu()
+        iommu.create_domain("vm1")
+        with pytest.raises(ValueError):
+            iommu.create_domain("vm1")
+        iommu.destroy_domain("vm1")
+        with pytest.raises(KeyError):
+            iommu.domain("vm1")
+        with pytest.raises(KeyError):
+            iommu.destroy_domain("vm1")
+
+    def test_fullpin_of_large_vm_is_minutes(self):
+        """Integration with the Figure 6 cost model: mapping 1.6 TB in one
+        VFIO-style call takes ~390 simulated seconds."""
+        iommu = Iommu()
+        iommu.create_domain("big", pin_block_size=1 * GiB)
+        cost = iommu.map("big", 0x0, 0x40000000, int(1.6e12), pin=True)
+        assert 350 < cost < 430

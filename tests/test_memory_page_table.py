@@ -1,0 +1,147 @@
+"""Unit tests for page tables, plus hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import (
+    AddressError,
+    AddressSpace,
+    MemoryKind,
+    PageFault,
+    PageTable,
+)
+
+PAGE = 4096
+
+
+def make_table():
+    return PageTable(PAGE, AddressSpace.GVA, AddressSpace.GPA)
+
+
+def test_map_and_translate_within_page():
+    table = make_table()
+    table.map_page(0x1000, 0x8000)
+    assert table.translate(0x1000) == 0x8000
+    assert table.translate(0x1FFF) == 0x8FFF
+
+
+def test_unmapped_translation_faults():
+    table = make_table()
+    with pytest.raises(PageFault):
+        table.translate(0x5000)
+
+
+def test_readonly_page_rejects_write():
+    table = make_table()
+    table.map_page(0x1000, 0x8000, writable=False)
+    assert table.translate(0x1000, write=False) == 0x8000
+    with pytest.raises(PageFault):
+        table.translate(0x1000, write=True)
+
+
+def test_remap_requires_overwrite():
+    table = make_table()
+    table.map_page(0x1000, 0x8000)
+    with pytest.raises(AddressError):
+        table.map_page(0x1000, 0x9000)
+    table.map_page(0x1000, 0x9000, overwrite=True)
+    assert table.translate(0x1000) == 0x9000
+    # Re-mapping to the same target without overwrite is tolerated.
+    table.map_page(0x1000, 0x9000)
+
+
+def test_misaligned_map_rejected():
+    table = make_table()
+    with pytest.raises(AddressError):
+        table.map_page(0x1001, 0x8000)
+    with pytest.raises(AddressError):
+        table.map_page(0x1000, 0x8001)
+
+
+def test_map_range_and_unmap_range():
+    table = make_table()
+    table.map_range(0x10000, 0x40000, 3 * PAGE)
+    assert len(table) == 3
+    assert table.translate(0x10000 + 2 * PAGE + 5) == 0x40000 + 2 * PAGE + 5
+    table.unmap_range(0x10000, 3 * PAGE)
+    assert len(table) == 0
+    with pytest.raises(PageFault):
+        table.unmap_page(0x10000)
+
+
+def test_entry_carries_kind():
+    table = make_table()
+    table.map_page(0x1000, 0x8000, kind=MemoryKind.GPU_HBM)
+    assert table.entry(0x1800).kind is MemoryKind.GPU_HBM
+    assert table.entry(0x2000) is None
+
+
+def test_translate_region_coalesces_contiguous_frames():
+    table = make_table()
+    table.map_range(0x0, 0x100000, 4 * PAGE)  # contiguous target frames
+    chunks = table.translate_region(0x0, 4 * PAGE)
+    assert chunks == [(0x0, 0x100000, 4 * PAGE)]
+
+
+def test_translate_region_splits_discontiguous_frames():
+    table = make_table()
+    table.map_page(0x0000, 0x100000)
+    table.map_page(0x1000, 0x300000)  # gap in target space
+    chunks = table.translate_region(0x800, 0x1000)
+    assert chunks == [(0x800, 0x100800, 0x800), (0x1000, 0x300000, 0x800)]
+
+
+def test_translate_region_rejects_nonpositive_length():
+    table = make_table()
+    with pytest.raises(AddressError):
+        table.translate_region(0, 0)
+
+
+def test_page_size_must_be_power_of_two():
+    with pytest.raises(AddressError):
+        PageTable(3000)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    pages=st.dictionaries(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=2000, max_value=4000),
+        min_size=1,
+        max_size=40,
+    ),
+    offset=st.integers(min_value=0, max_value=PAGE - 1),
+)
+def test_translation_preserves_offset_property(pages, offset):
+    """For any mapping and any in-page offset, translate(src+off) ==
+    frame+off — translation never mixes pages."""
+    table = PageTable(PAGE)
+    for src_page, dst_page in pages.items():
+        table.map_page(src_page * PAGE, dst_page * PAGE, overwrite=True)
+    for src_page, dst_page in pages.items():
+        assert table.translate(src_page * PAGE + offset) == dst_page * PAGE + offset
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    start_page=st.integers(min_value=0, max_value=64),
+    num_pages=st.integers(min_value=1, max_value=32),
+    sub_start=st.integers(min_value=0, max_value=10_000),
+    sub_len=st.integers(min_value=1, max_value=10_000),
+)
+def test_translate_region_chunks_cover_exact_bytes(
+    start_page, num_pages, sub_start, sub_len
+):
+    """Chunks returned by translate_region tile the request exactly."""
+    table = PageTable(PAGE)
+    table.map_range(start_page * PAGE, 0x100000 + start_page * PAGE, num_pages * PAGE)
+    total = num_pages * PAGE
+    sub_start = sub_start % total
+    sub_len = 1 + sub_len % (total - sub_start) if total - sub_start > 1 else 1
+    chunks = table.translate_region(start_page * PAGE + sub_start, sub_len)
+    assert sum(length for _, _, length in chunks) == sub_len
+    cursor = start_page * PAGE + sub_start
+    for src, _, length in chunks:
+        assert src == cursor
+        cursor += length

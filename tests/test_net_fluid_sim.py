@@ -1,0 +1,140 @@
+"""Unit tests for the fluid simulator and AllReduce tasks on top of it."""
+
+import pytest
+
+from repro.collectives import RingAllReduceTask, ring_wire_bytes
+from repro.net import DualPlaneTopology, FluidSimulation, ServerAddress
+from repro.sim.units import GB, Gbps
+
+
+def topo(**kwargs):
+    defaults = dict(segments=2, servers_per_segment=8, rails=2, planes=2,
+                    aggs_per_plane=8)
+    defaults.update(kwargs)
+    return DualPlaneTopology(**defaults)
+
+
+class TestMaxMin:
+    def test_single_flow_gets_bottleneck_rate(self):
+        rates = FluidSimulation.max_min_rates(
+            [{0: 1.0}], [Gbps(200)]
+        )
+        assert rates[0] == pytest.approx(Gbps(200), rel=1e-6)
+
+    def test_two_flows_share_fairly(self):
+        rates = FluidSimulation.max_min_rates(
+            [{0: 1.0}, {0: 1.0}], [Gbps(200)]
+        )
+        assert rates[0] == pytest.approx(rates[1])
+        assert rates[0] == pytest.approx(Gbps(100), rel=1e-6)
+
+    def test_max_min_protects_unconstrained_flow(self):
+        # Flow A uses links 0+1, flow B only link 1; link 0 is the narrow one.
+        rates = FluidSimulation.max_min_rates(
+            [{0: 1.0, 1: 1.0}, {1: 1.0}], [Gbps(50), Gbps(200)]
+        )
+        assert rates[0] == pytest.approx(Gbps(50), rel=1e-6)
+        assert rates[1] == pytest.approx(Gbps(150), rel=1e-6)
+
+    def test_split_flow_uses_both_planes(self):
+        # One flow split 50/50 across two 200G links: 400G total.
+        rates = FluidSimulation.max_min_rates(
+            [{0: 0.5, 1: 0.5}], [Gbps(200), Gbps(200)]
+        )
+        assert rates[0] == pytest.approx(Gbps(400), rel=1e-6)
+
+    def test_empty(self):
+        assert len(FluidSimulation.max_min_rates([], [])) == 0
+
+
+class TestFluidFlows:
+    def test_sprayed_flow_reaches_dual_port_rate(self):
+        sim = FluidSimulation(topo(), dt=0.01, seed=1)
+        flow = sim.add_flow("f0", ServerAddress(0, 0), ServerAddress(1, 0), 0,
+                            algorithm="obs", path_count=128, total_bytes=None)
+        sim.run(duration=0.05)
+        # Both planes usable: should exceed a single 200G port clearly.
+        assert flow.mean_rate() > Gbps(300)
+
+    def test_single_path_flow_capped_at_one_port(self):
+        sim = FluidSimulation(topo(), dt=0.01, seed=1)
+        flow = sim.add_flow("f0", ServerAddress(0, 0), ServerAddress(1, 0), 0,
+                            algorithm="single", path_count=1, total_bytes=None)
+        sim.run(duration=0.05)
+        assert flow.mean_rate() == pytest.approx(Gbps(200), rel=1e-3)
+
+    def test_bounded_flow_finishes(self):
+        sim = FluidSimulation(topo(), dt=0.01, seed=1)
+        flow = sim.add_flow("f0", ServerAddress(0, 0), ServerAddress(1, 0), 0,
+                            algorithm="obs", path_count=128,
+                            total_bytes=int(0.4 * GB))
+        sim.run(until_done=True, max_steps=500)
+        assert flow.done
+        assert flow.finish_time is not None
+        # 0.4 GB at ~47 GB/s is ~9 ms; allow generous slack.
+        assert flow.finish_time < 0.1
+
+    def test_on_off_flow_is_idle_in_off_phase(self):
+        sim = FluidSimulation(topo(), dt=0.5, seed=1)
+        flow = sim.add_flow("f0", ServerAddress(0, 0), ServerAddress(1, 0), 0,
+                            algorithm="obs", path_count=128, total_bytes=None,
+                            on_seconds=1.0, off_seconds=1.0)
+        sim.run(duration=4.0)
+        rates = flow.rate_history
+        assert rates[0] is not None  # 0.0-0.5: on
+        assert rates[2] is None      # 1.0-1.5: off
+        assert rates[4] is not None  # 2.0-2.5: on again
+
+    def test_colliding_single_path_flows_share_uplink(self):
+        """Force two single-path flows through one uplink: each gets half."""
+        t = topo(aggs_per_plane=1, planes=1)
+        sim = FluidSimulation(t, dt=0.01, seed=2)
+        a = sim.add_flow("a", ServerAddress(0, 0), ServerAddress(1, 0), 0,
+                         algorithm="single", path_count=1)
+        b = sim.add_flow("b", ServerAddress(0, 1), ServerAddress(1, 1), 0,
+                         algorithm="single", path_count=1)
+        sim.run(duration=0.05)
+        assert a.mean_rate() == pytest.approx(Gbps(100), rel=1e-3)
+        assert b.mean_rate() == pytest.approx(Gbps(100), rel=1e-3)
+
+
+class TestRingAllReduce:
+    def test_wire_bytes_formula(self):
+        assert ring_wire_bytes(100, 2) == pytest.approx(100.0)
+        assert ring_wire_bytes(100, 100) == pytest.approx(198.0)
+        with pytest.raises(ValueError):
+            ring_wire_bytes(100, 1)
+
+    def test_unloaded_ring_reaches_full_bus_bandwidth(self):
+        """The Figure 10a ceiling: an uncontended ring hits ~50 GB/s."""
+        t = topo(servers_per_segment=4, rails=4, aggs_per_plane=8)
+        sim = FluidSimulation(t, dt=0.01, seed=3)
+        task = RingAllReduceTask(
+            "ar", list(t.servers()), data_bytes=int(1 * GB),
+            algorithm="obs", path_count=128, rails=4,
+        )
+        task.launch(sim, continuous=True)
+        sim.run(duration=0.05)
+        assert task.bus_bandwidth_gb() == pytest.approx(50.0, rel=0.05)
+
+    def test_task_needs_two_servers(self):
+        with pytest.raises(ValueError):
+            RingAllReduceTask("x", [ServerAddress(0, 0)], data_bytes=1)
+
+    def test_metrics_require_launch(self):
+        task = RingAllReduceTask(
+            "x", [ServerAddress(0, 0), ServerAddress(0, 1)], data_bytes=1
+        )
+        with pytest.raises(ValueError):
+            task.bus_bandwidth_bytes()
+
+    def test_bounded_allreduce_completes(self):
+        t = topo(servers_per_segment=2, rails=1, aggs_per_plane=4)
+        sim = FluidSimulation(t, dt=0.005, seed=4)
+        task = RingAllReduceTask(
+            "ar", list(t.servers()), data_bytes=int(0.2 * GB),
+            algorithm="obs", path_count=64, rails=1,
+        )
+        task.launch(sim)
+        sim.run(until_done=True, max_steps=2000)
+        assert task.completion_time() is not None

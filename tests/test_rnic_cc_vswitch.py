@@ -1,0 +1,159 @@
+"""Unit tests for congestion control and the vSwitch steering model."""
+
+import pytest
+
+from repro.rnic import (
+    FlowRule,
+    KernelRoutingTable,
+    PerPathCC,
+    SteeringError,
+    TrafficClass,
+    VSwitch,
+    WindowCC,
+    encapsulate,
+)
+from repro.sim.units import usec
+
+
+class TestWindowCC:
+    def test_additive_increase_on_clean_acks(self):
+        cc = WindowCC(init_window=64 * 1024)
+        cc.on_send(8 * 1024)
+        before = cc.window
+        cc.on_ack(8 * 1024)
+        assert cc.window > before
+        assert cc.in_flight == 0
+
+    def test_ecn_multiplicative_decrease(self):
+        cc = WindowCC(init_window=64 * 1024, ecn_backoff=0.8)
+        cc.on_send(1024)
+        cc.on_ack(1024, ecn=True)
+        assert cc.window == pytest.approx(64 * 1024 * 0.8)
+        assert cc.ecn_marks == 1
+
+    def test_rtt_inflation_backs_off(self):
+        cc = WindowCC(init_window=64 * 1024, target_rtt=usec(30), rtt_backoff=0.9)
+        cc.on_send(1024)
+        cc.on_ack(1024, rtt=usec(100))
+        assert cc.window == pytest.approx(64 * 1024 * 0.9)
+
+    def test_window_respects_bounds(self):
+        cc = WindowCC(init_window=8 * 1024, min_window=4 * 1024, max_window=16 * 1024)
+        for _ in range(100):
+            cc.on_send(1024)
+            cc.on_ack(1024, ecn=True)
+        assert cc.window == 4 * 1024
+        for _ in range(1000):
+            cc.on_send(1024)
+            cc.on_ack(1024)
+        assert cc.window == 16 * 1024
+
+    def test_rto_halves_window_and_clears_flight(self):
+        cc = WindowCC(init_window=64 * 1024)
+        cc.on_send(32 * 1024)
+        cc.on_rto()
+        assert cc.window == pytest.approx(32 * 1024)
+        assert cc.in_flight == 0
+        assert cc.rtos == 1
+
+    def test_can_send_gates_on_window(self):
+        cc = WindowCC(init_window=10_000)
+        assert cc.can_send(10_000)
+        cc.on_send(9_000)
+        assert cc.can_send(1_000)
+        assert not cc.can_send(1_001)
+
+
+class TestPerPathCC:
+    def test_aggregate_window_matches_shared_start(self):
+        shared = WindowCC(init_window=64 * 1024)
+        per_path = PerPathCC(path_count=4, init_window=64 * 1024)
+        assert per_path.window == pytest.approx(shared.window)
+
+    def test_paths_are_independent(self):
+        cc = PerPathCC(path_count=4, init_window=64 * 1024)
+        cc.on_send(1024, path_id=0)
+        cc.on_ack(1024, path_id=0, ecn=True)
+        assert cc[0].window < cc[1].window
+
+    def test_path_id_wraps(self):
+        cc = PerPathCC(path_count=4)
+        assert cc[5] is cc[1]
+
+    def test_invalid_path_count(self):
+        with pytest.raises(ValueError):
+            PerPathCC(path_count=0)
+
+
+class TestVSwitch:
+    def rdma_header(self):
+        return {"proto": "rdma", "dst_qp": 0x100}
+
+    def test_lookup_cost_grows_with_position(self):
+        """Problem 5a: TCP rules ahead of RDMA rules slow RDMA lookups."""
+        sw = VSwitch()
+        for i in range(100):
+            sw.install(
+                FlowRule(TrafficClass.TCP, {"proto": "tcp", "dport": i}, "to-vf")
+            )
+        sw.install(FlowRule(TrafficClass.RDMA, self.rdma_header(), "to-vstellar"))
+        behind_tcp = sw.lookup(self.rdma_header())
+
+        sw2 = VSwitch()
+        sw2.install(FlowRule(TrafficClass.RDMA, self.rdma_header(), "to-vstellar"))
+        for i in range(100):
+            sw2.install(
+                FlowRule(TrafficClass.TCP, {"proto": "tcp", "dport": i}, "to-vf")
+            )
+        ahead_of_tcp = sw2.lookup(self.rdma_header())
+        assert behind_tcp.latency > ahead_of_tcp.latency
+        assert behind_tcp.position == 100 and ahead_of_tcp.position == 0
+
+    def test_miss_raises(self):
+        sw = VSwitch()
+        with pytest.raises(SteeringError):
+            sw.lookup({"proto": "unknown"})
+        assert sw.miss_count == 1
+
+    def test_capacity_enforced(self):
+        sw = VSwitch(capacity=1)
+        sw.install(FlowRule(TrafficClass.TCP, {"x": 1}, "a"))
+        with pytest.raises(SteeringError):
+            sw.install(FlowRule(TrafficClass.TCP, {"x": 2}, "b"))
+
+    def test_remove_class(self):
+        sw = VSwitch()
+        sw.install(FlowRule(TrafficClass.TCP, {"x": 1}, "a"))
+        sw.install(FlowRule(TrafficClass.RDMA, {"y": 1}, "b"))
+        assert sw.remove_class(TrafficClass.TCP) == 1
+        assert sw.position_of_class(TrafficClass.RDMA) == 0
+        assert sw.position_of_class(TrafficClass.TCP) is None
+
+    def test_hit_count_tracked(self):
+        sw = VSwitch()
+        rule = sw.install(FlowRule(TrafficClass.RDMA, self.rdma_header(), "x"))
+        sw.lookup(self.rdma_header())
+        sw.lookup(self.rdma_header())
+        assert rule.hit_count == 2
+
+
+class TestVxlanEncap:
+    def test_remote_destination_gets_gateway_mac(self):
+        rt = KernelRoutingTable()
+        rt.add_remote("10.0.1.5", "aa:bb:cc:dd:ee:01")
+        header = encapsulate(rt, 42, "10.0.0.1", "10.0.1.5", "de:ad:be:ef:00:01")
+        assert header.dst_mac == "aa:bb:cc:dd:ee:01"
+        assert not header.macs_zeroed
+
+    def test_local_destination_zeroes_macs(self):
+        """Problem 5b reproduced: same-host destination -> zero MACs, which
+        a ToR switch will discard as corrupt."""
+        rt = KernelRoutingTable()
+        rt.add_local("10.0.0.2")
+        header = encapsulate(rt, 42, "10.0.0.1", "10.0.0.2", "de:ad:be:ef:00:01")
+        assert header.macs_zeroed
+
+    def test_unroutable_destination(self):
+        rt = KernelRoutingTable()
+        with pytest.raises(SteeringError):
+            encapsulate(rt, 42, "10.0.0.1", "10.9.9.9", "de:ad:be:ef:00:01")

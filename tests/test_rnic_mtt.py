@@ -1,0 +1,82 @@
+"""Unit tests for the Memory Translation Table."""
+
+import pytest
+
+from repro.memory import MemoryKind
+from repro.rnic import Mtt, MttError
+
+
+def test_register_and_lookup():
+    mtt = Mtt()
+    key = mtt.register(
+        0x1000,
+        [(0x1000, 0xA0000, 0x2000), (0x3000, 0xC0000, 0x1000)],
+        MemoryKind.GPU_HBM,
+        translated=True,
+    )
+    chunks, entry = mtt.lookup(key, 0x1800, 0x100)
+    assert chunks == [(0x1800, 0xA0800, 0x100)]
+    assert entry.kind is MemoryKind.GPU_HBM
+    assert entry.translated
+    # A range straddling the discontiguous frame boundary splits.
+    chunks, _ = mtt.lookup(key, 0x2F00, 0x200)
+    assert chunks == [(0x2F00, 0xA1F00, 0x100), (0x3000, 0xC0000, 0x100)]
+
+
+def test_out_of_bounds_access_rejected():
+    mtt = Mtt()
+    key = mtt.register(0x0, [(0x0, 0xA0000, 0x1000)], MemoryKind.HOST_DRAM, False)
+    with pytest.raises(MttError):
+        mtt.lookup(key, 0x800, 0x1000)
+    with pytest.raises(MttError):
+        mtt.lookup(key, 0x1000, 1)
+
+
+def test_unknown_key_rejected():
+    mtt = Mtt()
+    with pytest.raises(MttError):
+        mtt.lookup(999, 0x0)
+    with pytest.raises(MttError):
+        mtt.deregister(999)
+
+
+def test_deregister_frees_key():
+    mtt = Mtt()
+    key = mtt.register(0x0, [(0x0, 0xA0000, 0x1000)], MemoryKind.HOST_DRAM, False)
+    mtt.deregister(key)
+    assert len(mtt) == 0
+    with pytest.raises(MttError):
+        mtt.lookup(key, 0x0)
+
+
+def test_noncontiguous_va_chunks_rejected():
+    mtt = Mtt()
+    with pytest.raises(MttError):
+        mtt.register(
+            0x0,
+            [(0x0, 0xA0000, 0x1000), (0x2000, 0xB0000, 0x1000)],  # VA hole
+            MemoryKind.HOST_DRAM,
+            False,
+        )
+
+
+def test_empty_chunks_rejected():
+    mtt = Mtt()
+    with pytest.raises(MttError):
+        mtt.register(0x0, [], MemoryKind.HOST_DRAM, False)
+
+
+def test_capacity_enforced():
+    mtt = Mtt(capacity=2)
+    mtt.register(0x0, [(0x0, 0xA0000, 0x1000)], MemoryKind.HOST_DRAM, False)
+    mtt.register(0x0, [(0x0, 0xB0000, 0x1000)], MemoryKind.HOST_DRAM, False)
+    with pytest.raises(MttError):
+        mtt.register(0x0, [(0x0, 0xC0000, 0x1000)], MemoryKind.HOST_DRAM, False)
+
+
+def test_keys_are_unique_even_after_deregister():
+    mtt = Mtt()
+    k1 = mtt.register(0x0, [(0x0, 0xA0000, 0x1000)], MemoryKind.HOST_DRAM, False)
+    mtt.deregister(k1)
+    k2 = mtt.register(0x0, [(0x0, 0xB0000, 0x1000)], MemoryKind.HOST_DRAM, False)
+    assert k2 != k1

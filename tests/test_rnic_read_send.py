@@ -1,0 +1,99 @@
+"""Unit tests for RDMA READ and two-sided SEND/RECV."""
+
+import pytest
+
+from repro.memory import MemoryKind
+from repro.rnic import BaseRnic, Opcode, VerbsError, WcStatus, connect_qps
+
+
+def make_pair():
+    a, b = BaseRnic(name="ra"), BaseRnic(name="rb")
+    pd_a, pd_b = a.alloc_pd("t"), b.alloc_pd("t")
+    mr_a = a.reg_mr(pd_a, 0x0, [(0x0, 0xA00000, 1 << 20)], MemoryKind.HOST_DRAM, True)
+    mr_b = b.reg_mr(pd_b, 0x0, [(0x0, 0xB00000, 1 << 20)], MemoryKind.HOST_DRAM, True)
+    qp_a, qp_b = a.create_qp(pd_a), b.create_qp(pd_b)
+    connect_qps(qp_a, qp_b, nic_a=a, nic_b=b)
+    return a, b, qp_a, qp_b, mr_a, mr_b
+
+
+class TestRdmaRead:
+    def test_read_pulls_bytes_toward_requester(self):
+        a, b, qp_a, qp_b, mr_a, mr_b = make_pair()
+        latency = a.rdma_read(qp_a, "r1", mr_a, 0x0, 64 * 1024, mr_b.rkey, 0x0)
+        wc = qp_a.send_cq.poll()[0]
+        assert wc.ok and wc.opcode is Opcode.RDMA_READ
+        assert a.bytes_received == 64 * 1024
+        assert b.bytes_sent == 64 * 1024
+        assert latency > 0
+
+    def test_read_costs_more_than_write(self):
+        """Reads pay the request round trip before data flows."""
+        a, b, qp_a, qp_b, mr_a, mr_b = make_pair()
+        read = a.rdma_read(qp_a, "r", mr_a, 0x0, 64, mr_b.rkey, 0x0)
+        write = a.rdma_write(qp_a, "w", mr_a, 0x0, 64, mr_b.rkey, 0x0)
+        assert read > write
+
+    def test_read_enforces_remote_pd(self):
+        a, b, qp_a, qp_b, mr_a, mr_b = make_pair()
+        foreign = b.reg_mr(b.alloc_pd("other"), 0x0,
+                           [(0x0, 0xC00000, 4096)], MemoryKind.HOST_DRAM, True)
+        a.rdma_read(qp_a, "r", mr_a, 0x0, 64, foreign.rkey, 0x0)
+        assert qp_a.send_cq.poll()[0].status is WcStatus.REMOTE_ACCESS_ERROR
+        assert a.bytes_received == 0
+
+    def test_read_local_bounds(self):
+        a, b, qp_a, qp_b, mr_a, mr_b = make_pair()
+        a.rdma_read(qp_a, "r", mr_a, (1 << 20) - 8, 64, mr_b.rkey, 0x0)
+        assert qp_a.send_cq.poll()[0].status is WcStatus.LOCAL_PROTECTION_ERROR
+
+
+class TestSendRecv:
+    def test_send_consumes_posted_recv(self):
+        a, b, qp_a, qp_b, mr_a, mr_b = make_pair()
+        b.post_recv(qp_b, "recv-1", mr_b, 0x0, 64 * 1024)
+        a.send(qp_a, "send-1", mr_a, 0x0, 4096)
+        send_wc = qp_a.send_cq.poll()[0]
+        recv_wc = qp_b.recv_cq.poll()[0]
+        assert send_wc.ok and send_wc.opcode is Opcode.SEND
+        assert recv_wc.ok and recv_wc.opcode is Opcode.RECV
+        assert recv_wc.wr_id == "recv-1"
+        assert recv_wc.byte_len == 4096
+        assert b.bytes_received == 4096
+
+    def test_send_without_recv_is_rnr(self):
+        a, b, qp_a, qp_b, mr_a, mr_b = make_pair()
+        a.send(qp_a, "s", mr_a, 0x0, 64)
+        assert qp_a.send_cq.poll()[0].status is WcStatus.RETRY_EXCEEDED
+        assert b.bytes_received == 0
+
+    def test_recvs_consumed_in_order(self):
+        a, b, qp_a, qp_b, mr_a, mr_b = make_pair()
+        b.post_recv(qp_b, "first", mr_b, 0x0, 8192)
+        b.post_recv(qp_b, "second", mr_b, 0x2000, 8192)
+        a.send(qp_a, "s1", mr_a, 0x0, 100)
+        a.send(qp_a, "s2", mr_a, 0x0, 200)
+        ids = [wc.wr_id for wc in qp_b.recv_cq.poll(2)]
+        assert ids == ["first", "second"]
+
+    def test_send_too_big_for_recv_buffer(self):
+        a, b, qp_a, qp_b, mr_a, mr_b = make_pair()
+        b.post_recv(qp_b, "small", mr_b, 0x0, 64)
+        a.send(qp_a, "s", mr_a, 0x0, 4096)
+        assert qp_a.send_cq.poll()[0].status is WcStatus.REMOTE_ACCESS_ERROR
+
+    def test_post_recv_validates_pd_and_bounds(self):
+        a, b, qp_a, qp_b, mr_a, mr_b = make_pair()
+        foreign = b.reg_mr(b.alloc_pd("other"), 0x0,
+                           [(0x0, 0xD00000, 4096)], MemoryKind.HOST_DRAM, True)
+        with pytest.raises(VerbsError):
+            b.post_recv(qp_b, "bad", foreign, 0x0, 64)
+        with pytest.raises(VerbsError):
+            b.post_recv(qp_b, "oob", mr_b, (1 << 20) - 8, 4096)
+
+    def test_send_requires_rts(self):
+        a = BaseRnic()
+        pd = a.alloc_pd("t")
+        mr = a.reg_mr(pd, 0x0, [(0x0, 0xA00000, 4096)], MemoryKind.HOST_DRAM, True)
+        qp = a.create_qp(pd)
+        with pytest.raises(VerbsError):
+            a.send(qp, "s", mr, 0x0, 64)

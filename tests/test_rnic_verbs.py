@@ -1,0 +1,162 @@
+"""Unit tests for verbs resources and the functional RDMA datapath."""
+
+import pytest
+
+from repro.memory import MemoryKind
+from repro.rnic import (
+    BaseRnic,
+    QpState,
+    VerbsError,
+    WcStatus,
+    connect_qps,
+)
+
+
+def make_pair():
+    """Two connected NICs with registered 1 MiB host buffers each."""
+    a, b = BaseRnic(name="a"), BaseRnic(name="b")
+    pd_a, pd_b = a.alloc_pd("tenant"), b.alloc_pd("tenant")
+    mr_a = a.reg_mr(pd_a, 0x0, [(0x0, 0xA00000, 1 << 20)], MemoryKind.HOST_DRAM, True)
+    mr_b = b.reg_mr(pd_b, 0x0, [(0x0, 0xB00000, 1 << 20)], MemoryKind.HOST_DRAM, True)
+    qp_a = a.create_qp(pd_a)
+    qp_b = b.create_qp(pd_b)
+    connect_qps(qp_a, qp_b, nic_a=a, nic_b=b)
+    return a, b, qp_a, qp_b, mr_a, mr_b
+
+
+class TestQpStateMachine:
+    def test_legal_path(self):
+        nic = BaseRnic()
+        qp = nic.create_qp(nic.alloc_pd("t"))
+        assert qp.state is QpState.RESET
+        qp.modify(QpState.INIT)
+        qp.modify(QpState.RTR, remote_qpn=0x200)
+        qp.modify(QpState.RTS)
+        assert qp.connected
+
+    def test_illegal_transition(self):
+        nic = BaseRnic()
+        qp = nic.create_qp(nic.alloc_pd("t"))
+        with pytest.raises(VerbsError):
+            qp.modify(QpState.RTS)  # RESET -> RTS is illegal
+
+    def test_rtr_requires_remote(self):
+        nic = BaseRnic()
+        qp = nic.create_qp(nic.alloc_pd("t"))
+        qp.modify(QpState.INIT)
+        with pytest.raises(VerbsError):
+            qp.modify(QpState.RTR)
+
+    def test_reset_clears_connection(self):
+        _, _, qp_a, _, _, _ = make_pair()
+        qp_a.modify(QpState.RESET)
+        assert qp_a.remote_qpn is None
+        assert not qp_a.connected
+
+    def test_error_then_reset_recovers(self):
+        nic = BaseRnic()
+        qp = nic.create_qp(nic.alloc_pd("t"))
+        qp.modify(QpState.ERROR)
+        qp.modify(QpState.RESET)
+        qp.modify(QpState.INIT)
+
+
+class TestRdmaWrite:
+    def test_successful_write_moves_bytes_and_completes(self):
+        a, b, qp_a, qp_b, mr_a, mr_b = make_pair()
+        latency = a.rdma_write(qp_a, "wr1", mr_a, 0x100, 4096, mr_b.rkey, 0x200)
+        assert latency > 0
+        wcs = qp_a.send_cq.poll()
+        assert len(wcs) == 1 and wcs[0].ok and wcs[0].byte_len == 4096
+        assert a.bytes_sent == 4096
+        assert b.bytes_received == 4096
+        assert qp_b.bytes_received == 4096
+
+    def test_pd_mismatch_is_local_protection_error(self):
+        a, b, qp_a, qp_b, mr_a, mr_b = make_pair()
+        other_pd = a.alloc_pd("other-tenant")
+        foreign_mr = a.reg_mr(
+            other_pd, 0x0, [(0x0, 0xF00000, 4096)], MemoryKind.HOST_DRAM, True
+        )
+        a.rdma_write(qp_a, "wr1", foreign_mr, 0x0, 64, mr_b.rkey, 0x0)
+        wc = qp_a.send_cq.poll()[0]
+        assert wc.status is WcStatus.LOCAL_PROTECTION_ERROR
+        assert b.bytes_received == 0
+
+    def test_remote_pd_mismatch_is_remote_access_error(self):
+        """Section 9 isolation: a QP cannot touch an MR in another tenant's
+        protection domain on the remote side."""
+        a, b, qp_a, qp_b, mr_a, mr_b = make_pair()
+        victim_pd = b.alloc_pd("victim-tenant")
+        victim_mr = b.reg_mr(
+            victim_pd, 0x0, [(0x0, 0xE00000, 4096)], MemoryKind.HOST_DRAM, True
+        )
+        a.rdma_write(qp_a, "wr1", mr_a, 0x0, 64, victim_mr.rkey, 0x0)
+        wc = qp_a.send_cq.poll()[0]
+        assert wc.status is WcStatus.REMOTE_ACCESS_ERROR
+        assert b.bytes_received == 0
+
+    def test_bad_rkey_is_remote_access_error(self):
+        a, b, qp_a, qp_b, mr_a, mr_b = make_pair()
+        a.rdma_write(qp_a, "wr1", mr_a, 0x0, 64, 0xDEAD, 0x0)
+        wc = qp_a.send_cq.poll()[0]
+        assert wc.status is WcStatus.REMOTE_ACCESS_ERROR
+
+    def test_out_of_bounds_remote_write_rejected(self):
+        a, b, qp_a, qp_b, mr_a, mr_b = make_pair()
+        a.rdma_write(qp_a, "wr1", mr_a, 0x0, 4096, mr_b.rkey, (1 << 20) - 100)
+        wc = qp_a.send_cq.poll()[0]
+        assert wc.status is WcStatus.REMOTE_ACCESS_ERROR
+
+    def test_deregistered_remote_mr_rejected(self):
+        a, b, qp_a, qp_b, mr_a, mr_b = make_pair()
+        b.dereg_mr(mr_b)
+        a.rdma_write(qp_a, "wr1", mr_a, 0x0, 64, mr_b.rkey, 0x0)
+        wc = qp_a.send_cq.poll()[0]
+        assert wc.status is WcStatus.REMOTE_ACCESS_ERROR
+
+    def test_write_on_disconnected_qp_rejected(self):
+        a = BaseRnic()
+        pd = a.alloc_pd("t")
+        mr = a.reg_mr(pd, 0x0, [(0x0, 0xA00000, 4096)], MemoryKind.HOST_DRAM, True)
+        qp = a.create_qp(pd)
+        with pytest.raises(VerbsError):
+            a.rdma_write(qp, "wr1", mr, 0x0, 64, 0x1, 0x0)
+
+    def test_larger_messages_take_longer(self):
+        a, b, qp_a, qp_b, mr_a, mr_b = make_pair()
+        small = a.rdma_write(qp_a, "s", mr_a, 0x0, 64, mr_b.rkey, 0x0)
+        big = a.rdma_write(qp_a, "b", mr_a, 0x0, 1 << 20, mr_b.rkey, 0x0)
+        assert big > small
+
+
+class TestCqAndMr:
+    def test_cq_overflow(self):
+        nic = BaseRnic()
+        cq = nic.create_cq(depth=1)
+        pd = nic.alloc_pd("t")
+        from repro.rnic import Opcode, WorkCompletion
+
+        cq.push(WorkCompletion(1, WcStatus.SUCCESS, Opcode.RDMA_WRITE, 0))
+        with pytest.raises(VerbsError):
+            cq.push(WorkCompletion(2, WcStatus.SUCCESS, Opcode.RDMA_WRITE, 0))
+        assert cq.overflows == 1
+
+    def test_cq_poll_batches_fifo(self):
+        nic = BaseRnic()
+        cq = nic.create_cq()
+        from repro.rnic import Opcode, WorkCompletion
+
+        for i in range(5):
+            cq.push(WorkCompletion(i, WcStatus.SUCCESS, Opcode.RDMA_WRITE, 0))
+        first = cq.poll(3)
+        assert [wc.wr_id for wc in first] == [0, 1, 2]
+        assert len(cq) == 2
+
+    def test_double_dereg_rejected(self):
+        nic = BaseRnic()
+        pd = nic.alloc_pd("t")
+        mr = nic.reg_mr(pd, 0x0, [(0x0, 0xA00000, 4096)], MemoryKind.HOST_DRAM, True)
+        nic.dereg_mr(mr)
+        with pytest.raises(VerbsError):
+            nic.dereg_mr(mr)

@@ -1,0 +1,98 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim import EventScheduler, SimProcessError
+
+
+def test_events_run_in_time_order():
+    sched = EventScheduler()
+    seen = []
+    sched.schedule(3.0, lambda: seen.append("c"))
+    sched.schedule(1.0, lambda: seen.append("a"))
+    sched.schedule(2.0, lambda: seen.append("b"))
+    sched.run()
+    assert seen == ["a", "b", "c"]
+    assert sched.now == 3.0
+
+
+def test_ties_break_by_insertion_order():
+    sched = EventScheduler()
+    seen = []
+    for label in "abcd":
+        sched.schedule(1.0, lambda l=label: seen.append(l))
+    sched.run()
+    assert seen == ["a", "b", "c", "d"]
+
+
+def test_schedule_during_run_is_processed():
+    sched = EventScheduler()
+    seen = []
+
+    def first():
+        seen.append("first")
+        sched.schedule(0.5, lambda: seen.append("second"))
+
+    sched.schedule(1.0, first)
+    sched.run()
+    assert seen == ["first", "second"]
+    assert sched.now == pytest.approx(1.5)
+
+
+def test_run_until_stops_clock_at_deadline():
+    sched = EventScheduler()
+    seen = []
+    sched.schedule(1.0, lambda: seen.append(1))
+    sched.schedule(5.0, lambda: seen.append(5))
+    executed = sched.run(until=2.0)
+    assert executed == 1
+    assert seen == [1]
+    assert sched.now == 2.0
+    # The remaining event still fires on a later run.
+    sched.run()
+    assert seen == [1, 5]
+
+
+def test_run_until_advances_clock_when_queue_empty():
+    sched = EventScheduler()
+    sched.run(until=7.5)
+    assert sched.now == 7.5
+
+
+def test_cancelled_events_are_skipped():
+    sched = EventScheduler()
+    seen = []
+    keep = sched.schedule(1.0, lambda: seen.append("keep"))
+    drop = sched.schedule(1.0, lambda: seen.append("drop"))
+    drop.cancel()
+    sched.run()
+    assert seen == ["keep"]
+    assert not keep.cancelled
+
+
+def test_negative_delay_rejected():
+    sched = EventScheduler()
+    with pytest.raises(SimProcessError):
+        sched.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sched = EventScheduler(start_time=10.0)
+    with pytest.raises(SimProcessError):
+        sched.schedule_at(9.0, lambda: None)
+
+
+def test_max_events_budget():
+    sched = EventScheduler()
+    for _ in range(10):
+        sched.schedule(1.0, lambda: None)
+    assert sched.run(max_events=4) == 4
+    assert sched.pending() == 6
+
+
+def test_peek_time_skips_cancelled():
+    sched = EventScheduler()
+    event = sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: None)
+    event.cancel()
+    assert sched.peek_time() == 2.0

@@ -1,0 +1,55 @@
+"""Unit tests for deterministic RNG streams."""
+
+from repro.sim import RngStream, derive_seed
+
+
+def test_same_identity_same_draws():
+    a = RngStream(42, "net", "flow-0")
+    b = RngStream(42, "net", "flow-0")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_diverge():
+    a = RngStream(42, "flow-0")
+    b = RngStream(42, "flow-1")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_derive_seed_stable_64bit():
+    seed = derive_seed(7, "alpha", "beta")
+    assert seed == derive_seed(7, "alpha", "beta")
+    assert 0 <= seed < 2**64
+    assert seed != derive_seed(7, "alpha", "gamma")
+    assert seed != derive_seed(8, "alpha", "beta")
+
+
+def test_child_streams_are_independent_of_parent_consumption():
+    parent = RngStream(1, "root")
+    child_before = parent.child("x")
+    parent.random()
+    parent.random()
+    child_after = parent.child("x")
+    assert [child_before.random() for _ in range(5)] == [
+        child_after.random() for _ in range(5)
+    ]
+
+
+def test_permutation_has_no_fixed_points():
+    rng = RngStream(3, "perm")
+    for n in (2, 5, 30, 120):
+        perm = rng.permutation(n)
+        assert sorted(perm) == list(range(n))
+        assert all(perm[i] != i for i in range(n))
+
+
+def test_permutation_tiny_cases():
+    rng = RngStream(3, "perm")
+    assert rng.permutation(0) == []
+    assert rng.permutation(1) == [0]
+
+
+def test_randint_bounds():
+    rng = RngStream(9, "ints")
+    draws = [rng.randint(3, 5) for _ in range(100)]
+    assert set(draws) <= {3, 4, 5}
+    assert len(set(draws)) == 3

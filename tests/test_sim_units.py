@@ -1,0 +1,72 @@
+"""Unit tests for size/time/bandwidth helpers."""
+
+import pytest
+
+from repro.sim import units
+
+
+def test_si_and_iec_constants():
+    assert units.GB == 10**9
+    assert units.GiB == 2**30
+    assert units.MiB == 2**20
+
+
+def test_gbps():
+    assert units.Gbps(200) == 200e9
+
+
+def test_transfer_time_roundtrip():
+    rate = units.Gbps(400)
+    t = units.transfer_time(units.MiB, rate)
+    assert units.bits_per_sec(units.MiB, t) == pytest.approx(rate)
+
+
+def test_transfer_time_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        units.transfer_time(100, 0)
+    with pytest.raises(ValueError):
+        units.transfer_time(-1, units.Gbps(1))
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("8MB", 8 * units.MB),
+        ("2 MiB", 2 * units.MiB),
+        ("1.5GiB", int(1.5 * units.GiB)),
+        ("512", 512),
+        ("0.5 kb", 500),
+        (4096, 4096),
+    ],
+)
+def test_parse_size(text, expected):
+    assert units.parse_size(text) == expected
+
+
+@pytest.mark.parametrize("bad", ["", "MB", "12 parsecs", "--3MB"])
+def test_parse_size_rejects_garbage(bad):
+    with pytest.raises(ValueError):
+        units.parse_size(bad)
+
+
+def test_format_bytes():
+    assert units.format_bytes(512) == "512B"
+    assert units.format_bytes(2 * units.MiB) == "2.0MiB"
+    assert units.format_bytes(3 * units.TiB) == "3.0TiB"
+
+
+def test_format_rate():
+    assert units.format_rate(units.Gbps(393)) == "393.0Gbps"
+    assert units.format_rate(1500) == "1.5Kbps"
+
+
+def test_format_time():
+    assert units.format_time(2.5) == "2.50s"
+    assert units.format_time(250e-6) == "250.0us"
+    assert units.format_time(3e-3) == "3.0ms"
+    assert units.format_time(40e-9) == "40ns"
+    assert units.format_time(-250e-6) == "-250.0us"
+
+
+def test_usec():
+    assert units.usec(250) == pytest.approx(250e-6)

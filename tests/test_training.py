@@ -1,0 +1,173 @@
+"""Unit tests for the training model: volumes, placement, iteration time."""
+
+import pytest
+
+from repro.training import (
+    Framework,
+    GPT_200B,
+    LLAMA_2B,
+    LLAMA_33B,
+    ParallelStrategy,
+    Placement,
+    TABLE1_ROWS,
+    TRANSPORTS,
+    TrainingSimulation,
+    comm_volumes,
+    compute_flops,
+    cross_segment_edges,
+    iteration_breakdown,
+    place_job,
+    ring_factor,
+)
+from repro.net import DualPlaneTopology
+
+
+class TestCommVolumes:
+    def test_ring_factor(self):
+        assert ring_factor(1) == 0.0
+        assert ring_factor(2) == 1.0
+        assert ring_factor(100) == pytest.approx(1.98)
+
+    def test_tp_zero_when_tp_one(self):
+        strategy = ParallelStrategy(tp=1, pp=1, dp=16)
+        volumes = comm_volumes(LLAMA_2B, strategy, Framework.DEEPSPEED_ZERO1)
+        assert volumes.tp == 0.0
+        assert volumes.pp == 0.0
+        assert volumes.dp > 0.0
+
+    def test_dp_volume_shrinks_with_model_parallel_sharding(self):
+        base = ParallelStrategy(tp=1, pp=1, dp=64)
+        sharded = ParallelStrategy(tp=4, pp=2, dp=64)
+        v_base = comm_volumes(LLAMA_33B, base, Framework.MEGATRON)
+        v_sharded = comm_volumes(LLAMA_33B, sharded, Framework.MEGATRON)
+        assert v_sharded.dp == pytest.approx(v_base.dp / 8)
+
+    def test_zero3_moves_more_than_zero1(self):
+        strategy = ParallelStrategy(tp=1, pp=1, dp=64)
+        z1 = comm_volumes(LLAMA_2B, strategy, Framework.DEEPSPEED_ZERO1)
+        z3 = comm_volumes(LLAMA_2B, strategy, Framework.DEEPSPEED_ZERO3)
+        assert z3.dp > z1.dp * 0.7  # 3 half-ring passes at 2B vs 1 ring at 4B
+
+    def test_ep_volume_appears_with_expert_parallel(self):
+        dense = ParallelStrategy(tp=1, pp=1, dp=8, ep=1, grad_accum=4)
+        moe = ParallelStrategy(tp=1, pp=1, dp=8, ep=8, grad_accum=4)
+        assert comm_volumes(LLAMA_2B, dense, Framework.MEGATRON).ep == 0.0
+        assert comm_volumes(LLAMA_2B, moe, Framework.MEGATRON).ep > 0.0
+
+    def test_compute_flops_per_gpu(self):
+        strategy = ParallelStrategy(tp=2, pp=2, dp=2, global_batch=8)
+        flops = compute_flops(LLAMA_2B, strategy)
+        tokens = 8 * LLAMA_2B.seq_len
+        assert flops == pytest.approx(6 * LLAMA_2B.parameters * tokens / 8)
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            ParallelStrategy(tp=0, pp=1, dp=1)
+
+
+class TestIterationBreakdown:
+    def test_table1_rows_land_in_papers_band(self):
+        """'the communication-to-computation ratio ranges from 10% to 32%'
+        — every modeled row must land in a compatible band."""
+        for row in TABLE1_ROWS:
+            b = iteration_breakdown(row.model, row.strategy, row.framework)
+            assert 0.08 <= b.comm_ratio <= 0.40, (row, b)
+            # Dimensions the paper marks N/A must be zero.
+            if row.tp_ratio is None:
+                assert b.tp == 0.0
+            if row.pp_ratio is None:
+                assert b.pp == 0.0
+
+    def test_ratios_sum_to_one(self):
+        row = TABLE1_ROWS[0]
+        b = iteration_breakdown(row.model, row.strategy, row.framework)
+        total = sum(b.ratio(d) for d in ("tp", "dp", "pp", "ep"))
+        total += b.compute / b.total
+        assert total == pytest.approx(1.0)
+
+    def test_slower_dp_bandwidth_slows_iteration(self):
+        row = TABLE1_ROWS[0]
+        fast = iteration_breakdown(row.model, row.strategy, row.framework,
+                                   dp_bandwidth=25e9)
+        slow = iteration_breakdown(row.model, row.strategy, row.framework,
+                                   dp_bandwidth=5e9)
+        assert slow.total > fast.total
+        assert slow.compute == fast.compute
+
+    def test_overhead_factor_scales_total(self):
+        row = TABLE1_ROWS[0]
+        base = iteration_breakdown(row.model, row.strategy, row.framework)
+        taxed = iteration_breakdown(row.model, row.strategy, row.framework,
+                                    overhead_factor=0.1)
+        assert taxed.total == pytest.approx(base.total * 1.1)
+        assert taxed.speed == pytest.approx(base.speed / 1.1)
+
+
+class TestPlacement:
+    def topo(self):
+        return DualPlaneTopology(segments=2, servers_per_segment=16, rails=4,
+                                 aggs_per_plane=8)
+
+    def test_reranked_minimizes_cross_segment_edges(self):
+        topo = self.topo()
+        reranked = place_job(128, topo, Placement.RERANKED)
+        random = place_job(256, topo, Placement.RANDOM, seed=3)
+        assert cross_segment_edges(reranked) == 2  # just the two seams
+        assert cross_segment_edges(random) > 4
+
+    def test_placement_draws_from_both_segments(self):
+        topo = self.topo()
+        servers = place_job(128, topo, Placement.RERANKED)
+        segments = {s.segment for s in servers}
+        assert segments == {0, 1}
+        assert len(servers) == 16
+
+    def test_too_large_job_rejected(self):
+        topo = self.topo()
+        with pytest.raises(ValueError):
+            place_job(16 * 8 * 4, topo, Placement.RERANKED)
+        with pytest.raises(ValueError):
+            place_job(8, topo, Placement.RERANKED)  # single server
+
+
+class TestNetworkCoupledTraining:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        topo = DualPlaneTopology(segments=2, servers_per_segment=16, rails=4,
+                                 aggs_per_plane=16)
+        return TrainingSimulation(topology=topo, seed=2)
+
+    def test_random_placement_punishes_static_paths(self, sim):
+        """The Figure 16b mechanism: random ranking + static QPs congest."""
+        cx7 = sim.measure_dp_bandwidth(256, Placement.RANDOM, TRANSPORTS["cx7"])
+        stellar = sim.measure_dp_bandwidth(
+            256, Placement.RANDOM, TRANSPORTS["stellar"]
+        )
+        assert stellar > cx7 * 1.2
+
+    def test_reranked_placement_equalizes(self, sim):
+        cx7 = sim.measure_dp_bandwidth(256, Placement.RERANKED, TRANSPORTS["cx7"])
+        stellar = sim.measure_dp_bandwidth(
+            256, Placement.RERANKED, TRANSPORTS["stellar"]
+        )
+        assert stellar == pytest.approx(cx7, rel=0.05)
+
+    def test_end_to_end_train_speed_gain(self, sim):
+        strategy = ParallelStrategy(tp=2, pp=2, dp=64, grad_accum=16,
+                                    global_batch=1024)
+        slow = sim.train(LLAMA_33B, strategy, placement=Placement.RANDOM,
+                         transport="cx7")
+        fast = sim.train(LLAMA_33B, strategy, placement=Placement.RANDOM,
+                         transport="stellar")
+        assert fast.speed > slow.speed
+
+    def test_secure_container_overhead_negligible(self, sim):
+        """Figure 15: secure vs regular containers nearly identical."""
+        strategy = ParallelStrategy(tp=2, pp=2, dp=64, grad_accum=16,
+                                    global_batch=1024)
+        regular = sim.train(LLAMA_33B, strategy, placement=Placement.RANDOM,
+                            transport="stellar", secure_container=False)
+        secure = sim.train(LLAMA_33B, strategy, placement=Placement.RANDOM,
+                           transport="stellar", secure_container=True)
+        gap = (regular.speed - secure.speed) / regular.speed
+        assert 0 <= gap < 0.01

@@ -1,0 +1,118 @@
+"""Unit tests for the hypervisor and RunD container lifecycle."""
+
+import pytest
+
+from repro import calibration
+from repro.memory import PageFault
+from repro.sim.units import GiB
+from repro.virt import (
+    ContainerState,
+    Hypervisor,
+    HypervisorError,
+    MemoryMode,
+    RunDContainer,
+)
+
+
+def make_container(memory=4 * GiB, mode=MemoryMode.PVDMA, name="c0"):
+    hv = Hypervisor()
+    container = RunDContainer(name, memory, hv, memory_mode=mode)
+    return hv, container
+
+
+class TestLifecycle:
+    def test_boot_transitions_state_and_records_time(self):
+        hv, c = make_container()
+        cost = c.boot()
+        assert c.state is ContainerState.RUNNING
+        assert c.boot_seconds == cost > 0
+        assert hv.iommu.has_domain(c.domain_name)
+
+    def test_double_boot_rejected(self):
+        hv, c = make_container()
+        c.boot()
+        with pytest.raises(HypervisorError):
+            c.boot()
+
+    def test_shutdown_releases_domains(self):
+        hv, c = make_container()
+        c.boot()
+        c.shutdown()
+        assert c.state is ContainerState.STOPPED
+        assert not hv.iommu.has_domain(c.domain_name)
+        assert c.name not in hv.containers
+
+    def test_duplicate_name_rejected(self):
+        hv, c = make_container()
+        with pytest.raises(HypervisorError):
+            RunDContainer("c0", 1 * GiB, hv)
+
+    def test_alloc_before_boot_rejected(self):
+        hv, c = make_container()
+        with pytest.raises(HypervisorError):
+            c.alloc_buffer(4096)
+
+
+class TestBootTiming:
+    def test_full_pin_matches_paper_scale(self):
+        """1.6 TB FULL_PIN boots in ~390+ s; PVDMA boots under 20 s (Fig 6)."""
+        hv, full = make_container(int(1.6e12), MemoryMode.FULL_PIN, "full")
+        hv2, pvdma = make_container(int(1.6e12), MemoryMode.PVDMA, "pvdma")
+        t_full = full.boot()
+        t_pvdma = pvdma.boot()
+        assert t_full > 350
+        assert t_pvdma < 20
+        assert t_full / t_pvdma >= calibration.STARTUP_SPEEDUP_MIN
+
+    def test_pvdma_boot_grows_slowly_with_memory(self):
+        hv_a, small = make_container(160 * 10**9, MemoryMode.PVDMA, "s")
+        hv_b, big = make_container(int(1.6e12), MemoryMode.PVDMA, "b")
+        delta = big.boot() - small.boot()
+        assert 5 < delta < 15  # the paper's "slight increase (11 seconds)"
+
+    def test_full_pin_sets_flag_and_maps_domain(self):
+        hv, c = make_container(1 * GiB, MemoryMode.FULL_PIN)
+        c.boot()
+        assert c.fully_pinned
+        assert hv.iommu.is_mapped(c.domain_name, 0)
+        # GPA->HPA identity offset holds.
+        assert hv.iommu.translate(c.domain_name, 0x1234) == c.hpa_base + 0x1234
+
+
+class TestGuestAddressSpace:
+    def test_alloc_buffer_translates_end_to_end(self):
+        hv, c = make_container()
+        c.boot()
+        buf = c.alloc_buffer(64 * 1024)
+        chunks = c.gva_to_hpa_chunks(buf.start, buf.length)
+        assert sum(length for _, _, length in chunks) == buf.length
+        # Contiguous GPA backing + contiguous HPA region -> one chunk.
+        assert len(chunks) == 1
+        assert chunks[0][1] == c.hpa_base  # first allocation starts at GPA 0
+
+    def test_out_of_guest_ram(self):
+        hv, c = make_container(memory=1 << 21)
+        c.boot()
+        with pytest.raises(HypervisorError):
+            c.alloc_buffer(1 << 22)
+
+    def test_mmio_windows_sit_above_ram(self):
+        hv, c = make_container(memory=4 * GiB)
+        c.boot()
+        gpa = c.allocate_mmio_window(4096)
+        assert gpa >= c.memory_bytes
+        second = c.allocate_mmio_window(4096)
+        assert second > gpa
+
+    def test_alloc_gpa_at_places_exactly(self):
+        hv, c = make_container()
+        c.boot()
+        region = c.alloc_gpa_at(0x200000, 4096)
+        chunks = c.gva_to_gpa_chunks(region.start, 4096)
+        assert chunks[0][1] == 0x200000
+
+    def test_unmapped_gva_faults(self):
+        hv, c = make_container()
+        c.boot()
+        with pytest.raises(PageFault):
+            c.gva_to_gpa_chunks(0xDEAD0000, 64)

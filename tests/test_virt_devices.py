@@ -1,0 +1,191 @@
+"""Unit tests for SR-IOV, scalable functions, VFIO, and virtio."""
+
+import pytest
+
+from repro import calibration
+from repro.pcie import LutCapacityError, PcieFabric
+from repro.sim.units import GiB
+from repro.virt import (
+    Hypervisor,
+    MemoryMode,
+    RunDContainer,
+    ScalableFunctionManager,
+    SfError,
+    ShmRegion,
+    SriovError,
+    SriovManager,
+    VfioDriver,
+    VirtioDevice,
+    VirtioDeviceType,
+    VirtioError,
+    VirtioQueue,
+)
+
+
+def make_fabric(lut_capacity=8):
+    fabric = PcieFabric(host_memory_bytes=8 * GiB)
+    switch = fabric.add_switch(lut_capacity=lut_capacity)
+    return fabric, switch
+
+
+class TestSriov:
+    def test_enable_vfs_allocates_memory_overhead(self):
+        fabric, switch = make_fabric()
+        mgr = SriovManager("rnic0", fabric, switch, max_vfs=8)
+        vfs = mgr.set_num_vfs(4)
+        assert len(vfs) == 4
+        assert mgr.memory_overhead_bytes == 4 * calibration.VF_MEMORY_BYTES
+        assert len({vf.bdf for vf in vfs}) == 4
+
+    def test_nonzero_to_nonzero_requires_reset(self):
+        """Paper problem 1: 2 VFs -> 3 VFs is impossible without a reset."""
+        fabric, switch = make_fabric()
+        mgr = SriovManager("rnic0", fabric, switch)
+        mgr.set_num_vfs(2)
+        with pytest.raises(SriovError):
+            mgr.set_num_vfs(3)
+        mgr.reset()
+        assert mgr.num_vfs == 0
+        assert mgr.resets == 1
+        mgr.set_num_vfs(3)
+        assert mgr.num_vfs == 3
+
+    def test_set_zero_is_reset(self):
+        fabric, switch = make_fabric()
+        mgr = SriovManager("rnic0", fabric, switch)
+        mgr.set_num_vfs(2)
+        mgr.set_num_vfs(0)
+        assert mgr.num_vfs == 0 and mgr.resets == 1
+
+    def test_max_vfs_enforced(self):
+        fabric, switch = make_fabric()
+        mgr = SriovManager("rnic0", fabric, switch, max_vfs=2)
+        with pytest.raises(SriovError):
+            mgr.set_num_vfs(3)
+
+    def test_gdr_limited_by_switch_lut(self):
+        """Paper problem 3: the LUT caps GDR-capable VFs per switch."""
+        fabric, switch = make_fabric(lut_capacity=2)
+        mgr = SriovManager("rnic0", fabric, switch, max_vfs=8)
+        vfs = mgr.set_num_vfs(4)
+        mgr.enable_gdr(vfs[0])
+        mgr.enable_gdr(vfs[1])
+        with pytest.raises(LutCapacityError):
+            mgr.enable_gdr(vfs[2])
+        assert sum(vf.gdr_enabled for vf in vfs) == 2
+
+    def test_enable_gdr_foreign_vf_rejected(self):
+        fabric, switch = make_fabric()
+        mgr_a = SriovManager("rnic0", fabric, switch)
+        mgr_b = SriovManager("rnic1", fabric, switch)
+        vfs = mgr_a.set_num_vfs(1)
+        with pytest.raises(SriovError):
+            mgr_b.enable_gdr(vfs[0])
+
+
+class TestScalableFunctions:
+    def test_dynamic_create_destroy(self):
+        from repro.pcie import Bdf
+
+        mgr = ScalableFunctionManager("rnic0", Bdf(1, 0, 0), max_sfs=3)
+        a = mgr.create()
+        b = mgr.create()
+        assert a.bdf == b.bdf  # SFs share the parent BDF: no LUT pressure
+        mgr.destroy(a)
+        c = mgr.create()
+        mgr.create()
+        with pytest.raises(SfError):
+            mgr.create()
+        with pytest.raises(SfError):
+            mgr.destroy(a)  # already destroyed
+
+    def test_sf_memory_footprint_tiny_vs_vf(self):
+        from repro.pcie import Bdf
+
+        mgr = ScalableFunctionManager("rnic0", Bdf(1, 0, 0))
+        sf = mgr.create()
+        assert sf.memory_bytes * 100 < calibration.VF_MEMORY_BYTES
+
+
+class TestVfio:
+    def test_attach_pins_all_memory(self):
+        fabric, switch = make_fabric()
+        hv = Hypervisor(fabric=fabric)
+        container = RunDContainer("c0", 2 * GiB, hv, memory_mode=MemoryMode.FULL_PIN)
+        container.boot()
+        container.fully_pinned = False  # device arrives after boot
+        mgr = SriovManager("rnic0", fabric, switch)
+        vf = mgr.set_num_vfs(1)[0]
+        vfio = VfioDriver(hv)
+        attachment = vfio.attach(container, vf)
+        assert attachment.pin_seconds > 0
+        assert container.fully_pinned
+        # BARs are direct-mapped into the guest.
+        assert len(hv.mmu.direct_maps("c0")) == len(vf.bars)
+
+    def test_double_attach_rejected(self):
+        fabric, switch = make_fabric()
+        hv = Hypervisor(fabric=fabric)
+        c0 = RunDContainer("c0", 1 * GiB, hv)
+        c1 = RunDContainer("c1", 1 * GiB, hv)
+        c0.boot()
+        c1.boot()
+        mgr = SriovManager("rnic0", fabric, switch)
+        vf = mgr.set_num_vfs(1)[0]
+        vfio = VfioDriver(hv)
+        vfio.attach(c0, vf)
+        from repro.virt import VfioError
+
+        with pytest.raises(VfioError):
+            vfio.attach(c1, vf)
+
+
+class TestVirtio:
+    def test_queue_fifo_and_overflow(self):
+        q = VirtioQueue(size=2)
+        q.push("a")
+        q.push("b")
+        with pytest.raises(VirtioError):
+            q.push("c")
+        assert q.pop() == "a"
+        assert q.pop() == "b"
+        assert q.pop() is None
+        assert q.dropped == 1
+
+    def test_queue_size_power_of_two(self):
+        with pytest.raises(VirtioError):
+            VirtioQueue(size=100)
+
+    def test_control_path_round_trip(self):
+        seen = []
+
+        def backend(request):
+            seen.append(request.op)
+            return {"qpn": 0x100}
+
+        dev = VirtioDevice(VirtioDeviceType.VSTELLAR, backend=backend)
+        resp = dev.control("create_qp", pd=1)
+        assert resp.ok and resp.result["qpn"] == 0x100
+        assert resp.latency > 0
+        assert seen == ["create_qp"]
+        assert dev.control_round_trips == 1
+
+    def test_control_backend_errors_surface(self):
+        def backend(request):
+            raise PermissionError("policy: tenant quota exceeded")
+
+        dev = VirtioDevice(VirtioDeviceType.VSTELLAR, backend=backend)
+        resp = dev.control("create_qp")
+        assert not resp.ok
+        assert "quota" in resp.error
+
+    def test_control_without_backend_rejected(self):
+        dev = VirtioDevice(VirtioDeviceType.NET)
+        with pytest.raises(VirtioError):
+            dev.control("anything")
+
+    def test_shm_regions_unique_names(self):
+        dev = VirtioDevice(VirtioDeviceType.VSTELLAR)
+        dev.add_shm_region(ShmRegion("doorbell", 4096))
+        with pytest.raises(VirtioError):
+            dev.add_shm_region(ShmRegion("doorbell", 4096))

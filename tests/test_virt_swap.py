@@ -1,0 +1,58 @@
+"""Why pinning exists: page swap under device DMA mappings (problem 2).
+
+"When the host OS swaps out HPA memory pages, the GPA-to-HPA mapping
+changes, causing the RNIC driver inside the RunD container to behave
+unpredictably and crash.  The workaround is to ... pin these memory
+regions."  These tests demonstrate the crash mechanism and both cures
+(full pin and PVDMA's per-block pin).
+"""
+
+import pytest
+
+from repro.core import PvdmaEngine
+from repro.sim.units import GiB
+from repro.virt import Hypervisor, MemoryMode, RunDContainer
+
+
+def make(mode=MemoryMode.PVDMA):
+    hv = Hypervisor()
+    c = RunDContainer("swap", 4 * GiB, hv, memory_mode=mode)
+    c.boot()
+    return hv, c
+
+
+def test_unpinned_dma_mapping_goes_stale_on_swap():
+    """The crash: device DMA and guest view diverge after a swap."""
+    hv, c = make()
+    pvdma = PvdmaEngine(hv)
+    pvdma.dma_prepare(c, 0x0, 4096)
+    # Simulate the pin being absent (pre-Stellar, pre-pinning world).
+    hv.iommu.domain(c.domain_name).pins.unpin(c.hpa_base, 4096)
+    assert hv.swap_out(c, 0x0)
+    assert not hv.device_dma_is_consistent(c, 0x0)
+
+
+def test_pvdma_pin_blocks_the_swap():
+    """PVDMA's on-demand pin protects exactly the blocks devices use."""
+    hv, c = make()
+    pvdma = PvdmaEngine(hv)
+    pvdma.dma_prepare(c, 0x0, 4096)
+    assert not hv.swap_out(c, 0x0)           # pinned: refused
+    assert hv.device_dma_is_consistent(c, 0x0)
+    # An untouched region is still swappable — that is PVDMA's economy.
+    far = 1 << 30
+    assert hv.swap_out(c, far)
+
+
+def test_full_pin_blocks_all_swaps():
+    hv, c = make(mode=MemoryMode.FULL_PIN)
+    assert not hv.swap_out(c, 0x0)
+    assert not hv.swap_out(c, 1 << 30)
+
+
+def test_swap_moves_the_guest_backing():
+    hv, c = make()
+    before = hv.mmu.translate(c.name, 0x0)
+    assert hv.swap_out(c, 0x0)
+    after = hv.mmu.translate(c.name, 0x0)
+    assert after != before
