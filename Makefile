@@ -2,13 +2,23 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench tour examples all clean
+.PHONY: install test lint bench tour examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	pytest tests/
+
+# Ruff when available (CI installs it); syntax-only fallback otherwise so
+# the target stays usable in the dependency-frozen container.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; running syntax-only fallback (pip install ruff for the full lint)"; \
+		$(PYTHON) -m compileall -q src tests benchmarks examples; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

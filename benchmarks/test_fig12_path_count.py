@@ -11,7 +11,6 @@ from repro.analysis import Table
 from repro.core import make_selector
 from repro.net import DualPlaneTopology, ServerAddress, StaticLoadModel
 from repro.sim.rng import RngStream
-from repro.sim.units import GB
 
 CONNECTIONS = 16
 DURATION = 0.5  # seconds of offered traffic

@@ -9,8 +9,6 @@ import pytest
 
 from repro import calibration
 from repro.analysis import Table, format_bytes_axis
-from repro.memory import MemoryKind
-from repro.pcie import AddressType
 from repro.workloads import gdr_datapath_curve
 
 

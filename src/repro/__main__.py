@@ -49,7 +49,6 @@ def tour_spray():
     from repro.core import make_selector
     from repro.net import DualPlaneTopology, ServerAddress, StaticLoadModel
     from repro.sim.rng import RngStream
-    from repro.sim.units import GB
 
     topology = DualPlaneTopology(segments=2, servers_per_segment=2, rails=1)
     table = Table("Figure 12 (trimmed): uplink imbalance vs path count",
@@ -71,11 +70,63 @@ def tour_quickstart():
     import examples.quickstart  # noqa: F401  (path fallback below)
 
 
+#: The telemetry probe result shared between the metrics tour and the
+#: --trace/--metrics exporters (run at most once per invocation).
+_PROBE = None
+
+
+def ensure_probe():
+    """Run the canned full-stack telemetry probe once; return its result."""
+    global _PROBE
+    if _PROBE is None:
+        from repro.obs.probe import run_probe
+
+        _PROBE = run_probe()
+    return _PROBE
+
+
+def tour_metrics():
+    """The Neohost-style counter report for a canned full-stack run."""
+    from repro.analysis import render_report
+    from repro.obs import metrics_document
+
+    probe = ensure_probe()
+    for title, report in probe.reports():
+        render_report(title, report).print()
+    document = metrics_document(probe.registry)
+    summary = Table("Metrics registry summary", ["family", "instruments"])
+    for family in document["families"]:
+        summary.add_row(
+            family,
+            sum(1 for name in document["metrics"] if name.startswith(family + ".")),
+        )
+    summary.print()
+
+
 TOURS = {
     "startup": tour_startup,
     "gdr": tour_gdr,
     "spray": tour_spray,
+    "metrics": tour_metrics,
 }
+
+
+def export_telemetry(args):
+    """Handle --trace/--metrics/--timeseries by running the probe and
+    writing its artifacts."""
+    from repro.obs import write_chrome_trace, write_metrics_json
+
+    probe = ensure_probe()
+    if args.trace:
+        count = write_chrome_trace(probe.tracer, args.trace)
+        print("trace: %d events -> %s (open in https://ui.perfetto.dev)"
+              % (count, args.trace))
+    if args.metrics:
+        count = write_metrics_json(probe.registry, args.metrics)
+        print("metrics: %d instruments -> %s" % (count, args.metrics))
+    if args.timeseries:
+        count = probe.sampler.dump(args.timeseries)
+        print("timeseries: %d samples -> %s" % (count, args.timeseries))
 
 
 def main(argv=None):
@@ -87,11 +138,26 @@ def main(argv=None):
         "tour", nargs="?", choices=sorted(TOURS) + ["all"], default="all",
         help="which trimmed experiment to run (default: all)",
     )
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="export a Chrome trace-event JSON of the telemetry probe run "
+             "(loadable in Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH",
+        help="export the metrics registry snapshot as JSON",
+    )
+    parser.add_argument(
+        "--timeseries", metavar="PATH",
+        help="export the sim-time gauge samples (.csv or .json)",
+    )
     args = parser.parse_args(argv)
     print("repro %s — Alibaba Stellar (SIGCOMM 2025) reproduction" % __version__)
     selected = sorted(TOURS) if args.tour == "all" else [args.tour]
     for name in selected:
         TOURS[name]()
+    if args.trace or args.metrics or args.timeseries:
+        export_telemetry(args)
     print("\nFull regeneration: pytest benchmarks/ --benchmark-only -s")
     return 0
 

@@ -2,6 +2,7 @@
 
 from repro.analysis.diagnostics import (
     fabric_report,
+    metrics_report,
     network_report,
     pvdma_report,
     render_report,
@@ -19,6 +20,7 @@ from repro.analysis.stats import (
 
 __all__ = [
     "fabric_report",
+    "metrics_report",
     "network_report",
     "pvdma_report",
     "render_report",

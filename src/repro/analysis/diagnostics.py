@@ -4,6 +4,11 @@ The paper leans on Mellanox Neohost and Intel pcm-iio to diagnose the
 Figure 8 regressions; operators of this reproduction get the same view —
 structured counter snapshots for RNICs, the PCIe fabric, PVDMA, and the
 packet-level network.
+
+Every report is assembled from the components' **public** ``snapshot()``
+APIs (no private-attribute access); the same snapshots feed the
+:mod:`repro.obs` metrics registry, so a report and a ``--metrics`` dump
+always agree.
 """
 
 from repro.analysis.report import Table
@@ -11,72 +16,33 @@ from repro.analysis.report import Table
 
 def rnic_report(nic):
     """Counter snapshot for one RNIC (physical or vStellar)."""
-    report = {
-        "name": nic.name,
-        "mode": nic.mode.value,
-        "ops_executed": nic.ops_executed,
-        "bytes_sent": nic.bytes_sent,
-        "bytes_received": nic.bytes_received,
-        "mtt_entries": len(nic.mtt),
-        "mtt_lookups": nic.mtt.lookups,
-    }
-    if nic.atc is not None:
-        report["atc_hit_rate"] = nic.atc.cache.hit_rate
-        report["atc_evictions"] = nic.atc.cache.evictions
-    if hasattr(nic, "vdevices"):
-        report["vdevices"] = len(nic.vdevices)
-        report["vdev_bytes_sent"] = nic.vdev_bytes_sent
-    if hasattr(nic, "doorbell_rings"):
-        report["doorbell_rings"] = nic.doorbell_rings
-    return report
+    return nic.snapshot()
 
 
 def fabric_report(fabric):
     """PCIe-level telemetry: LUT pressure, RC reflections, IOTLB health."""
-    rc = fabric.root_complex
-    return {
-        "switches": [
-            {
-                "name": switch.name,
-                "functions": len(switch.functions),
-                "lut_used": switch.lut_capacity - switch.lut_free,
-                "lut_capacity": switch.lut_capacity,
-                "p2p_tlps": switch.p2p_tlps,
-                "upstream_tlps": switch.upstream_tlps,
-            }
-            for switch in fabric.switches
-        ],
-        "rc_tlps": rc.tlps_processed,
-        "rc_p2p_reflected_tlps": rc.p2p_reflected_tlps,
-        "rc_p2p_reflected_bytes": rc.p2p_reflected_bytes,
-        "iotlb_hit_rate": fabric.iommu.iotlb.hit_rate,
-        "iotlb_size": len(fabric.iommu.iotlb),
-    }
+    return fabric.snapshot()
 
 
 def pvdma_report(pvdma, containers):
     """Map-cache and pinning economics per container."""
+    snap = pvdma.snapshot()
     rows = []
     for container in containers:
-        stats = pvdma.stats(container)
-        rows.append({
-            "container": container.name,
-            "map_cache_blocks": len(pvdma.cached_blocks(container)),
-            "hits": stats.hits,
-            "misses": stats.misses,
-            "pinned_bytes": len(pvdma.cached_blocks(container))
-            * pvdma.block_size,
-        })
-    return {"block_size": pvdma.block_size,
-            "total_pin_seconds": pvdma.total_pin_seconds,
+        per = snap["containers"].get(container.name)
+        if per is None:
+            per = {"map_cache_blocks": 0, "hits": 0, "misses": 0,
+                   "pinned_bytes": 0}
+        rows.append(dict(per, container=container.name))
+    return {"block_size": snap["block_size"],
+            "total_pin_seconds": snap["total_pin_seconds"],
             "containers": rows}
 
 
 def network_report(sim, top_n=10):
     """The busiest ports of a packet-level simulation."""
     ports = sorted(
-        sim._ports.values(), key=lambda p: p.bytes_tx + p.queue_max,
-        reverse=True,
+        sim.ports(), key=lambda p: p.bytes_tx + p.queue_max, reverse=True,
     )[:top_n]
     return {
         "packets_delivered": sim.packets_delivered,
@@ -92,6 +58,14 @@ def network_report(sim, top_n=10):
             for port in ports
         ],
     }
+
+
+def metrics_report(registry, prefix=None):
+    """The full registry snapshot as a report dict (Neohost "all counters").
+
+    ``prefix`` narrows to one instrument family (``"rnic."``, ``"net."``).
+    """
+    return registry.snapshot(prefix=prefix)
 
 
 def render_report(title, report):

@@ -5,7 +5,7 @@ models import from here rather than hard-coding numbers so that the mapping
 from the paper's measurements to our simulators is auditable in one place.
 """
 
-from repro.sim.units import GB, Gbps, KiB, MiB, TiB, usec
+from repro.sim.units import GB, Gbps, KiB, MiB, usec
 
 # ---------------------------------------------------------------------------
 # Host / container startup (Section 3.1 problem 2, Section 5, Figure 6)

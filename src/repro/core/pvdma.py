@@ -54,6 +54,30 @@ class PvdmaEngine:
     def cached_blocks(self, container):
         return dict(self._map_cache.get(container.name, {}))
 
+    # -- telemetry --------------------------------------------------------
+
+    def snapshot(self):
+        """Public Map-Cache counter snapshot across every known container."""
+        containers = {}
+        for name, stats in self._stats.items():
+            blocks = len(self._map_cache.get(name, {}))
+            containers[name] = {
+                "map_cache_blocks": blocks,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "pinned_bytes": blocks * self.block_size,
+            }
+        return {
+            "block_size": self.block_size,
+            "total_pin_seconds": self.total_pin_seconds,
+            "containers": containers,
+        }
+
+    def register_metrics(self, registry, prefix="pvdma"):
+        """Expose Map-Cache economics under ``pvdma.*``."""
+        registry.add_provider(prefix, self.snapshot)
+        return registry
+
     def _blocks(self, gpa, length):
         if length <= 0:
             raise PvdmaError("DMA length must be positive: %r" % length)

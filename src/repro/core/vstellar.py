@@ -158,6 +158,12 @@ class VStellarDevice(BaseRnic):
         self.parent.vdev_bytes_sent += self.bytes_sent - before
         return latency
 
+    def snapshot(self):
+        snap = super().snapshot()
+        snap["doorbell_rings"] = self.doorbell_rings
+        snap["pasid"] = self.pasid
+        return snap
+
     def __repr__(self):
         return "VStellarDevice(%r, pasid=%d, shm_vdb=%s)" % (
             self.name,
@@ -246,6 +252,19 @@ class StellarRnic(BaseRnic):
             self.fabric.root_complex.unbind_domain(
                 self.function.bdf, pasid=device.pasid
             )
+
+    def snapshot(self):
+        snap = super().snapshot()
+        snap["vdevices"] = len(self.vdevices)
+        snap["vdev_bytes_sent"] = self.vdev_bytes_sent
+        return snap
+
+    def register_metrics(self, registry, prefix=None):
+        """Register the physical NIC and every live vDevice."""
+        super().register_metrics(registry, prefix=prefix)
+        for device in self.vdevices.values():
+            device.register_metrics(registry)
+        return registry
 
     def __repr__(self):
         return "StellarRnic(%r, vdevices=%d/%d)" % (

@@ -86,6 +86,18 @@ class TranslationCache:
     def miss_rate(self):
         return self.misses / self.accesses if self.accesses else 0.0
 
+    def snapshot(self):
+        """Public counter snapshot (what the metrics registry exports)."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
     def reset_counters(self):
         """Zero the statistics without disturbing cache contents.
 

@@ -83,6 +83,20 @@ class Iommu:
         self._domains = {}
         self.total_config_seconds = 0.0
 
+    def snapshot(self):
+        """Public IOTLB/domain counter snapshot."""
+        snap = {"mode": self.mode.value, "domains": len(self._domains),
+                "total_config_seconds": self.total_config_seconds}
+        snap.update(
+            ("iotlb_%s" % key, value) for key, value in self.iotlb.snapshot().items()
+        )
+        return snap
+
+    def register_metrics(self, registry, prefix="mem.iommu"):
+        """Expose IOTLB health under ``mem.iommu.*``."""
+        registry.add_provider(prefix, self.snapshot)
+        return registry
+
     # -- domain lifecycle ---------------------------------------------------
 
     def create_domain(self, name, pin_block_size=calibration.PVDMA_BLOCK_BYTES):

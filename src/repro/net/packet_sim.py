@@ -75,6 +75,19 @@ class PortState:
     def queue_avg(self):
         return self.queue_sample_sum / self.queue_samples if self.queue_samples else 0.0
 
+    def snapshot(self, now=0.0):
+        """Public counter snapshot for one port (Neohost port counters)."""
+        return {
+            "bytes_tx": self.bytes_tx,
+            "packets_tx": self.packets_tx,
+            "queue_depth": self.queue_bytes(now),
+            "queue_avg": self.queue_avg,
+            "queue_max": self.queue_max,
+            "ecn_marks": self.ecn_marks,
+            "drops_random": self.drops_random,
+            "drops_overflow": self.drops_overflow,
+        }
+
 
 class PacketNetSim:
     """The event-driven fabric: ports + packet forwarding."""
@@ -85,6 +98,7 @@ class PacketNetSim:
         seed=0,
         ecn_threshold=DEFAULT_ECN_THRESHOLD_BYTES,
         max_queue=DEFAULT_MAX_QUEUE_BYTES,
+        tracer=None,
     ):
         self.topology = topology
         self.scheduler = EventScheduler()
@@ -94,10 +108,58 @@ class PacketNetSim:
         self._ports = {}
         self.packets_delivered = 0
         self.packets_dropped = 0
+        self.tracer = None
+        self._latency_hist = None
+        if tracer is not None:
+            self.set_tracer(tracer)
 
     @property
     def now(self):
         return self.scheduler.now
+
+    # -- telemetry --------------------------------------------------------
+
+    def set_tracer(self, tracer):
+        """Attach a tracer to the sim and its scheduler (None to detach)."""
+        self.tracer = self.scheduler.set_tracer(tracer)
+        return self.tracer
+
+    def register_metrics(self, registry, prefix="net"):
+        """Expose fabric counters under ``net.*`` and start the latency
+        histogram (``net.packet.latency_us``).
+
+        Per-port counters appear as ``net.port.<link>.*`` as ports are
+        touched; the scheduler rides along under ``scheduler.*``.
+        """
+        from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_US
+
+        registry.add_provider(prefix + ".sim", self.snapshot)
+        registry.add_provider(prefix + ".port", self._port_snapshots)
+        self._latency_hist = registry.histogram(
+            prefix + ".packet.latency_us",
+            bounds=DEFAULT_LATENCY_BUCKETS_US,
+            description="end-to-end delivered packet latency (sim us)",
+        )
+        self.scheduler.register_metrics(registry)
+        return registry
+
+    def ports(self):
+        """All materialized port states (public accessor for diagnostics)."""
+        return list(self._ports.values())
+
+    def snapshot(self):
+        """Public top-level counter snapshot of the fabric."""
+        return {
+            "packets_delivered": self.packets_delivered,
+            "packets_dropped": self.packets_dropped,
+            "ports": len(self._ports),
+        }
+
+    def _port_snapshots(self):
+        now = self.now
+        return {
+            repr(port.ref): port.snapshot(now) for port in self._ports.values()
+        }
 
     def port(self, ref):
         state = self._ports.get(ref)
@@ -126,7 +188,10 @@ class PacketNetSim:
     def _hop(self, route, index, size, ecn, start_time, on_delivered, on_dropped):
         if index >= len(route):
             self.packets_delivered += 1
-            on_delivered(self.now - start_time, ecn)
+            latency = self.now - start_time
+            if self._latency_hist is not None:
+                self._latency_hist.observe(latency * 1e6)
+            on_delivered(latency, ecn)
             return
         port = self.port(route[index])
         queue = port.sample_queue(self.now)
@@ -139,6 +204,11 @@ class PacketNetSim:
             dropped = True
         if dropped:
             self.packets_dropped += 1
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "packet.drop", self.now, track="net",
+                    args={"link": repr(route[index]), "bytes": size},
+                )
             if on_dropped is not None:
                 on_dropped(route[index])
             return
@@ -296,6 +366,12 @@ class MessageFlow:
         #: where one loss retransmits the entire tail of the window.
         self.recovery = recovery
         self.on_complete = None
+        if sim.tracer is not None:
+            sim.tracer.async_begin(
+                "flow", id=flow_id, ts=start_time, track="flows",
+                args={"flow": repr(flow_id), "bytes": message_bytes,
+                      "algorithm": algorithm},
+            )
         sim.scheduler.schedule_at(start_time, self._pump)
 
     @property
@@ -366,6 +442,12 @@ class MessageFlow:
         self.conn.on_ack(path, size, rtt=rtt, ecn=ecn, now=self.sim.now)
         if self.bytes_acked >= self.message_bytes and self.finish_time is None:
             self.finish_time = self.sim.now
+            if self.sim.tracer is not None:
+                self.sim.tracer.async_end(
+                    "flow", id=self.flow_id, ts=self.finish_time, track="flows",
+                    args={"retransmissions": self.conn.retransmissions,
+                          "rtos": self.rto_count},
+                )
             if self.on_complete is not None:
                 self.on_complete(self)
             return
@@ -375,6 +457,11 @@ class MessageFlow:
         if seq not in self._outstanding:
             return
         self.rto_count += 1
+        if self.sim.tracer is not None:
+            self.sim.tracer.instant(
+                "flow.rto", self.sim.now, track="flows",
+                args={"flow": repr(self.flow_id), "seq": seq, "path": path},
+            )
         self.conn.on_loss(path)
         if self.recovery == "go_back_n":
             # Classic RoCE: the loss invalidates every later in-flight

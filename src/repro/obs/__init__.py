@@ -1,0 +1,60 @@
+"""Unified observability: metrics registry, sim-time tracing, exporters.
+
+The reproduction's Neohost/pcm-iio analog (Section 4 of the paper leans
+on both to diagnose the Figure 8 regressions):
+
+* :mod:`repro.obs.metrics` — ``Counter``/``Gauge``/``Histogram``
+  instruments and snapshot providers in a :class:`MetricsRegistry`;
+* :mod:`repro.obs.trace` — sim-time span/instant/counter events with
+  Chrome trace-event (Perfetto) export and a zero-overhead
+  :class:`NullTracer`;
+* :mod:`repro.obs.sampler` — fixed-cadence gauge sampling (the Figure
+  9/10 time series) with JSON/CSV dumps;
+* :mod:`repro.obs.export` — file writers and trace validation;
+* :mod:`repro.obs.probe` — the canned full-stack run behind
+  ``python -m repro metrics`` (imported lazily; pulls in the whole
+  stack).
+"""
+
+from repro.obs.export import (
+    load_chrome_trace,
+    metrics_document,
+    write_chrome_trace,
+    write_metrics_csv,
+    write_metrics_json,
+)
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS_US,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    flatten,
+    get_registry,
+    set_registry,
+)
+from repro.obs.sampler import TimeSeriesSampler
+from repro.obs.trace import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+__all__ = [
+    "load_chrome_trace",
+    "metrics_document",
+    "write_chrome_trace",
+    "write_metrics_csv",
+    "write_metrics_json",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_US",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "flatten",
+    "get_registry",
+    "set_registry",
+    "TimeSeriesSampler",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+]

@@ -1,0 +1,73 @@
+"""File exporters: Chrome trace JSON and metrics snapshots (JSON/CSV).
+
+The trace file loads directly in https://ui.perfetto.dev or
+``chrome://tracing``; the metrics JSON is the Neohost-style dump the
+acceptance experiments diff.
+"""
+
+import csv
+import json
+
+
+def write_chrome_trace(tracer, path):
+    """Write ``tracer`` as ``{"traceEvents": [...]}``; returns event count."""
+    with open(path, "w") as handle:
+        json.dump(tracer.to_chrome(), handle)
+    return len(tracer)
+
+
+def metrics_document(registry):
+    """The exportable JSON document for one registry snapshot."""
+    snapshot = registry.snapshot()
+    return {
+        "generator": "repro.obs",
+        "registry": registry.name,
+        "families": sorted({name.split(".", 1)[0] for name in snapshot}),
+        "metrics": snapshot,
+    }
+
+
+def write_metrics_json(registry, path):
+    """Dump the registry snapshot as JSON; returns the metric count."""
+    document = metrics_document(registry)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+    return len(document["metrics"])
+
+
+def write_metrics_csv(registry, path):
+    """Dump the registry snapshot as two-column CSV (counter, value)."""
+    snapshot = registry.snapshot()
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["counter", "value"])
+        for name, value in snapshot.items():
+            writer.writerow([name, value])
+    return len(snapshot)
+
+
+def load_chrome_trace(path):
+    """Load and validate a Chrome trace file (used by tests and tooling).
+
+    Raises ``ValueError`` if the document is not a trace-event container
+    or any track's timestamps go backwards.
+    """
+    with open(path) as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError("%s is not a Chrome trace-event document" % path)
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    last_ts = {}
+    for event in events:
+        if event.get("ph") == "M":
+            continue
+        key = (event.get("pid"), event.get("tid"))
+        ts = event["ts"]
+        if key in last_ts and ts < last_ts[key]:
+            raise ValueError(
+                "track %r timestamps regress: %g after %g" % (key, ts, last_ts[key])
+            )
+        last_ts[key] = ts
+    return document

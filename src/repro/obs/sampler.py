@@ -1,0 +1,104 @@
+"""Sim-time cadence sampling of registry gauges into a time series.
+
+Figure 9's queue-depth curves and Figure 10/11's goodput-under-load
+series are built from switch counters polled on a fixed cadence; this
+sampler is that poller.  It schedules itself on the component's
+:class:`~repro.sim.engine.EventScheduler`, records the numeric leaves of
+a :class:`~repro.obs.metrics.MetricsRegistry` snapshot each tick, and
+dumps the series as JSON or CSV.
+"""
+
+import csv
+import json
+
+
+class TimeSeriesSampler:
+    """Periodic registry sampling driven by the event scheduler."""
+
+    def __init__(self, scheduler, registry, interval=100e-6, prefixes=None,
+                 max_samples=None):
+        if interval <= 0:
+            raise ValueError("sample interval must be positive: %r" % interval)
+        self.scheduler = scheduler
+        self.registry = registry
+        self.interval = interval
+        #: Only sample instrument names starting with one of these.
+        self.prefixes = tuple(prefixes) if prefixes else None
+        self.max_samples = max_samples
+        self.samples = []  # [(sim seconds, {name: numeric value})]
+        self._running = False
+
+    def start(self):
+        """Begin sampling now and every ``interval`` sim seconds after."""
+        if self._running:
+            return self
+        self._running = True
+        self.scheduler.schedule(0.0, self._tick)
+        return self
+
+    def stop(self):
+        self._running = False
+
+    def _tick(self):
+        if not self._running:
+            return
+        self.samples.append((self.scheduler.now, self._read()))
+        if self.max_samples is not None and len(self.samples) >= self.max_samples:
+            self._running = False
+            return
+        self.scheduler.schedule(self.interval, self._tick)
+
+    def _read(self):
+        snap = self.registry.snapshot()
+        row = {}
+        for name, value in snap.items():
+            if self.prefixes is not None and not name.startswith(self.prefixes):
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            row[name] = value
+        return row
+
+    # -- access ----------------------------------------------------------
+
+    def series(self, name):
+        """``[(t, value)]`` for one instrument across all samples."""
+        return [(t, row[name]) for t, row in self.samples if name in row]
+
+    def columns(self):
+        """Every instrument name seen in any sample, sorted."""
+        names = set()
+        for _, row in self.samples:
+            names.update(row)
+        return sorted(names)
+
+    # -- dumps -----------------------------------------------------------
+
+    def rows(self):
+        """List of ``{"t": seconds, <name>: value, ...}`` dicts."""
+        return [dict(row, t=t) for t, row in self.samples]
+
+    def dump_json(self, path):
+        with open(path, "w") as handle:
+            json.dump({"interval": self.interval, "samples": self.rows()}, handle)
+        return len(self.samples)
+
+    def dump_csv(self, path):
+        columns = self.columns()
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["t"] + columns)
+            for t, row in self.samples:
+                writer.writerow([repr(t)] + [row.get(name, "") for name in columns])
+        return len(self.samples)
+
+    def dump(self, path):
+        """Dump by extension: ``.csv`` -> CSV, anything else -> JSON."""
+        if str(path).endswith(".csv"):
+            return self.dump_csv(path)
+        return self.dump_json(path)
+
+    def __repr__(self):
+        return "TimeSeriesSampler(interval=%gs, %d samples)" % (
+            self.interval, len(self.samples),
+        )

@@ -31,6 +31,15 @@ class RootComplex:
         #: Sustained ceiling for RC-reflected peer traffic (Figure 14).
         self.p2p_ceiling_rate = calibration.GDR_RC_ROUTED_RATE
 
+    def snapshot(self):
+        """Public counter snapshot: processed and reflected TLP totals."""
+        return {
+            "tlps_processed": self.tlps_processed,
+            "p2p_reflected_tlps": self.p2p_reflected_tlps,
+            "p2p_reflected_bytes": self.p2p_reflected_bytes,
+            "domains_bound": len(self._domains),
+        }
+
     def add_port(self, switch):
         self._ports.append(switch)
         switch.upstream = self

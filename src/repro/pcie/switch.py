@@ -58,6 +58,17 @@ class PcieSwitch:
     def functions(self):
         return list(self._functions.values())
 
+    def snapshot(self):
+        """Public counter snapshot: LUT pressure and routed-TLP counts."""
+        return {
+            "name": self.name,
+            "functions": len(self._functions),
+            "lut_used": self.lut_capacity - self.lut_free,
+            "lut_capacity": self.lut_capacity,
+            "p2p_tlps": self.p2p_tlps,
+            "upstream_tlps": self.upstream_tlps,
+        }
+
     # -- LUT management -----------------------------------------------------
 
     def register_lut(self, bdf):

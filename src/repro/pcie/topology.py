@@ -37,6 +37,36 @@ class PcieFabric:
         self.switches = []
         self._functions = {}  # Bdf -> PcieFunction
 
+    # -- telemetry ------------------------------------------------------
+
+    def snapshot(self):
+        """Public fabric-wide counter snapshot (the pcm-iio analog).
+
+        Shape matches :func:`repro.analysis.diagnostics.fabric_report`:
+        per-switch LUT/TLP counters plus root-complex and IOTLB health.
+        """
+        rc = self.root_complex
+        snap = {
+            "switches": [switch.snapshot() for switch in self.switches],
+            "rc_tlps": rc.tlps_processed,
+            "rc_p2p_reflected_tlps": rc.p2p_reflected_tlps,
+            "rc_p2p_reflected_bytes": rc.p2p_reflected_bytes,
+            "iotlb_hit_rate": self.iommu.iotlb.hit_rate,
+            "iotlb_size": len(self.iommu.iotlb),
+        }
+        return snap
+
+    def register_metrics(self, registry, prefix="pcie"):
+        """Expose switch/RC counters under ``pcie.*`` and the IOMMU under
+        ``mem.iommu.*``."""
+        registry.add_provider(prefix + ".rc", self.root_complex.snapshot)
+        registry.add_provider(
+            prefix + ".switch",
+            lambda: {switch.name: switch.snapshot() for switch in self.switches},
+        )
+        self.iommu.register_metrics(registry)
+        return registry
+
     # -- assembly -------------------------------------------------------
 
     def add_switch(self, name=None, lut_capacity=None):

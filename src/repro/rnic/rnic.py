@@ -9,7 +9,7 @@ import itertools
 
 from repro import calibration
 from repro.pcie.atc import DeviceAtc
-from repro.pcie.tlp import Tlp, TlpKind
+from repro.pcie.tlp import Tlp
 from repro.rnic.datapath import DatapathMode, RnicDatapath
 from repro.rnic.mtt import Mtt
 from repro.rnic.verbs import (
@@ -84,6 +84,36 @@ class BaseRnic:
     def wire_rate(self):
         """Aggregate line rate across ports (bits/second)."""
         return self.ports * self.port_rate
+
+    # -- telemetry --------------------------------------------------------
+
+    def snapshot(self):
+        """Public counter snapshot (the Neohost per-NIC counter page).
+
+        Subclasses extend this with their own counters; diagnostics and the
+        metrics registry both consume it, so nothing needs to reach into
+        private attributes.
+        """
+        snap = {
+            "name": self.name,
+            "mode": self.mode.value,
+            "ops_executed": self.ops_executed,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "mtt_entries": len(self.mtt),
+            "mtt_lookups": self.mtt.lookups,
+            "qps": len(self._qps),
+            "mrs": len(self._mrs_by_rkey),
+        }
+        if self.atc is not None:
+            snap["atc_hit_rate"] = self.atc.cache.hit_rate
+            snap["atc_evictions"] = self.atc.cache.evictions
+        return snap
+
+    def register_metrics(self, registry, prefix=None):
+        """Expose this NIC's counters under ``rnic.<name>.*``."""
+        registry.add_provider(prefix or "rnic.%s" % self.name, self.snapshot)
+        return registry
 
     # -- verbs ------------------------------------------------------------
 

@@ -8,6 +8,7 @@ in timestamp order until the queue drains or a time/ event budget is hit.
 
 import heapq
 import itertools
+import time
 
 
 class SimProcessError(RuntimeError):
@@ -40,11 +41,42 @@ class Event:
 class EventScheduler:
     """Discrete-event run loop with deterministic tie-breaking."""
 
-    def __init__(self, start_time=0.0):
+    #: Emit a queue-depth counter sample every N traced callbacks.
+    QUEUE_SAMPLE_EVERY = 32
+
+    def __init__(self, start_time=0.0, tracer=None):
         self.now = float(start_time)
         self._heap = []
         self._counter = itertools.count()
         self.events_executed = 0
+        self.tracer = None
+        if tracer is not None:
+            self.set_tracer(tracer)
+
+    def set_tracer(self, tracer):
+        """Attach a :class:`repro.obs.trace.Tracer` (or ``None`` to detach).
+
+        Disabled tracers (``NULL_TRACER``) normalize to ``None`` so the run
+        loop's only overhead when tracing is off is one ``is not None``
+        test per event.
+        """
+        if tracer is not None and not getattr(tracer, "enabled", True):
+            tracer = None
+        self.tracer = tracer
+        return tracer
+
+    def register_metrics(self, registry, prefix="scheduler"):
+        """Expose run-loop health under ``scheduler.*`` in ``registry``."""
+        registry.add_provider(prefix, self.snapshot)
+        return registry
+
+    def snapshot(self):
+        """Public counter snapshot of the run loop."""
+        return {
+            "now": self.now,
+            "events_executed": self.events_executed,
+            "queue_len": len(self._heap),
+        }
 
     def schedule(self, delay, callback):
         """Schedule ``callback()`` to run ``delay`` seconds from now."""
@@ -76,7 +108,21 @@ class EventScheduler:
                 continue
             self.now = event.time
             self.events_executed += 1
+            tracer = self.tracer
+            if tracer is None:
+                event.callback()
+                return True
+            from repro.obs.trace import callback_name
+
+            wall_start = time.perf_counter()
             event.callback()
+            wall = time.perf_counter() - wall_start
+            depth = None
+            if self.events_executed % self.QUEUE_SAMPLE_EVERY == 0:
+                depth = len(self._heap)
+            tracer.record_callback(
+                event.time, callback_name(event.callback), wall, queue_depth=depth
+            )
             return True
         return False
 

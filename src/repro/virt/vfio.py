@@ -7,8 +7,6 @@ mapping must never change underneath the device, so the hypervisor pins
 start-up cost PVDMA later removes.
 """
 
-from repro import calibration
-from repro.memory.address import MemoryKind
 
 
 class VfioError(Exception):

@@ -3,7 +3,6 @@ spraying (paper Sections 7.1 and 9)."""
 
 import collections
 
-import pytest
 
 from repro.core import make_selector
 from repro.core.spray import EXTENDED_ALGORITHMS, FlowletSelector

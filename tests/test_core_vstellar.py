@@ -4,7 +4,6 @@ import pytest
 
 from repro import calibration
 from repro.core import (
-    EmttRegistrar,
     StellarHost,
     VStellarError,
 )
@@ -12,7 +11,6 @@ from repro.memory import MemoryKind
 from repro.pcie import AddressType
 from repro.rnic import connect_qps
 from repro.sim.units import GiB, MiB
-from repro.virt import MemoryMode
 
 
 @pytest.fixture(scope="module")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.memory import MemoryKind
-from repro.pcie import GpuDevice, PcieError, PcieFabric
+from repro.pcie import PcieError, PcieFabric
 from repro.rnic import BaseRnic
 from repro.sim.units import GiB
 

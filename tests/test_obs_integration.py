@@ -1,0 +1,204 @@
+"""Cross-layer telemetry integration: registry wiring, probe, sampler, CLI."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import metrics_report, render_report
+from repro.net import (
+    DualPlaneTopology,
+    MessageFlow,
+    PacketNetSim,
+    ServerAddress,
+    run_flows,
+)
+from repro.obs import (
+    MetricsRegistry,
+    TimeSeriesSampler,
+    Tracer,
+    load_chrome_trace,
+    metrics_document,
+)
+from repro.obs.probe import run_probe
+from repro.sim.units import KiB, MiB
+
+
+def spray_run(registry, tracer=None, flow_count=2):
+    topology = DualPlaneTopology(segments=2, servers_per_segment=2, rails=1)
+    sim = PacketNetSim(topology, seed=7, tracer=tracer)
+    sim.register_metrics(registry)
+    flows = [
+        MessageFlow(
+            sim, "f%d" % i, ServerAddress(0, 0), ServerAddress(1, 0), 0,
+            message_bytes=256 * KiB, algorithm="obs", path_count=16,
+            mtu=64 * KiB, connection_id=i,
+        )
+        for i in range(flow_count)
+    ]
+    results = run_flows(sim, flows, timeout=0.05)
+    return sim, results
+
+
+class TestNetworkWiring:
+    def test_register_metrics_exposes_net_and_scheduler(self):
+        registry = MetricsRegistry("t")
+        sim, results = spray_run(registry)
+        assert all(r.bytes_acked == 256 * KiB for r in results)
+        snap = registry.snapshot()
+        assert snap["net.sim.packets_delivered"] > 0
+        assert snap["net.packet.latency_us.count"] > 0
+        assert snap["scheduler.events_executed"] > 0
+        assert any(name.startswith("net.port.") for name in snap)
+        assert {"net", "scheduler"} <= set(registry.families())
+
+    def test_ports_accessor_is_public(self):
+        registry = MetricsRegistry("t")
+        sim, _ = spray_run(registry)
+        ports = sim.ports()
+        assert ports, "expected at least one port"
+        snap = ports[0].snapshot(now=sim.scheduler.now)
+        assert {"bytes_tx", "packets_tx", "queue_depth"} <= set(snap)
+
+    def test_flow_spans_traced(self):
+        registry = MetricsRegistry("t")
+        tracer = Tracer("t")
+        sim, results = spray_run(registry, tracer=tracer)
+        begins = [e for e in tracer.events if e.ph == "b" and e.name == "flow"]
+        ends = [e for e in tracer.events if e.ph == "e" and e.name == "flow"]
+        assert len(begins) == len(ends) == len(results)
+        assert {e.id for e in begins} == {e.id for e in ends}
+
+
+class TestSampler:
+    def test_samples_on_cadence(self):
+        registry = MetricsRegistry("t")
+        topology = DualPlaneTopology(segments=2, servers_per_segment=2, rails=1)
+        sim = PacketNetSim(topology, seed=7)
+        sim.register_metrics(registry)
+        sampler = TimeSeriesSampler(
+            sim.scheduler, registry, interval=10e-6, prefixes=("scheduler.",),
+        ).start()
+        flow = MessageFlow(
+            sim, "f0", ServerAddress(0, 0), ServerAddress(1, 0), 0,
+            message_bytes=256 * KiB, algorithm="obs", path_count=16,
+            mtu=64 * KiB, connection_id=0,
+        )
+        run_flows(sim, [flow], timeout=0.05)
+        sampler.stop()
+        assert len(sampler.samples) > 2
+        times = [t for t, _ in sampler.samples]
+        assert times == sorted(times)
+        deltas = {round(b - a, 9) for a, b in zip(times, times[1:])}
+        assert deltas == {10e-6}
+        series = sampler.series("scheduler.events_executed")
+        values = [v for _, v in series]
+        assert values == sorted(values)  # monotone counter
+        assert "scheduler.events_executed" in sampler.columns()
+
+    def test_max_samples_stops(self):
+        registry = MetricsRegistry("t")
+        topology = DualPlaneTopology(segments=2, servers_per_segment=2, rails=1)
+        sim = PacketNetSim(topology, seed=7)
+        sim.register_metrics(registry)
+        sampler = TimeSeriesSampler(
+            sim.scheduler, registry, interval=1e-6, max_samples=3,
+        ).start()
+        sim.scheduler.run(until=1e-3)
+        assert len(sampler.samples) == 3
+
+    def test_dump_formats(self, tmp_path):
+        registry = MetricsRegistry("t")
+        registry.counter("a.count").inc(4)
+        topology = DualPlaneTopology(segments=2, servers_per_segment=2, rails=1)
+        sim = PacketNetSim(topology, seed=7)
+        sampler = TimeSeriesSampler(sim.scheduler, registry, interval=1e-6,
+                                    max_samples=2).start()
+        sim.scheduler.run(until=1e-3)
+        json_path = tmp_path / "ts.json"
+        csv_path = tmp_path / "ts.csv"
+        assert sampler.dump(json_path) == 2
+        assert sampler.dump(csv_path) == 2
+        document = json.loads(json_path.read_text())
+        assert len(document["samples"]) == 2
+        assert document["samples"][0]["a.count"] == 4
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].split(",")[:2] == ["t", "a.count"]
+        assert len(lines) == 3
+
+    def test_rejects_bad_interval(self):
+        topology = DualPlaneTopology(segments=2, servers_per_segment=2, rails=1)
+        sim = PacketNetSim(topology, seed=7)
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(sim.scheduler, MetricsRegistry("t"), interval=0)
+
+
+class TestProbe:
+    @pytest.fixture(scope="class")
+    def probe(self):
+        return run_probe(registry=MetricsRegistry("probe-test"),
+                         tracer=Tracer("probe-test"))
+
+    def test_all_required_families_present(self, probe):
+        families = set(probe.registry.families())
+        assert {"rnic", "pcie", "net", "scheduler"} <= families
+        assert {"pvdma", "mem"} <= families
+
+    def test_flows_complete(self, probe):
+        assert probe.flow_results
+        assert all(r.bytes_acked == 1 * MiB for r in probe.flow_results)
+
+    def test_trace_and_samples_collected(self, probe):
+        assert len(probe.tracer) > 0
+        assert len(probe.sampler.samples) > 0
+
+    def test_reports_render(self, probe):
+        for title, report in probe.reports():
+            table = render_report(title, report)
+            assert table.rows
+
+    def test_metrics_report_helper(self, probe):
+        report = metrics_report(probe.registry, prefix="rnic.")
+        assert report
+        assert all(name.startswith("rnic.") for name in report)
+
+    def test_seeded_probe_is_deterministic(self, probe):
+        """Regression: a second probe with a fresh registry reproduces the
+        first's metric snapshot and rendered reports exactly."""
+        second = run_probe(registry=MetricsRegistry("probe-test-2"),
+                           tracer=Tracer("probe-test-2"))
+        assert second.registry.snapshot() == probe.registry.snapshot()
+        first_text = [
+            (title, render_report(title, report).rows)
+            for title, report in probe.reports()
+        ]
+        second_text = [
+            (title, render_report(title, report).rows)
+            for title, report in second.reports()
+        ]
+        assert first_text == second_text
+
+    def test_metrics_document_shape(self, probe):
+        document = metrics_document(probe.registry)
+        assert document["generator"] == "repro.obs"
+        assert document["metrics"]
+        assert document["families"] == probe.registry.families()
+
+
+@pytest.mark.slow
+class TestCliExport:
+    def test_acceptance_command(self, tmp_path):
+        """The ISSUE.md acceptance command end to end, in a subprocess."""
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.json"
+        subprocess.run(
+            [sys.executable, "-m", "repro", "--trace", str(trace_path),
+             "--metrics", str(metrics_path), "spray"],
+            check=True, timeout=300, capture_output=True,
+        )
+        document = load_chrome_trace(trace_path)  # validates monotonicity
+        assert document["traceEvents"]
+        metrics = json.loads(metrics_path.read_text())
+        assert {"rnic", "pcie", "net", "scheduler"} <= set(metrics["families"])
+        assert metrics["metrics"]

@@ -1,0 +1,184 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    flatten,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value() == 0
+        c.inc()
+        c.inc(41)
+        assert c.value() == 42
+
+    def test_rejects_decrease(self):
+        c = Counter("x")
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        g = Gauge("depth")
+        g.set(7.5)
+        assert g.value() == 7.5
+
+    def test_function_backed(self):
+        backing = {"v": 3}
+        g = Gauge("depth", fn=lambda: backing["v"])
+        assert g.value() == 3
+        backing["v"] = 9
+        assert g.value() == 9
+
+    def test_set_clears_function(self):
+        g = Gauge("depth", fn=lambda: 1)
+        g.set(2)
+        assert g.value() == 2
+
+
+class TestHistogramBucketEdges:
+    """``value <= bound`` semantics: an observation exactly on an edge
+    lands in that edge's bucket, not the next one."""
+
+    def test_edge_values_land_in_their_bucket(self):
+        h = Histogram("lat", bounds=(10.0, 20.0, 50.0))
+        h.observe(10.0)   # == first bound -> first bucket
+        h.observe(10.1)   # just above -> second bucket
+        h.observe(20.0)   # == second bound -> second bucket
+        h.observe(50.0)   # == last bound -> third bucket
+        h.observe(50.001)  # above all bounds -> overflow
+        assert h.counts == [1, 2, 1, 1]
+
+    def test_snapshot_le_keys(self):
+        h = Histogram("lat", bounds=(10.0, 20.0))
+        for v in (5, 15, 25):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["le_10"] == 1
+        assert snap["le_20"] == 1
+        assert snap["le_inf"] == 1
+        assert snap["count"] == 3
+        assert snap["sum"] == 45.0
+        assert snap["mean"] == 15.0
+
+    def test_quantiles_are_bucket_resolution(self):
+        h = Histogram("lat", bounds=(10.0, 20.0, 50.0))
+        for _ in range(98):
+            h.observe(5.0)
+        h.observe(15.0)
+        h.observe(45.0)
+        assert h.quantile(0.5) == 10.0
+        assert h.quantile(0.99) == 20.0
+        assert h.quantile(1.0) == 50.0
+
+    def test_empty_histogram(self):
+        h = Histogram("lat", bounds=(10.0,))
+        assert h.mean == 0.0
+        assert h.quantile(0.5) == 0.0
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(MetricError):
+            Histogram("lat", bounds=())
+        with pytest.raises(MetricError):
+            Histogram("lat", bounds=(20.0, 10.0))
+        with pytest.raises(MetricError):
+            Histogram("lat", bounds=(10.0, 10.0))
+
+    def test_quantile_out_of_range(self):
+        h = Histogram("lat", bounds=(10.0,))
+        with pytest.raises(MetricError):
+            h.quantile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("rnic.r0.bytes_sent")
+        b = reg.counter("rnic.r0.bytes_sent")
+        assert a is b
+
+    def test_type_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(MetricError):
+            reg.gauge("x")
+        with pytest.raises(MetricError):
+            reg.histogram("x")
+
+    def test_snapshot_is_flat_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b.count").inc(2)
+        reg.gauge("a.depth").set(1)
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap == {"a.depth": 1, "b.count": 2}
+
+    def test_histogram_expands_in_snapshot(self):
+        reg = MetricsRegistry()
+        reg.histogram("net.lat", bounds=(10.0,)).observe(5)
+        snap = reg.snapshot()
+        assert snap["net.lat.count"] == 1
+        assert snap["net.lat.le_10"] == 1
+        assert snap["net.lat.le_inf"] == 0
+
+    def test_provider_replacement(self):
+        reg = MetricsRegistry()
+        reg.add_provider("net.sim", lambda: {"packets": 1})
+        reg.add_provider("net.sim", lambda: {"packets": 2})
+        assert reg.snapshot() == {"net.sim.packets": 2}
+
+    def test_provider_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.add_provider("net.sim", lambda: {"packets": 1})
+        reg.counter("rnic.r0.ops").inc()
+        assert reg.snapshot(prefix="net.") == {"net.sim.packets": 1}
+
+    def test_empty_provider_prefix_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricError):
+            reg.add_provider("", dict)
+
+    def test_families(self):
+        reg = MetricsRegistry()
+        reg.counter("rnic.r0.ops")
+        reg.add_provider("net.sim", lambda: {"packets": 0})
+        assert reg.families() == ["net", "rnic"]
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        reg.add_provider("y", dict)
+        reg.clear()
+        assert reg.snapshot() == {}
+
+    def test_default_registry_swap(self):
+        fresh = MetricsRegistry("test")
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+
+
+class TestFlatten:
+    def test_nested_dicts_and_lists(self):
+        report = {"a": {"b": 1, "rows": [{"c": 2}, 3]}}
+        assert flatten(report, prefix="p") == {
+            "p.a.b": 1,
+            "p.a.rows[0].c": 2,
+            "p.a.rows[1]": 3,
+        }
+
+    def test_no_prefix(self):
+        assert flatten({"a": 1}) == {"a": 1}

@@ -15,7 +15,7 @@ from repro.net import (
     run_flows,
 )
 from repro.sim.rng import RngStream
-from repro.sim.units import Gbps, MB
+from repro.sim.units import Gbps
 
 
 @settings(max_examples=40, deadline=None)

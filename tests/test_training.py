@@ -4,7 +4,6 @@ import pytest
 
 from repro.training import (
     Framework,
-    GPT_200B,
     LLAMA_2B,
     LLAMA_33B,
     ParallelStrategy,

@@ -7,7 +7,6 @@ regions."  These tests demonstrate the crash mechanism and both cures
 (full pin and PVDMA's per-block pin).
 """
 
-import pytest
 
 from repro.core import PvdmaEngine
 from repro.sim.units import GiB
