@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench tour examples all clean
+.PHONY: install test lint simlint bench tour examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -19,6 +19,12 @@ lint:
 		echo "ruff not installed; running syntax-only fallback (pip install ruff for the full lint)"; \
 		$(PYTHON) -m compileall -q src tests benchmarks examples; \
 	fi
+
+# Determinism & layering linter (README "Determinism guarantees &
+# simlint").  Pure-stdlib ast, so unlike ruff it needs no fallback and
+# always runs, even in the dependency-frozen container.
+simlint:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.lint src tests benchmarks
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

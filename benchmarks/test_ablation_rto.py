@@ -30,7 +30,7 @@ def run_case(algorithm, paths, recovery, rto, seed=31):
                     target_rtt=usec(150)),
         recovery=recovery,
     )
-    victim_path = flow.conn.selector._pinned if algorithm == "single" else 0
+    victim_path = flow.conn.selector.pinned_path if algorithm == "single" else 0
     route = topology.route(ServerAddress(0, 0), ServerAddress(1, 0), 0,
                            path_id=victim_path)
     sim.inject_loss(route[1], LOSS)

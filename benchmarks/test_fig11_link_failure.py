@@ -68,7 +68,7 @@ def run_ring(algorithm, path_count, loss, seed=17):
         # for single-path, or path id 0 (one member of the spray set) for
         # the multi-path configurations.
         victim_path = (
-            flows[0].conn.selector._pinned if algorithm == "single" else 0
+            flows[0].conn.selector.pinned_path if algorithm == "single" else 0
         )
         victim_route = topology.route(servers[0], servers[1], 0,
                                       path_id=victim_path, connection_id=0)

@@ -70,6 +70,12 @@ class SinglePathSelector(PathSelector):
         self._count()
         return self._pinned
 
+    @property
+    def pinned_path(self):
+        """The single path this connection is pinned to (public, for
+        diagnostics: "which uplink did the victim flow land on?")."""
+        return self._pinned
+
 
 @PathSelector.register("rr")
 class RoundRobinSelector(PathSelector):
@@ -275,6 +281,11 @@ class PathAwareSelector(PathSelector):
             return
         if len(self._good) < self.CACHE_LIMIT:
             self._good.append(path)
+
+    @property
+    def good_paths(self):
+        """The recently-clean path cache, oldest first (read-only copy)."""
+        return tuple(self._good)
 
 
 #: Algorithm names in the order the paper's figures list them.

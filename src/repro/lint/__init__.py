@@ -1,0 +1,33 @@
+"""simlint — the determinism & layering linter (``python -m repro.lint``).
+
+Static enforcement of the contracts :mod:`repro.sim` promises at
+runtime: one sanctioned randomness source, no wall-clock reads in
+simulation code, an explicit import DAG, and plain-data ``snapshot()``
+exports.  See :mod:`repro.lint.rules` for the rule catalogue and the
+``# simlint: ok <rule>`` waiver syntax; :class:`repro.sim.SimSanitizer`
+is the runtime half of the same contract.
+"""
+
+from repro.lint.rules import (
+    RULES,
+    Violation,
+    iter_python_files,
+    layer_violation,
+    lint_file,
+    lint_paths,
+    lint_source,
+    module_name_for,
+    parse_waivers,
+)
+
+__all__ = [
+    "RULES",
+    "Violation",
+    "iter_python_files",
+    "layer_violation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+    "parse_waivers",
+]

@@ -1,0 +1,64 @@
+"""``python -m repro.lint [paths...]`` — run simlint and report violations.
+
+Exit status 0 when the tree is clean, 1 when any rule fires (CI gates on
+this), 2 on usage errors.  With no paths, lints the repo's default
+trio: ``src tests benchmarks``.
+"""
+
+import argparse
+import os
+import sys
+
+from repro.lint import RULES, iter_python_files, lint_paths
+
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="simlint: determinism & layering linter for the "
+                    "Stellar reproduction",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: %s)"
+             % " ".join(DEFAULT_PATHS),
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(rule) for rule in RULES)
+        for rule in sorted(RULES):
+            print("%-*s  %s" % (width, rule, RULES[rule]))
+        return 0
+
+    paths = args.paths or [p for p in DEFAULT_PATHS if os.path.exists(p)]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        parser.error("no such path: %s" % ", ".join(missing))
+    if not paths:
+        parser.error("nothing to lint (run from the repo root or pass paths)")
+
+    file_count = sum(1 for _ in iter_python_files(paths))
+    violations = lint_paths(paths)
+    for violation in violations:
+        print("%s:%d:%d: %s %s" % (
+            violation.path, violation.line, violation.col,
+            violation.rule, violation.message,
+        ))
+    if violations:
+        print("simlint: %d violation(s) in %d file(s)"
+              % (len(violations), file_count))
+        return 1
+    print("simlint: clean (%d files)" % file_count)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -106,6 +106,7 @@ class PacketNetSim:
         self.ecn_threshold = ecn_threshold
         self.max_queue = max_queue
         self._ports = {}
+        self.packets_sent = 0
         self.packets_delivered = 0
         self.packets_dropped = 0
         self.tracer = None
@@ -150,8 +151,13 @@ class PacketNetSim:
     def snapshot(self):
         """Public top-level counter snapshot of the fabric."""
         return {
+            "packets_sent": self.packets_sent,
             "packets_delivered": self.packets_delivered,
             "packets_dropped": self.packets_dropped,
+            "packets_in_flight": (
+                self.packets_sent - self.packets_delivered
+                - self.packets_dropped
+            ),
             "ports": len(self._ports),
         }
 
@@ -183,6 +189,7 @@ class PacketNetSim:
         ``on_dropped(link)`` fires at the drop point.
         """
         start_time = self.now
+        self.packets_sent += 1
         self._hop(route, 0, size, False, start_time, on_delivered, on_dropped)
 
     def _hop(self, route, index, size, ecn, start_time, on_delivered, on_dropped):

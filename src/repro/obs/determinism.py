@@ -1,0 +1,180 @@
+"""Double-run determinism harness: prove a seeded run reproduces itself.
+
+The contract every figure in EXPERIMENTS.md rests on: two runs with the
+same seed produce byte-identical telemetry.  This module executes the
+full-stack probe (:func:`repro.obs.probe.run_probe`) twice with fresh
+registries/tracers and diffs
+
+* the **flattened metrics snapshot** (every counter across rnic / pcie /
+  pvdma / mem / net / scheduler families), and
+* the **trace-event digest** — SHA-256 over the canonicalized Chrome
+  trace JSON.
+
+Wall-clock self-profiling fields (``wall_us`` in callback events, the
+``dur`` of callback spans measured in host time) are stripped before
+hashing: they describe how fast the *simulator* ran, not what the
+*simulation* did, and legitimately differ between runs.  Everything else
+must match exactly; :func:`check_determinism` reports the first
+mismatching keys when it does not.
+
+CI gates on this via ``tests/test_determinism.py``.
+"""
+
+import hashlib
+import json
+
+
+#: Trace-event arg keys that carry host wall-clock measurements.
+_WALL_ARG_KEYS = ("wall_us",)
+
+
+def canonical_trace_events(tracer):
+    """The tracer's Chrome records with wall-clock fields removed.
+
+    Callback events keep their sim timestamp and name — the *schedule*
+    must reproduce — but lose the host-time profile riding in ``args``.
+    """
+    document = tracer.to_chrome()
+    events = []
+    for record in document["traceEvents"]:
+        record = dict(record)
+        args = record.get("args")
+        if args and any(key in args for key in _WALL_ARG_KEYS):
+            args = {k: v for k, v in args.items() if k not in _WALL_ARG_KEYS}
+            if args:
+                record["args"] = args
+            else:
+                record.pop("args")
+        if record.get("cat") == "callback":
+            record.pop("dur", None)  # host-time span width
+        events.append(record)
+    return events
+
+
+def trace_digest(tracer):
+    """SHA-256 hex digest of the canonicalized trace-event stream."""
+    payload = json.dumps(
+        canonical_trace_events(tracer), sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def snapshot_digest(snapshot):
+    """SHA-256 hex digest of a flat metrics snapshot."""
+    payload = json.dumps(
+        snapshot, sort_keys=True, separators=(",", ":"), default=repr,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ProbeFingerprint:
+    """Everything one probe run pins down for the determinism diff."""
+
+    __slots__ = ("seed", "metrics", "metrics_digest", "trace_digest",
+                 "trace_events")
+
+    def __init__(self, seed, metrics, metrics_digest, trace_digest,
+                 trace_events):
+        self.seed = seed
+        self.metrics = metrics
+        self.metrics_digest = metrics_digest
+        self.trace_digest = trace_digest
+        self.trace_events = trace_events
+
+    def __repr__(self):
+        return "ProbeFingerprint(seed=%d, %d metrics, trace=%s...)" % (
+            self.seed, len(self.metrics), self.trace_digest[:12],
+        )
+
+
+def probe_fingerprint(seed=17, **probe_kwargs):
+    """Run the full-stack probe once in isolation; return its fingerprint.
+
+    Fresh registry and tracer per call, so repeated calls never share
+    state through the process-wide defaults.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.probe import run_probe
+    from repro.obs.trace import Tracer
+
+    registry = MetricsRegistry("determinism-probe")
+    tracer = Tracer("determinism-probe")
+    result = run_probe(registry=registry, tracer=tracer, seed=seed,
+                       **probe_kwargs)
+    metrics = result.registry.snapshot()
+    return ProbeFingerprint(
+        seed=seed,
+        metrics=metrics,
+        metrics_digest=snapshot_digest(metrics),
+        trace_digest=trace_digest(result.tracer),
+        trace_events=len(result.tracer),
+    )
+
+
+class DeterminismReport:
+    """Outcome of an N-run determinism check."""
+
+    __slots__ = ("fingerprints", "metric_mismatches", "trace_match")
+
+    def __init__(self, fingerprints, metric_mismatches, trace_match):
+        self.fingerprints = fingerprints
+        self.metric_mismatches = metric_mismatches
+        self.trace_match = trace_match
+
+    @property
+    def ok(self):
+        return not self.metric_mismatches and self.trace_match
+
+    def describe(self):
+        if self.ok:
+            return ("deterministic: %d run(s), %d metrics, trace %s"
+                    % (len(self.fingerprints),
+                       len(self.fingerprints[0].metrics),
+                       self.fingerprints[0].trace_digest[:12]))
+        lines = []
+        if not self.trace_match:
+            lines.append("trace digests differ: %s" % ", ".join(
+                fp.trace_digest[:12] for fp in self.fingerprints))
+        for key, values in self.metric_mismatches:
+            lines.append("metric %s differs across runs: %r" % (key, values))
+        return "; ".join(lines)
+
+    def __repr__(self):
+        return "DeterminismReport(ok=%s, runs=%d)" % (
+            self.ok, len(self.fingerprints),
+        )
+
+
+def check_determinism(seed=17, runs=2, max_mismatches=10, **probe_kwargs):
+    """Run the seeded probe ``runs`` times and diff the fingerprints.
+
+    Returns a :class:`DeterminismReport`; ``report.ok`` is the CI gate.
+    Mismatching metric keys (up to ``max_mismatches``) are listed with
+    their per-run values so a regression points straight at the counter
+    family that diverged.
+    """
+    if runs < 2:
+        raise ValueError("determinism needs at least 2 runs, got %d" % runs)
+    fingerprints = [
+        probe_fingerprint(seed=seed, **probe_kwargs) for _ in range(runs)
+    ]
+    reference = fingerprints[0]
+    mismatches = []
+    all_keys = []
+    seen = set()
+    for fp in fingerprints:
+        for key in fp.metrics:
+            if key not in seen:
+                seen.add(key)
+                all_keys.append(key)
+    for key in all_keys:
+        values = [fp.metrics.get(key) for fp in fingerprints]
+        if any(value != values[0] for value in values[1:]):
+            mismatches.append((key, values))
+            if len(mismatches) >= max_mismatches:
+                break
+    trace_match = all(
+        fp.trace_digest == reference.trace_digest for fp in fingerprints
+    )
+    return DeterminismReport(fingerprints, mismatches, trace_match)

@@ -9,12 +9,16 @@ two probes produce identical metric snapshots — the regression tests
 rely on that.
 """
 
-from repro.core import StellarHost
-from repro.net import DualPlaneTopology, MessageFlow, PacketNetSim, ServerAddress, run_flows
+# The probe is obs's one sanctioned full-stack entry point: it exists to
+# light up every domain layer, so it imports them deliberately.  It is
+# imported lazily (never from repro.obs.__init__), which keeps the obs
+# package itself domain-free.
+from repro.core import StellarHost  # simlint: ok L-layer
+from repro.net import DualPlaneTopology, MessageFlow, PacketNetSim, ServerAddress, run_flows  # simlint: ok L-layer
 from repro.obs.metrics import get_registry
 from repro.obs.sampler import TimeSeriesSampler
 from repro.obs.trace import Tracer
-from repro.rnic import connect_qps
+from repro.rnic import connect_qps  # simlint: ok L-layer
 from repro.sim.units import GiB, KiB, MiB
 
 
@@ -37,7 +41,7 @@ class ProbeResult:
 
     def reports(self):
         """``[(title, report dict)]`` for the Neohost-style console dump."""
-        from repro.analysis.diagnostics import (
+        from repro.analysis.diagnostics import (  # simlint: ok L-layer
             fabric_report,
             network_report,
             pvdma_report,

@@ -8,6 +8,7 @@ scheduler (:mod:`repro.sim.engine`), unit helpers for bytes/time/bandwidth
 
 from repro.sim.engine import Event, EventScheduler, SimProcessError
 from repro.sim.rng import RngStream, derive_seed
+from repro.sim.sanitizer import SanitizerError, SimSanitizer
 from repro.sim.units import (
     GB,
     GiB,
@@ -31,6 +32,8 @@ __all__ = [
     "Event",
     "EventScheduler",
     "SimProcessError",
+    "SanitizerError",
+    "SimSanitizer",
     "RngStream",
     "derive_seed",
     "KB",

@@ -10,6 +10,14 @@ import heapq
 import itertools
 import time
 
+try:
+    from repro.obs.trace import callback_name
+except ImportError:  # pragma: no cover — stripped deployments without obs
+    def callback_name(callback):
+        """Fallback label when the obs package is unavailable."""
+        name = getattr(callback, "__qualname__", None)
+        return name if name is not None else type(callback).__name__
+
 
 class SimProcessError(RuntimeError):
     """Raised when the simulation is driven incorrectly (e.g. time travel)."""
@@ -112,11 +120,11 @@ class EventScheduler:
             if tracer is None:
                 event.callback()
                 return True
-            from repro.obs.trace import callback_name
-
-            wall_start = time.perf_counter()
+            # Wall-clock here profiles the *simulator itself* (how long a
+            # callback took in host time); it never feeds simulation state.
+            wall_start = time.perf_counter()  # simlint: ok D-wallclock
             event.callback()
-            wall = time.perf_counter() - wall_start
+            wall = time.perf_counter() - wall_start  # simlint: ok D-wallclock
             depth = None
             if self.events_executed % self.QUEUE_SAMPLE_EVERY == 0:
                 depth = len(self._heap)
@@ -156,6 +164,15 @@ class EventScheduler:
     def pending(self):
         """Number of live (non-cancelled) events still queued."""
         return sum(1 for event in self._heap if not event.cancelled)
+
+    def live_events(self):
+        """The live events still queued, in execution order.
+
+        Public accessor for leak diagnostics (``SimSanitizer``): a
+        workload that declares completion while events remain queued has
+        leaked them, and their reprs/callbacks name the culprit.
+        """
+        return sorted(event for event in self._heap if not event.cancelled)
 
     def __repr__(self):
         return "EventScheduler(now=%g, pending=%d)" % (self.now, self.pending())

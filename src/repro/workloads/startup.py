@@ -7,7 +7,9 @@ times the hypervisor would spend.
 
 from repro import calibration
 from repro.core.stellar import StellarHost
-from repro.legacy.framework import LegacyHost
+# Figure 6 *is* the legacy-vs-Stellar comparison; this workload is the
+# one non-legacy module allowed to boot the previous-generation stack.
+from repro.legacy.framework import LegacyHost  # simlint: ok L-layer
 from repro.sim.units import GiB
 
 

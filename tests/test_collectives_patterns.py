@@ -73,13 +73,13 @@ class TestIncast:
         # The receiver's host_down ports are the incast bottleneck: they
         # carried everything and built the deepest queues.
         down_ports = [
-            port for ref, port in sim._ports.items()
-            if ref.kind == "host_down"
-            and ref.key[:2] == destination.as_tuple()
+            port for port in sim.ports()
+            if port.ref.kind == "host_down"
+            and port.ref.key[:2] == destination.as_tuple()
         ]
         assert max(p.queue_max for p in down_ports) >= max(
-            (p.queue_max for ref, p in sim._ports.items()
-             if ref.kind == "host_up"), default=0.0,
+            (p.queue_max for p in sim.ports()
+             if p.ref.kind == "host_up"), default=0.0,
         )
 
     def test_incast_rejects_self_send(self):

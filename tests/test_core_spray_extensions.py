@@ -78,7 +78,7 @@ class TestPathAware:
         selector = make_selector("path_aware", 128, rng=RngStream(6, "pa"))
         for i in range(10_000):
             selector.on_feedback(i % 128, rtt=1e-6)
-        assert len(selector._good) <= selector.CACHE_LIMIT
+        assert len(selector.good_paths) <= selector.CACHE_LIMIT
 
 
 class TestExtendedRegistry:

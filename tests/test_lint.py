@@ -1,0 +1,360 @@
+"""simlint rule tests: each rule fires on a seeded bad snippet and stays
+quiet on the idiomatic equivalent — plus the gate that the shipped tree
+itself lints clean."""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    RULES,
+    layer_violation,
+    lint_paths,
+    lint_source,
+    module_name_for,
+    parse_waivers,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def rules_fired(source, path="src/repro/net/snippet.py"):
+    return {v.rule for v in lint_source(textwrap.dedent(source), path=path)}
+
+
+class TestDRandom:
+    def test_import_random_fires(self):
+        assert "D-random" in rules_fired("import random\n")
+
+    def test_from_random_fires(self):
+        assert "D-random" in rules_fired("from random import choice\n")
+
+    def test_secrets_fires(self):
+        assert "D-random" in rules_fired("import secrets\n")
+
+    def test_numpy_random_attribute_fires(self):
+        assert "D-random" in rules_fired(
+            "def f(np, xs):\n    np.random.shuffle(xs)\n"
+        )
+
+    def test_rng_module_is_exempt(self):
+        assert rules_fired(
+            "import random\nr = random.Random(7)\n",
+            path="src/repro/sim/rng.py",
+        ) == set()
+
+    def test_seeded_stream_is_clean(self):
+        assert "D-random" not in rules_fired(
+            "def f(self):\n    return self.rng.random()\n"
+        )
+
+
+class TestDWallclock:
+    def test_time_time_fires(self):
+        assert "D-wallclock" in rules_fired(
+            "import time\n\ndef f():\n    return time.time()\n"
+        )
+
+    def test_perf_counter_import_fires(self):
+        assert "D-wallclock" in rules_fired("from time import perf_counter\n")
+
+    def test_datetime_now_fires(self):
+        assert "D-wallclock" in rules_fired(
+            "import datetime\n\ndef f():\n    return datetime.datetime.now()\n"
+        )
+
+    def test_obs_package_is_exempt(self):
+        assert rules_fired(
+            "import time\n\ndef f():\n    return time.perf_counter()\n",
+            path="src/repro/obs/profiler.py",
+        ) == set()
+
+    def test_scheduler_now_is_clean(self):
+        assert "D-wallclock" not in rules_fired(
+            "def f(scheduler):\n    return scheduler.now\n"
+        )
+
+    def test_time_sleep_is_clean(self):
+        # Only clock *reads* are flagged, not the module import itself.
+        assert "D-wallclock" not in rules_fired("import time\n")
+
+
+class TestDSetIter:
+    def test_for_over_set_literal_fires(self):
+        assert "D-set-iter" in rules_fired(
+            "for x in {1, 2, 3}:\n    print(x)\n"
+        )
+
+    def test_for_over_set_call_fires(self):
+        assert "D-set-iter" in rules_fired(
+            "def f(xs):\n    for x in set(xs):\n        yield x\n"
+        )
+
+    def test_comprehension_over_set_fires(self):
+        assert "D-set-iter" in rules_fired(
+            "def f(xs):\n    return [x for x in frozenset(xs)]\n"
+        )
+
+    def test_list_of_set_fires(self):
+        assert "D-set-iter" in rules_fired("def f(xs):\n    return list(set(xs))\n")
+
+    def test_sorted_set_is_clean(self):
+        assert "D-set-iter" not in rules_fired(
+            "def f(xs):\n    for x in sorted(set(xs)):\n        yield x\n"
+        )
+
+    def test_membership_is_clean(self):
+        assert "D-set-iter" not in rules_fired(
+            "def f(xs, y):\n    return y in set(xs)\n"
+        )
+
+
+class TestDIdKey:
+    def test_key_id_fires(self):
+        assert "D-id-key" in rules_fired("def f(xs):\n    return sorted(xs, key=id)\n")
+
+    def test_lambda_id_fires(self):
+        assert "D-id-key" in rules_fired(
+            "def f(xs):\n    xs.sort(key=lambda e: id(e))\n"
+        )
+
+    def test_attribute_key_is_clean(self):
+        assert "D-id-key" not in rules_fired(
+            "def f(xs):\n    return sorted(xs, key=lambda e: e.name)\n"
+        )
+
+
+class TestLLayer:
+    def test_sim_importing_domain_fires(self):
+        assert "L-layer" in rules_fired(
+            "from repro.core import StellarHost\n",
+            path="src/repro/sim/helper.py",
+        )
+
+    def test_memory_importing_virt_fires(self):
+        assert "L-layer" in rules_fired(
+            "import repro.virt\n", path="src/repro/memory/helper.py",
+        )
+
+    def test_anything_importing_legacy_fires(self):
+        assert "L-layer" in rules_fired(
+            "from repro.legacy import LegacyHost\n",
+            path="src/repro/net/helper.py",
+        )
+
+    def test_domain_importing_sim_is_clean(self):
+        assert rules_fired(
+            "from repro.sim import EventScheduler\n",
+            path="src/repro/net/helper.py",
+        ) == set()
+
+    def test_tests_are_outside_the_dag(self):
+        assert rules_fired(
+            "from repro.legacy import LegacyHost\nfrom repro.core import X\n",
+            path="tests/test_helper.py",
+        ) == set()
+
+    def test_layer_violation_helper(self):
+        assert layer_violation("repro.sim.engine", "repro.core") is not None
+        assert layer_violation("repro.obs.trace", "repro.net.topology") is not None
+        assert layer_violation("repro.pcie.switch", "repro.training") is not None
+        assert layer_violation("repro.net.topology", "repro.legacy") is not None
+        assert layer_violation("repro.legacy.issues", "repro.legacy.framework") is None
+        assert layer_violation("repro.net.topology", "repro.sim") is None
+        assert layer_violation(None, "repro.legacy") is None
+
+
+class TestLPrivate:
+    def test_foreign_private_access_fires(self):
+        assert "L-private" in rules_fired(
+            "def f(sim):\n    return sim._ports\n"
+        )
+
+    def test_private_import_fires(self):
+        assert "L-private" in rules_fired(
+            "from repro.net.packet_sim import _hop\n"
+        )
+
+    def test_self_access_is_clean(self):
+        assert "L-private" not in rules_fired(
+            "class C:\n    def f(self):\n        return self._ports\n"
+        )
+
+    def test_module_local_private_is_clean(self):
+        # The module assigns _plan itself, so sibling access is
+        # intra-module coupling, not cross-module reaching.
+        assert "L-private" not in rules_fired(
+            "class Flow:\n"
+            "    def __init__(self):\n"
+            "        self._plan = None\n"
+            "class Sim:\n"
+            "    def touch(self, flow):\n"
+            "        return flow._plan\n"
+        )
+
+
+class TestASnapshotPair:
+    def test_register_without_snapshot_fires(self):
+        assert "A-snapshot-pair" in rules_fired(
+            "class C:\n"
+            "    def register_metrics(self, registry):\n"
+            "        registry.add_provider('c', dict)\n"
+        )
+
+    def test_register_with_snapshot_is_clean(self):
+        assert "A-snapshot-pair" not in rules_fired(
+            "class C:\n"
+            "    def register_metrics(self, registry):\n"
+            "        registry.add_provider('c', self.snapshot)\n"
+            "    def snapshot(self):\n"
+            "        return {'x': 1}\n"
+        )
+
+
+class TestASnapshotPlain:
+    def test_returning_internal_object_fires(self):
+        assert "A-snapshot-plain" in rules_fired(
+            "class C:\n"
+            "    def snapshot(self):\n"
+            "        return self._entries\n"
+        )
+
+    def test_set_value_fires(self):
+        assert "A-snapshot-plain" in rules_fired(
+            "class C:\n"
+            "    def snapshot(self):\n"
+            "        return {'members': {1, 2}}\n"
+        )
+
+    def test_missing_return_fires(self):
+        assert "A-snapshot-plain" in rules_fired(
+            "class C:\n"
+            "    def snapshot(self):\n"
+            "        pass\n"
+        )
+
+    def test_dict_literal_is_clean(self):
+        assert "A-snapshot-plain" not in rules_fired(
+            "class C:\n"
+            "    def snapshot(self):\n"
+            "        return {'x': self.x, 'items': [1, 2]}\n"
+        )
+
+    def test_super_extension_is_clean(self):
+        assert "A-snapshot-plain" not in rules_fired(
+            "class C(B):\n"
+            "    def snapshot(self):\n"
+            "        snap = super().snapshot()\n"
+            "        snap['extra'] = 1\n"
+            "        return snap\n"
+        )
+
+    def test_module_level_snapshot_function_ignored(self):
+        assert "A-snapshot-plain" not in rules_fired(
+            "def snapshot(thing):\n    return thing\n"
+        )
+
+
+class TestWaivers:
+    def test_exact_rule_waiver(self):
+        assert rules_fired(
+            "import random  # simlint: ok D-random\n"
+        ) == set()
+
+    def test_family_waiver(self):
+        assert rules_fired(
+            "import random  # simlint: ok D\n"
+        ) == set()
+
+    def test_bare_waiver_waives_all(self):
+        assert rules_fired(
+            "import random  # simlint: ok\n"
+        ) == set()
+
+    def test_waiver_is_rule_specific(self):
+        fired = rules_fired(
+            "from random import choice  # simlint: ok D-wallclock\n"
+        )
+        assert "D-random" in fired
+
+    def test_waiver_in_string_does_not_count(self):
+        fired = rules_fired(
+            'MESSAGE = "# simlint: ok D-random"\nimport random\n'
+        )
+        assert "D-random" in fired
+
+    def test_multiline_statement_end_line_waiver(self):
+        source = (
+            "from random import (\n"
+            "    choice,\n"
+            ")  # simlint: ok D-random\n"
+        )
+        assert rules_fired(source) == set()
+
+    def test_parse_waivers_shape(self):
+        waivers = parse_waivers("x = 1  # simlint: ok D-random L-layer\n")
+        assert waivers == {1: {"D-random", "L-layer"}}
+
+
+class TestModuleNames:
+    def test_src_layout(self):
+        assert module_name_for("src/repro/sim/engine.py") == "repro.sim.engine"
+
+    def test_package_init(self):
+        assert module_name_for("src/repro/obs/__init__.py") == "repro.obs"
+
+    def test_outside_package(self):
+        assert module_name_for("tests/test_sim_engine.py") is None
+
+
+class TestHarness:
+    def test_every_rule_has_description(self):
+        assert set(RULES) == {
+            "D-random", "D-wallclock", "D-set-iter", "D-id-key",
+            "L-layer", "L-private", "A-snapshot-pair", "A-snapshot-plain",
+        }
+        assert all(RULES.values())
+
+    def test_violation_locations_are_reported(self):
+        violations = lint_source(
+            "x = 1\nimport random\n", path="src/repro/net/snippet.py",
+        )
+        assert [(v.rule, v.line) for v in violations] == [("D-random", 2)]
+
+    def test_syntax_error_propagates(self):
+        with pytest.raises(SyntaxError):
+            lint_source("def broken(:\n")
+
+
+class TestShippedTreeIsClean:
+    def test_src_tests_benchmarks_lint_clean(self):
+        paths = [os.path.join(REPO_ROOT, name)
+                 for name in ("src", "tests", "benchmarks")]
+        paths = [p for p in paths if os.path.isdir(p)]
+        assert paths, "repo layout changed; update this test"
+        violations = lint_paths(paths)
+        assert violations == [], "\n".join(repr(v) for v in violations)
+
+    @pytest.mark.slow
+    def test_cli_exit_status(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        ok = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(clean)],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert ok.returncode == 0, ok.stdout + ok.stderr
+        bad = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(dirty)],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert bad.returncode == 1
+        assert "D-random" in bad.stdout

@@ -93,7 +93,7 @@ class TestFailureScenario:
             message_bytes=4 * MB, algorithm="single", path_count=1,
             mtu=64 * 1024, connection_id=3, recovery="go_back_n",
         )
-        pinned = single.conn.selector._pinned
+        pinned = single.conn.selector.pinned_path
         FailureScenario(sim_single).fail_link(
             topo2.route(ServerAddress(0, 0), ServerAddress(1, 1), 0,
                         path_id=pinned, connection_id=3)[1]

@@ -116,10 +116,11 @@ class TestMessageFlows:
             )
             sim.run(until=1.0)
             return sum(
-                1 for ref, port in sim._ports.items()
-                if ref.kind == "tor_up" and port.packets_tx == 0 and port.queue_samples
+                1 for port in sim.ports()
+                if port.ref.kind == "tor_up" and port.packets_tx == 0
+                and port.queue_samples
             ), sum(
-                1 for ref, port in sim._ports.items() if ref.kind == "tor_up"
+                1 for port in sim.ports() if port.ref.kind == "tor_up"
             )
 
         _, sprayed = uplinks_touched("obs", 128, seed=3)

@@ -96,3 +96,110 @@ def test_peek_time_skips_cancelled():
     sched.schedule(2.0, lambda: None)
     event.cancel()
     assert sched.peek_time() == 2.0
+
+
+# -- edge cases the SimSanitizer leans on -----------------------------------
+
+
+def test_cancel_after_peek_lazy_pop_still_skips():
+    """peek_time() lazily pops cancelled *heads*; cancelling an event that
+    peek has already looked past must still prevent execution."""
+    sched = EventScheduler()
+    seen = []
+    first = sched.schedule(1.0, lambda: seen.append("first"))
+    sched.schedule(2.0, lambda: seen.append("second"))
+    assert sched.peek_time() == 1.0  # head inspected while live
+    first.cancel()
+    assert sched.peek_time() == 2.0  # lazy pop discards it now
+    assert sched.pending() == 1
+    sched.run()
+    assert seen == ["second"]
+
+
+def test_cancel_head_then_peek_reports_empty():
+    sched = EventScheduler()
+    only = sched.schedule(1.0, lambda: None)
+    only.cancel()
+    assert sched.peek_time() is None
+    assert sched.pending() == 0
+    assert sched.run() == 0
+    assert sched.now == 0.0  # nothing executed, clock untouched
+
+
+def test_run_until_advances_clock_when_queue_outlives_until():
+    """The clock lands exactly on ``until`` even though live events remain
+    queued beyond it — and those events are not lost."""
+    sched = EventScheduler()
+    seen = []
+    sched.schedule(10.0, lambda: seen.append(10))
+    assert sched.run(until=4.0) == 0
+    assert sched.now == 4.0
+    assert sched.pending() == 1
+    assert sched.run(until=10.0) == 1  # boundary event executes (not >)
+    assert seen == [10]
+    assert sched.now == 10.0
+
+
+def test_run_until_with_only_cancelled_events_advances_clock():
+    sched = EventScheduler()
+    event = sched.schedule(1.0, lambda: None)
+    event.cancel()
+    assert sched.run(until=3.0) == 0
+    assert sched.now == 3.0
+    assert sched.pending() == 0
+
+
+def test_max_events_does_not_count_cancelled_events():
+    """Cancelled events are skipped inside step(); only live executions
+    consume the max_events budget."""
+    sched = EventScheduler()
+    seen = []
+    events = [
+        sched.schedule(float(i), lambda i=i: seen.append(i))
+        for i in range(1, 6)
+    ]
+    events[1].cancel()
+    events[2].cancel()
+    assert sched.run(max_events=2) == 2
+    assert seen == [1, 4]  # 2 and 3 skipped for free
+    assert sched.pending() == 1
+
+
+def test_max_events_with_all_cancelled_returns_zero():
+    sched = EventScheduler()
+    for event in [sched.schedule(1.0, lambda: None) for _ in range(3)]:
+        event.cancel()
+    assert sched.run(max_events=2) == 0
+    assert sched.pending() == 0
+
+
+def test_max_events_and_until_compose():
+    sched = EventScheduler()
+    seen = []
+    for i in range(1, 5):
+        sched.schedule(float(i), lambda i=i: seen.append(i))
+    assert sched.run(until=3.5, max_events=2) == 2
+    assert seen == [1, 2]
+    # max_events returned first, so the clock reflects the last event,
+    # not the deadline.
+    assert sched.now == 2.0
+
+
+def test_live_events_excludes_cancelled_and_orders_by_execution():
+    sched = EventScheduler()
+    late = sched.schedule(3.0, lambda: None)
+    dead = sched.schedule(1.0, lambda: None)
+    early = sched.schedule(2.0, lambda: None)
+    dead.cancel()
+    live = sched.live_events()
+    assert live == [early, late]
+    assert [event.time for event in live] == [2.0, 3.0]
+
+
+def test_schedule_at_now_is_allowed():
+    sched = EventScheduler(start_time=5.0)
+    seen = []
+    sched.schedule_at(5.0, lambda: seen.append("now"))
+    sched.run()
+    assert seen == ["now"]
+    assert sched.now == 5.0
