@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint simlint bench tour examples all clean
+.PHONY: install test lint simlint bench bench-smoke tour examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -28,6 +28,18 @@ simlint:
 
 bench:
 	pytest benchmarks/ --benchmark-only -s
+
+# Fast seeded subset for CI: the 16-host fleet churn scenario plus the
+# Fig. 6 and Fig. 11 benchmarks with REPRO_BENCH_SMOKE trimming the
+# Fig. 11 measurement window (assertions unchanged).  The table mirror
+# goes to a scratch file so a partial run never truncates the full
+# benchmark_tables.txt artifact.
+bench-smoke:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro fleet
+	REPRO_BENCH_SMOKE=1 REPRO_TABLES_FILE=/tmp/repro_bench_smoke_tables.txt \
+		PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/test_fig06_startup.py benchmarks/test_fig11_link_failure.py \
+		--benchmark-only -s
 
 tour:
 	$(PYTHON) -m repro

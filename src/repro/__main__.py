@@ -66,6 +66,32 @@ def tour_spray():
     table.print()
 
 
+def tour_fleet():
+    from repro.workloads import run_churn
+
+    fleet, result = run_churn()
+    table = Table(
+        "Fleet churn: 16 hosts, 3 tenants, mid-run uplink failure",
+        ["job", "tenant", "state", "wait s", "startup s", "iters",
+         "goodput it/s", "p99 slowdown"],
+    )
+    for row in result.rows():
+        table.add_row(row["job"], row["tenant"], row["state"],
+                      row["wait_s"], row["startup_s"], row["iters"],
+                      row["goodput_it_s"], row["p99_slowdown"])
+    table.print()
+    summary = Table("Fleet summary", ["metric", "value"])
+    summary.add_row("jobs submitted", result.counters["jobs_submitted"])
+    summary.add_row("jobs completed", result.counters["jobs_completed"])
+    summary.add_row("jobs failed", result.counters["jobs_failed"])
+    summary.add_row("mean wait (s)", result.mean_wait_seconds())
+    summary.add_row("mean startup (s)", result.mean_startup_seconds())
+    summary.add_row("total goodput (it/s)", result.total_goodput())
+    summary.add_row("p99 slowdown vs isolated", result.p99_slowdown())
+    summary.add_row("repricing epochs", result.counters["rate_epochs"])
+    summary.print()
+
+
 def tour_quickstart():
     import examples.quickstart  # noqa: F401  (path fallback below)
 
@@ -108,6 +134,7 @@ TOURS = {
     "gdr": tour_gdr,
     "spray": tour_spray,
     "metrics": tour_metrics,
+    "fleet": tour_fleet,
 }
 
 

@@ -1,0 +1,44 @@
+"""repro.cluster: multi-tenant fleet simulation on the Stellar stack.
+
+The top layer of the simulated system: :class:`FleetHost` servers (real
+PCIe fabric + hypervisor + RNICs with admission accounting),
+:class:`JobSpec`/:class:`Job` tenant workloads with a seeded arrival
+process, pluggable placement in :class:`FleetScheduler`, and the
+:class:`FleetSimulation` orchestrator that runs churn, shared-fabric
+contention, and link failures end to end.
+"""
+
+from repro.cluster.fleet import (
+    CONNECTION_STRIDE,
+    ContendedTopology,
+    FleetResult,
+    FleetSimulation,
+    quantile,
+)
+from repro.cluster.host import FleetHost, FleetHostError, SharedAtc
+from repro.cluster.job import (
+    Job,
+    JobArrivalProcess,
+    JobSpec,
+    JobState,
+    TenantProfile,
+)
+from repro.cluster.scheduler import FleetScheduler, PlacementPolicy
+
+__all__ = [
+    "CONNECTION_STRIDE",
+    "ContendedTopology",
+    "FleetHost",
+    "FleetHostError",
+    "FleetResult",
+    "FleetScheduler",
+    "FleetSimulation",
+    "Job",
+    "JobArrivalProcess",
+    "JobSpec",
+    "JobState",
+    "PlacementPolicy",
+    "SharedAtc",
+    "TenantProfile",
+    "quantile",
+]

@@ -1,0 +1,578 @@
+"""The fleet orchestrator: churn, contention, and failures on one fabric.
+
+:class:`FleetSimulation` ties the whole stack together.  Jobs arrive on
+an :class:`repro.sim.engine.EventScheduler`; admitted jobs boot *real*
+secure containers on their :class:`repro.cluster.host.FleetHost` rings
+(paying Figure 6 boot + pinning costs through ``repro.virt`` and PVDMA),
+then iterate at a rate set by the shared network.
+
+Congestion is recomputed in *epochs*: whenever fleet membership changes
+(job starts running, finishes, fails, or a link fails/heals) every
+running multi-host job's DP ring is launched onto one shared
+:class:`repro.net.fluid_sim.FluidSimulation` whose link capacities are
+reduced by cross-job background load (``repro.net.loadmodel``), and the
+measured per-GPU bandwidth is fed to
+:class:`repro.training.TrainingSimulation` to reprice the job's
+iteration time.  Link failures (``repro.net.failure``) multiply a job's
+bandwidth by the fraction of its sprayed paths that survive — 128-way
+spray barely notices a dead uplink, a 4-path legacy transport loses up
+to a quarter of its ring.
+
+Everything is seeded; a fleet run is a pure function of
+``(topology, hosts, arrivals, seed)`` and double-runs digest-identical.
+"""
+
+from functools import partial
+
+from repro import calibration
+from repro.cluster.host import FleetHost
+from repro.cluster.job import Job, JobState
+from repro.cluster.scheduler import FleetScheduler, PlacementPolicy
+from repro.collectives.allreduce import RingAllReduceTask
+from repro.core.spray import make_selector
+from repro.net.failure import effective_loss_rate, pick_victim_uplink
+from repro.net.fluid_sim import FluidSimulation
+from repro.net.loadmodel import StaticLoadModel
+from repro.net.topology import ServerAddress
+from repro.sim.engine import EventScheduler
+from repro.sim.rng import RngStream
+from repro.sim.units import GB
+from repro.training.models import MODELS
+from repro.training.trainer import (
+    CostModelConfig,
+    TRANSPORTS,
+    TrainingSimulation,
+)
+from repro.virt.hypervisor import MemoryMode
+
+#: Connection-id block per job, so no two jobs' sprayed flows ever share
+#: an ECMP hash seed (and the failure model can reconstruct any flow).
+CONNECTION_STRIDE = 4096
+
+#: Floor on measured per-GPU bandwidth — max-min fairness never starves a
+#: flow completely, and iteration times must stay finite.
+MIN_DP_BANDWIDTH = 1e7
+
+
+def quantile(values, q):
+    """Deterministic nearest-rank quantile (0 for an empty sample)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[rank]
+
+
+class ContendedTopology:
+    """Read-through topology view with background load subtracted.
+
+    The fluid simulator asks ``link_rate`` lazily per link; this wrapper
+    answers with the residual capacity after cross-job storage/checkpoint
+    traffic, floored at 5% so a saturated port still drains.
+    """
+
+    def __init__(self, base, background_bits_per_second):
+        self._base = base
+        self._background = dict(background_bits_per_second)
+
+    def link_rate(self, link):
+        rate = self._base.link_rate(link)
+        load = self._background.get(link, 0.0)
+        return max(rate * 0.05, rate - load)
+
+    def __getattr__(self, name):
+        return getattr(self._base, name)
+
+
+class FleetResult:
+    """Tenant-facing outcome of a fleet run."""
+
+    def __init__(self, jobs, counters):
+        self.jobs = list(jobs)
+        self.counters = dict(counters)
+
+    def by_state(self, state):
+        return [job for job in self.jobs if job.state is state]
+
+    def mean_wait_seconds(self):
+        waits = [j.wait_seconds for j in self.jobs if j.wait_seconds is not None]
+        return sum(waits) / len(waits) if waits else 0.0
+
+    def mean_startup_seconds(self):
+        starts = [j.startup_seconds for j in self.jobs
+                  if j.startup_seconds is not None]
+        return sum(starts) / len(starts) if starts else 0.0
+
+    def total_goodput(self):
+        """Aggregate training iterations per simulated second."""
+        return sum(job.goodput() for job in self.jobs)
+
+    def p99_slowdown(self):
+        """p99 of per-block iteration slowdown vs each job's isolated run."""
+        samples = [s for job in self.jobs for s in job.slowdown_samples]
+        return quantile(samples, 0.99)
+
+    def rows(self):
+        rows = []
+        for job in self.jobs:
+            rows.append({
+                "job": job.spec.name,
+                "tenant": job.spec.tenant,
+                "state": job.state.value,
+                "wait_s": job.wait_seconds,
+                "startup_s": job.startup_seconds,
+                "iters": job.iterations_done,
+                "goodput_it_s": job.goodput(),
+                "p99_slowdown": quantile(job.slowdown_samples, 0.99),
+            })
+        return rows
+
+    def __repr__(self):
+        return "FleetResult(%d jobs, p99 slowdown %.2fx)" % (
+            len(self.jobs), self.p99_slowdown(),
+        )
+
+
+class FleetSimulation:
+    """A multi-tenant fleet on one shared dual-plane fabric."""
+
+    def __init__(
+        self,
+        topology,
+        hosts=None,
+        policy=PlacementPolicy.DUAL_PLANE,
+        seed=0,
+        tracer=None,
+        host_config=None,
+        block_iterations=5,
+        sample_pages=256,
+        background_gbps_per_host=10.0,
+        ring_bytes=int(1 * GB),
+        congestion_dt=0.005,
+        congestion_seconds=0.03,
+    ):
+        self.topology = topology
+        self.seed = seed
+        self.tracer = tracer
+        self.engine = EventScheduler(tracer=tracer)
+        if hosts is None:
+            config = dict(host_config or {})
+            hosts = [
+                FleetHost("h%d-%d" % (address.segment, address.index),
+                          address, **config)
+                for address in topology.servers()
+            ]
+        self.scheduler = FleetScheduler(hosts, policy)
+        self.trainer = TrainingSimulation(topology, seed=seed)
+        self.block_iterations = block_iterations
+        self.sample_pages = sample_pages
+        self.background_gbps_per_host = background_gbps_per_host
+        self.ring_bytes = ring_bytes
+        self.congestion_dt = congestion_dt
+        self.congestion_seconds = congestion_seconds
+        self.atc_page = calibration.GDR_PAGE_BYTES
+        self.jobs = []
+        self.failed_links = []
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.link_failures = 0
+        self.rate_epochs = 0
+        self._starting = 0
+        self._running = 0
+
+    # -- workload intake ---------------------------------------------------
+
+    def submit(self, spec, at=None):
+        """Schedule a job submission at simulated time ``at`` (now if None)."""
+        when = self.engine.now if at is None else at
+        return self.engine.schedule_at(when, partial(self._on_submit, spec))
+
+    def load(self, arrivals):
+        """Feed a ``JobArrivalProcess.generate()`` schedule."""
+        for at, spec in arrivals:
+            self.submit(spec, at=at)
+        return self
+
+    def inject_link_failure(self, at, duration, link=None):
+        """Fail one ToR uplink at ``at`` for ``duration`` seconds.
+
+        With ``link=None`` the victim is picked at failure time from a
+        running job's actual sprayed path (first cross-segment ring edge,
+        path 0), guaranteeing the failure lands on live traffic;
+        :func:`repro.net.failure.pick_victim_uplink` is the fallback when
+        nothing is running.
+        """
+        self.engine.schedule_at(at, partial(self._on_link_fail, link, duration))
+
+    def run(self, until=None, max_events=None):
+        """Drive the event loop; returns the :class:`FleetResult`."""
+        self.engine.run(until=until, max_events=max_events)
+        return self.result()
+
+    def result(self):
+        return FleetResult(self.jobs, self.snapshot())
+
+    # -- event handlers ----------------------------------------------------
+
+    def _instant(self, name, args=None):
+        if self.tracer is not None:
+            self.tracer.instant(name, self.engine.now, track="fleet",
+                                cat="cluster", args=args)
+
+    def _on_submit(self, spec):
+        job = Job(spec, self.engine.now)
+        job.index = len(self.jobs)
+        self.jobs.append(job)
+        self.jobs_submitted += 1
+        self._instant("job-submit %s" % spec.name, {"tenant": spec.tenant})
+        ring = None
+        if not self.scheduler.queue:  # FIFO: no overtaking the queue head
+            ring = self.scheduler.place(spec)
+        if ring is None:
+            self.scheduler.enqueue(job)
+        else:
+            self._admit(job, ring)
+
+    def _admit(self, job, ring):
+        spec = job.spec
+        job.state = JobState.STARTING
+        job.start_time = self.engine.now
+        job.hosts = ring
+        self._starting += 1
+        for entry in self.scheduler.host_totals(spec, ring).values():
+            entry["host"].reserve(
+                spec.name, entry["gpus"], entry["dram_bytes"],
+                entry["sfs"], entry["lut_entries"],
+            )
+        # Containers on the same host boot sequentially; hosts boot in
+        # parallel, so startup is the slowest host's total (Figure 6 cost
+        # lives in launch() + prepare_working_set()).
+        per_host_seconds = {}
+        for slot, host in enumerate(ring):
+            cname = "%s-c%d" % (spec.name, slot)
+            record = host.launch(cname, spec.memory_bytes,
+                                 memory_mode=spec.memory_mode)
+            container = record.container
+            cost = record.total_seconds
+            region = container.alloc_buffer(spec.working_set_bytes)
+            if spec.memory_mode is MemoryMode.PVDMA:
+                cost += host.prepare_working_set(container, region)
+            job.containers.append(container)
+            job.touch_pages[cname] = self._sample_pages(container, region)
+            per_host_seconds[host.name] = (
+                per_host_seconds.get(host.name, 0.0) + cost
+            )
+        job.startup_seconds = max(per_host_seconds.values())
+        job.iso_iter_seconds = self._isolated_iter_seconds(job)
+        self._instant("job-start %s" % spec.name, {
+            "tenant": spec.tenant,
+            "hosts": len(per_host_seconds),
+            "startup_s": round(job.startup_seconds, 3),
+        })
+        self.engine.schedule(job.startup_seconds, partial(self._on_running, job))
+
+    def _on_running(self, job):
+        if job.state is not JobState.STARTING:
+            return
+        job.state = JobState.RUNNING
+        job.running_time = self.engine.now
+        self._starting -= 1
+        self._running += 1
+        self._recompute_rates()
+        if job.spec.abort_after is not None:
+            job.abort_event = self.engine.schedule(
+                job.spec.abort_after, partial(self._on_abort, job)
+            )
+        self.engine.schedule(0.0, partial(self._iterate, job))
+
+    def _iterate(self, job):
+        if job.state is not JobState.RUNNING:
+            return
+        block = min(self.block_iterations,
+                    job.spec.iterations - job.iterations_done)
+        seconds = job.iter_seconds
+        job.iteration_log.append(
+            (self.engine.now, block, seconds, self.failure_penalty(job))
+        )
+        job.slowdown_samples.append(seconds / job.iso_iter_seconds)
+        for slot, container in enumerate(job.containers):
+            job.hosts[slot].touch(container, job.touch_pages[container.name])
+        job.iterations_done += block
+        if job.done:
+            self.engine.schedule(block * seconds, partial(self._on_complete, job))
+        else:
+            self.engine.schedule(block * seconds, partial(self._iterate, job))
+
+    def _on_complete(self, job):
+        if job.state is not JobState.RUNNING:
+            return
+        self.jobs_completed += 1
+        self._finish(job, JobState.COMPLETED, abnormal=False)
+
+    def _on_abort(self, job):
+        if job.state is not JobState.RUNNING:
+            return
+        self.jobs_failed += 1
+        self._finish(job, JobState.FAILED, abnormal=True)
+
+    def _finish(self, job, state, abnormal):
+        if job.abort_event is not None:
+            job.abort_event.cancel()
+            job.abort_event = None
+        for slot, container in enumerate(job.containers):
+            job.hosts[slot].stop(container, abnormal=abnormal)
+        for host in job.unique_hosts():
+            host.release(job.spec.name)
+        job.state = state
+        job.end_time = self.engine.now
+        self._running -= 1
+        self._instant("job-%s %s" % (state.value, job.spec.name), {
+            "tenant": job.spec.tenant,
+            "iterations": job.iterations_done,
+        })
+        self._recompute_rates()
+        self._drain_queue()
+
+    def _drain_queue(self):
+        while self.scheduler.queue:
+            head = self.scheduler.queue[0]
+            ring = self.scheduler.place(head.spec)
+            if ring is None:
+                break
+            self.scheduler.queue.popleft()
+            self._admit(head, ring)
+
+    def _on_link_fail(self, link, duration):
+        if link is None:
+            link = self._auto_victim()
+        self.failed_links.append(link)
+        self.link_failures += 1
+        self._instant("link-fail", {"link": str(link)})
+        self._recompute_rates()
+        self.engine.schedule(duration, partial(self._on_link_heal, link))
+
+    def _on_link_heal(self, link):
+        if link in self.failed_links:
+            self.failed_links.remove(link)
+        self._instant("link-heal", {"link": str(link)})
+        self._recompute_rates()
+
+    def _auto_victim(self):
+        """A ToR uplink actually carrying a running job's sprayed traffic."""
+        for job in self.jobs:  # index order: deterministic
+            if job.state is not JobState.RUNNING:
+                continue
+            servers = [h.address for h in job.unique_hosts()]
+            n = len(servers)
+            if n < 2:
+                continue
+            for i, src in enumerate(servers):
+                dst = servers[(i + 1) % n]
+                if src.segment == dst.segment:
+                    continue
+                route = self.topology.route(
+                    src, dst, 0, path_id=0,
+                    connection_id=job.index * CONNECTION_STRIDE + i,
+                )
+                for link in route:
+                    if link.kind == "tor_up":
+                        return link
+        return pick_victim_uplink(self.topology)
+
+    # -- congestion epochs -------------------------------------------------
+
+    def failure_penalty(self, job):
+        """Fraction of the job's ring bandwidth surviving failed links.
+
+        The ring turns at its slowest member, so the penalty is set by the
+        worst flow: the share of its sprayed path ids whose route crosses
+        a failed link (``effective_loss_rate`` with 100% loss).  A 128-way
+        spray spreads that share across every equivalent (plane, agg)
+        choice; a 4-QP legacy transport concentrates it.
+        """
+        if not self.failed_links:
+            return 1.0
+        servers = [h.address for h in job.unique_hosts()]
+        n = len(servers)
+        if n < 2:
+            return 1.0
+        transport = TRANSPORTS[job.spec.transport]
+        worst = 0.0
+        for rail in range(self.topology.rails):
+            for i, src in enumerate(servers):
+                dst = servers[(i + 1) % n]
+                connection_id = job.index * CONNECTION_STRIDE + rail * n + i
+                crossing = 0
+                for path_id in range(transport.path_count):
+                    route = self.topology.route(
+                        src, dst, rail, path_id=path_id,
+                        connection_id=connection_id,
+                    )
+                    if any(link in self.failed_links for link in route):
+                        crossing += 1
+                share = effective_loss_rate(1.0, transport.path_count, crossing)
+                worst = max(worst, share)
+        return max(0.05, 1.0 - worst)
+
+    def _background_rates(self, running):
+        """Cross-job storage/checkpoint load per link, in bits/second."""
+        if not running:
+            return {}
+        model = StaticLoadModel(self.topology, seed=self.seed)
+        duration = 1.0
+        for job in running:
+            for k, host in enumerate(job.unique_hosts()):
+                src = host.address
+                if self.topology.segments > 1:
+                    dst = ServerAddress(
+                        (src.segment + 1) % self.topology.segments, src.index
+                    )
+                else:
+                    dst = ServerAddress(
+                        src.segment,
+                        (src.index + 1) % self.topology.servers_per_segment,
+                    )
+                if dst == src:
+                    continue
+                selector = make_selector(
+                    "obs", 16,
+                    rng=RngStream(self.seed, "bg", job.spec.name, str(k)),
+                )
+                model.add_flow(
+                    src, dst, 0, selector,
+                    total_bytes=self.background_gbps_per_host * 1e9 / 8 * duration,
+                    connection_id=1_000_000 + job.index * 64 + k,
+                    max_draws=64,
+                )
+        rates = {}
+        for link, byte_count in model.loads.bytes_by_link.items():
+            rates[link] = byte_count * 8.0 / duration
+        return rates
+
+    def _launch_ring(self, job, sim):
+        transport = TRANSPORTS[job.spec.transport]
+        servers = [h.address for h in job.unique_hosts()]
+        task = RingAllReduceTask(
+            "ring-%s" % job.spec.name,
+            servers,
+            data_bytes=self.ring_bytes,
+            rails=self.topology.rails,
+            algorithm=transport.algorithm,
+            path_count=transport.path_count,
+            gpus_per_server=max(1, job.spec.gpus // len(servers)),
+        )
+        task.launch(sim, continuous=True,
+                    connection_base=job.index * CONNECTION_STRIDE)
+        return task
+
+    def _per_gpu_bandwidth(self, job, task):
+        per_host_gpus = max(1.0, job.spec.gpus / len(job.unique_hosts()))
+        per_gpu = task.bus_bandwidth_bytes() * self.topology.rails / per_host_gpus
+        return max(per_gpu * self.failure_penalty(job), MIN_DP_BANDWIDTH)
+
+    def _iteration_seconds(self, job, dp_bandwidth):
+        breakdown = self.trainer.train(
+            MODELS[job.spec.model],
+            job.spec.strategy,
+            framework=job.spec.framework,
+            transport=job.spec.transport,
+            secure_container=True,
+            dp_bandwidth=dp_bandwidth,
+        )
+        return breakdown.total
+
+    def _isolated_iter_seconds(self, job):
+        """The job alone on a clean fabric — the slowdown baseline."""
+        if len(job.unique_hosts()) < 2:
+            # Single-host ring: NVLink-assisted DP, no fabric traffic.
+            return self._iteration_seconds(
+                job, CostModelConfig().intra_server_dp_bandwidth
+            )
+        sim = FluidSimulation(self.topology, dt=self.congestion_dt,
+                              seed=self.seed)
+        task = self._launch_ring(job, sim)
+        sim.run(duration=self.congestion_seconds)
+        per_host_gpus = max(1.0, job.spec.gpus / len(job.unique_hosts()))
+        per_gpu = max(
+            task.bus_bandwidth_bytes() * self.topology.rails / per_host_gpus,
+            MIN_DP_BANDWIDTH,
+        )
+        return self._iteration_seconds(job, per_gpu)
+
+    def _recompute_rates(self):
+        """One congestion epoch: reprice every running job's iteration."""
+        self.rate_epochs += 1
+        running = [job for job in self.jobs if job.state is JobState.RUNNING]
+        multi = [job for job in running if len(job.unique_hosts()) >= 2]
+        tasks = []
+        if multi:
+            contended = ContendedTopology(
+                self.topology, self._background_rates(running)
+            )
+            sim = FluidSimulation(contended, dt=self.congestion_dt,
+                                  seed=self.seed)
+            for job in multi:
+                tasks.append((job, self._launch_ring(job, sim)))
+            sim.run(duration=self.congestion_seconds)
+        for job, task in tasks:
+            job.iter_seconds = self._iteration_seconds(
+                job, self._per_gpu_bandwidth(job, task)
+            )
+        for job in running:
+            if len(job.unique_hosts()) < 2:
+                job.iter_seconds = job.iso_iter_seconds
+        if self.tracer is not None:
+            self.tracer.counter("fleet", self.engine.now, {
+                "running": self._running,
+                "queued": len(self.scheduler.queue),
+                "links_down": len(self.failed_links),
+            }, track="fleet")
+
+    # -- working-set sampling ----------------------------------------------
+
+    def _sample_pages(self, container, region):
+        """A bounded, evenly-strided page sample of the working set."""
+        pages = []
+        page = self.atc_page
+        for _, gpa, length in container.gva_to_gpa_chunks(
+            region.start, region.length
+        ):
+            cursor = gpa - (gpa % page)
+            end = gpa + length
+            while cursor < end:
+                pages.append(cursor)
+                cursor += page
+        stride = max(1, len(pages) // self.sample_pages)
+        return pages[::stride][: self.sample_pages]
+
+    # -- telemetry ---------------------------------------------------------
+
+    def snapshot(self):
+        return {
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_queued": len(self.scheduler.queue),
+            "jobs_starting": self._starting,
+            "jobs_running": self._running,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "rate_epochs": self.rate_epochs,
+            "link_failures": self.link_failures,
+            "links_down": len(self.failed_links),
+            "policy": self.scheduler.policy.value,
+        }
+
+    def register_metrics(self, registry, prefix="cluster"):
+        registry.add_provider("%s.fleet" % prefix, self.snapshot)
+        registry.add_provider("%s.scheduler" % prefix, self.scheduler.snapshot)
+        for host in self.scheduler.hosts:
+            host.register_metrics(
+                registry, prefix="%s.host.%s" % (prefix, host.name)
+            )
+        self.engine.register_metrics(registry, prefix="%s.engine" % prefix)
+        return registry
+
+    def __repr__(self):
+        return "FleetSimulation(hosts=%d, jobs=%d, t=%.1fs)" % (
+            len(self.scheduler.hosts), len(self.jobs), self.engine.now,
+        )

@@ -1,0 +1,245 @@
+"""A fleet host: a real Stellar server plus admission accounting.
+
+:class:`FleetHost` owns an honest :class:`repro.core.StellarHost` (PCIe
+fabric, RNICs, hypervisor with PVDMA, SF managers) so container churn
+pays real boot/pinning/device costs, and layers the scheduler-facing
+bookkeeping on top: finite GPUs, pinnable DRAM, scalable functions and
+switch-LUT entries, reserved per job and released on teardown.
+
+:class:`SharedAtc` is the multi-tenant variant of
+:class:`repro.pcie.atc.DeviceAtc`: one bounded RNIC-side translation
+cache shared by *all* tenant domains on the host, keyed by
+``(domain, page)``.  Co-located tenants evict each other, which is how
+the Figure 8/14 miss-rate growth appears at fleet scale.
+"""
+
+from repro import calibration
+from repro.core.stellar import StellarHost
+from repro.memory.address import align_down
+from repro.memory.caches import TranslationCache
+from repro.sim.units import GiB
+from repro.virt.hypervisor import MemoryMode
+
+
+class FleetHostError(Exception):
+    """Admission-accounting violation on a fleet host."""
+
+
+class SharedAtc:
+    """One host's RNIC ATC shared across every tenant IOMMU domain."""
+
+    def __init__(self, iommu, capacity_pages=calibration.ATC_CAPACITY_PAGES,
+                 page_size=calibration.GDR_PAGE_BYTES):
+        self.iommu = iommu
+        self.page_size = page_size
+        self.cache = TranslationCache(capacity_pages, name="shared-atc")
+        self.translation_seconds = 0.0
+
+    def access(self, domain_name, da):
+        """Translate one device address; return True on an ATC hit.
+
+        Misses pay the real ATS round trip against the host IOMMU (and a
+        table walk past the IOTLB reach) and install the reply, evicting
+        some other tenant's page when the cache is full.
+        """
+        page = align_down(da, self.page_size)
+        key = (domain_name, page)
+        hit, _ = self.cache.lookup(key)
+        if hit:
+            self.translation_seconds += calibration.ATC_HIT_SECONDS
+            return True
+        result = self.iommu.ats_translate(domain_name, page)
+        self.cache.insert(key, (result.hpa, result.kind))
+        self.translation_seconds += calibration.ATC_HIT_SECONDS + result.latency
+        return False
+
+    def invalidate_domain(self, domain_name):
+        """ATS invalidation when a tenant's container stops."""
+        self.cache.invalidate_where(lambda key: key[0] == domain_name)
+
+    def snapshot(self):
+        snap = {}
+        for key, value in self.cache.snapshot().items():
+            snap[key] = value
+        snap["translation_seconds"] = self.translation_seconds
+        return snap
+
+    def __repr__(self):
+        return "SharedAtc(%r)" % (self.cache,)
+
+
+class FleetHost:
+    """One schedulable server: real Stellar stack + resource ledger."""
+
+    def __init__(
+        self,
+        name,
+        address,
+        gpus=calibration.SERVER_GPUS,
+        rnics=calibration.SERVER_RNICS,
+        dram_bytes=256 * GiB,
+        gpu_hbm_bytes=8 * GiB,
+        sf_capacity=None,
+        atc_capacity=calibration.ATC_CAPACITY_PAGES,
+    ):
+        self.name = name
+        #: :class:`repro.net.topology.ServerAddress` of this server on the
+        #: shared dual-plane fabric.
+        self.address = address
+        # The physical DRAM window is built far larger than the admission
+        # capacity: the fabric's host-buffer allocator is a bump cursor,
+        # so a churning host allocates fresh guest RAM for every boot even
+        # though stopped containers released their *accounted* bytes.
+        self.host = StellarHost.build(
+            host_memory_bytes=64 * dram_bytes,
+            gpus=gpus,
+            rnics=rnics,
+            gpu_hbm_bytes=gpu_hbm_bytes,
+        )
+        self.gpu_capacity = len(self.host.gpus)
+        self.dram_capacity = int(dram_bytes)
+        self.sf_capacity = sf_capacity if sf_capacity is not None else rnics * 64
+        self.lut_capacity = sum(
+            switch.lut_capacity for switch in self.host.fabric.switches
+        )
+        #: LUT entries burnt at build time (one per Stellar RNIC parent
+        #: function); legacy per-container VFs add to this.
+        self.lut_base = sum(
+            switch.snapshot()["lut_used"] for switch in self.host.fabric.switches
+        )
+        self.atc = SharedAtc(self.host.hypervisor.iommu, capacity_pages=atc_capacity)
+        self._reservations = {}  # job name -> resource dict
+        self._rnic_cursor = 0
+
+    # -- admission ledger --------------------------------------------------
+
+    def _reserved(self, key):
+        return sum(entry[key] for entry in self._reservations.values())
+
+    @property
+    def gpus_reserved(self):
+        return self._reserved("gpus")
+
+    @property
+    def dram_reserved(self):
+        return self._reserved("dram_bytes")
+
+    @property
+    def sfs_reserved(self):
+        return self._reserved("sfs")
+
+    @property
+    def lut_used(self):
+        return self.lut_base + self._reserved("lut_entries")
+
+    @property
+    def gpus_free(self):
+        return self.gpu_capacity - self.gpus_reserved
+
+    @property
+    def dram_free(self):
+        return self.dram_capacity - self.dram_reserved
+
+    @property
+    def sfs_free(self):
+        return self.sf_capacity - self.sfs_reserved
+
+    @property
+    def lut_free(self):
+        return self.lut_capacity - self.lut_used
+
+    def free_vector(self):
+        """``[gpus, dram, sfs, lut]`` headroom, for placement arithmetic."""
+        return [self.gpus_free, self.dram_free, self.sfs_free, self.lut_free]
+
+    def can_fit(self, gpus, dram_bytes, sfs, lut_entries=0):
+        return (
+            gpus <= self.gpus_free
+            and dram_bytes <= self.dram_free
+            and sfs <= self.sfs_free
+            and lut_entries <= self.lut_free
+        )
+
+    def reserve(self, job_name, gpus, dram_bytes, sfs, lut_entries=0):
+        """Commit a job's share of this host; raises when over capacity."""
+        if job_name in self._reservations:
+            raise FleetHostError(
+                "job %r already holds a reservation on %s" % (job_name, self.name)
+            )
+        if not self.can_fit(gpus, dram_bytes, sfs, lut_entries):
+            raise FleetHostError(
+                "host %s cannot fit job %r (free gpus=%d dram=%d sfs=%d lut=%d)"
+                % (self.name, job_name, self.gpus_free, self.dram_free,
+                   self.sfs_free, self.lut_free)
+            )
+        self._reservations[job_name] = {
+            "gpus": gpus,
+            "dram_bytes": int(dram_bytes),
+            "sfs": sfs,
+            "lut_entries": lut_entries,
+        }
+
+    def release(self, job_name):
+        """Return a job's resources to the pool (idempotent)."""
+        return self._reservations.pop(job_name, None)
+
+    # -- container lifecycle ----------------------------------------------
+
+    @property
+    def rnic_count(self):
+        return len(self.host.rnics)
+
+    def launch(self, name, memory_bytes, memory_mode=MemoryMode.PVDMA):
+        """Boot a container, striping containers over the host's RNICs."""
+        rnic_index = self._rnic_cursor % self.rnic_count
+        self._rnic_cursor += 1
+        return self.host.launch_container(
+            name, memory_bytes, rnic_index=rnic_index, memory_mode=memory_mode
+        )
+
+    def prepare_working_set(self, container, region):
+        """PVDMA-pin a guest buffer; returns the simulated seconds spent."""
+        return self.host.dma_prepare(container, region)
+
+    def stop(self, container, abnormal=False):
+        """Stop a container, shooting down its shared-ATC entries first."""
+        self.atc.invalidate_domain(container.domain_name)
+        return self.host.stop_container(container, abnormal=abnormal)
+
+    def touch(self, container, pages):
+        """One iteration's worth of device accesses to a working set."""
+        hits = 0
+        for da in pages:
+            if self.atc.access(container.domain_name, da):
+                hits += 1
+        return hits
+
+    # -- telemetry ---------------------------------------------------------
+
+    def snapshot(self):
+        return {
+            "gpus_used": self.gpus_reserved,
+            "gpus_capacity": self.gpu_capacity,
+            "dram_used": self.dram_reserved,
+            "dram_capacity": self.dram_capacity,
+            "sfs_used": self.sfs_reserved,
+            "sfs_capacity": self.sf_capacity,
+            "lut_used": self.lut_used,
+            "lut_capacity": self.lut_capacity,
+            "jobs": len(self._reservations),
+            "containers": len(self.host.hypervisor.containers),
+            "pvdma_pin_seconds": self.host.pvdma.total_pin_seconds,
+            "atc": self.atc.snapshot(),
+        }
+
+    def register_metrics(self, registry, prefix=None):
+        if prefix is None:
+            prefix = "cluster.host.%s" % self.name
+        registry.add_provider(prefix, self.snapshot)
+        return registry
+
+    def __repr__(self):
+        return "FleetHost(%r, %s, gpus %d/%d, jobs=%d)" % (
+            self.name, self.address, self.gpus_reserved, self.gpu_capacity,
+            len(self._reservations),
+        )

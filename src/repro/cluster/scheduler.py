@@ -1,0 +1,155 @@
+"""Placement policies and the admission queue.
+
+The scheduler maps a job's containers onto fleet hosts without mutating
+them: :meth:`FleetScheduler.place` works on a copy of every host's free
+vector and returns the chosen ring (one host per container, in DP-ring
+order), or ``None`` when the job cannot fit anywhere.  The fleet commits
+the reservation afterwards.
+
+Policies (Figure 16's placement sensitivity, at fleet scale):
+
+* ``FIRST_FIT`` — fill hosts in address order; fast, fragments rings.
+* ``SPREAD``    — round-robin one container per least-loaded host;
+  maximizes per-host headroom, maximizes cross-segment ring edges.
+* ``PACK``      — most-loaded fitting host first; minimizes the number
+  of hosts a job touches (and its network footprint).
+* ``DUAL_PLANE`` — topology-aware: fill segment-contiguously starting
+  from the segment with the most free GPUs, so DP rings stay inside a
+  ToR segment (zero agg-plane crossings) whenever one segment can hold
+  the job — the re-ranked placement story of the paper.
+"""
+
+import collections
+import enum
+
+
+class PlacementPolicy(enum.Enum):
+    FIRST_FIT = "first_fit"
+    SPREAD = "spread"
+    PACK = "pack"
+    DUAL_PLANE = "dual_plane"
+
+
+def _fits(free, demand):
+    return all(free[i] >= demand[i] for i in range(len(demand)))
+
+
+def _take(free, demand):
+    for i in range(len(demand)):
+        free[i] -= demand[i]
+
+
+class FleetScheduler:
+    """Pluggable placement over a fixed host set, with FIFO queuing."""
+
+    def __init__(self, hosts, policy=PlacementPolicy.DUAL_PLANE):
+        if not hosts:
+            raise ValueError("a fleet needs at least one host")
+        self.hosts = list(hosts)
+        self.policy = policy
+        self.queue = collections.deque()
+
+    def enqueue(self, job):
+        self.queue.append(job)
+
+    def _demand(self, spec):
+        """Per-container resource demand vector."""
+        return (
+            spec.gpus_per_container,
+            spec.memory_bytes,
+            1,  # one virtio-net SF per container
+            spec.lut_entries_per_container,
+        )
+
+    def _host_order(self, free):
+        """Candidate host order for the active policy (deterministic)."""
+        if self.policy is PlacementPolicy.FIRST_FIT:
+            return list(self.hosts)
+        if self.policy is PlacementPolicy.SPREAD:
+            # Tie-break by server index *then* segment so equally-free
+            # hosts interleave segments: spread maximizes failure-domain
+            # diversity, the opposite of DUAL_PLANE's ring locality.
+            return sorted(
+                self.hosts,
+                key=lambda h: (-free[h.name][0], h.address.index, h.address.segment),
+            )
+        if self.policy is PlacementPolicy.PACK:
+            return sorted(
+                self.hosts,
+                key=lambda h: (free[h.name][0], h.address.segment, h.address.index),
+            )
+        # DUAL_PLANE: whole segments ordered by free GPUs (desc), hosts in
+        # address order inside each segment, so rings fill contiguously.
+        segments = {}
+        for host in self.hosts:
+            segments.setdefault(host.address.segment, []).append(host)
+        def segment_key(item):
+            segment, members = item
+            return (-sum(free[h.name][0] for h in members), segment)
+        order = []
+        for _, members in sorted(segments.items(), key=segment_key):
+            order.extend(sorted(members, key=lambda h: h.address.index))
+        return order
+
+    def place(self, spec):
+        """Choose one host per container, or ``None`` if the fleet is full.
+
+        Pure: host ledgers are not touched; the caller commits via
+        :meth:`repro.cluster.host.FleetHost.reserve`.
+        """
+        demand = self._demand(spec)
+        free = {host.name: host.free_vector() for host in self.hosts}
+        order = self._host_order(free)
+        ring = []
+        if self.policy is PlacementPolicy.SPREAD:
+            # One container per host per lap; stop when a full lap places
+            # nothing (every host is out of room).
+            idx = 0
+            stalled = 0
+            while len(ring) < spec.containers and stalled < len(order):
+                host = order[idx % len(order)]
+                idx += 1
+                if _fits(free[host.name], demand):
+                    _take(free[host.name], demand)
+                    ring.append(host)
+                    stalled = 0
+                else:
+                    stalled += 1
+        else:
+            for host in order:
+                while len(ring) < spec.containers and _fits(free[host.name], demand):
+                    _take(free[host.name], demand)
+                    ring.append(host)
+                if len(ring) == spec.containers:
+                    break
+        if len(ring) < spec.containers:
+            return None
+        return ring
+
+    def host_totals(self, spec, ring):
+        """Aggregate a placement into per-host reservation totals."""
+        demand = self._demand(spec)
+        totals = {}
+        for host in ring:
+            entry = totals.setdefault(
+                host.name,
+                {"host": host, "gpus": 0, "dram_bytes": 0, "sfs": 0,
+                 "lut_entries": 0},
+            )
+            entry["gpus"] += demand[0]
+            entry["dram_bytes"] += demand[1]
+            entry["sfs"] += demand[2]
+            entry["lut_entries"] += demand[3]
+        return totals
+
+    def snapshot(self):
+        return {
+            "policy": self.policy.value,
+            "hosts": len(self.hosts),
+            "queue_depth": len(self.queue),
+        }
+
+    def __repr__(self):
+        return "FleetScheduler(%s, hosts=%d, queued=%d)" % (
+            self.policy.value, len(self.hosts), len(self.queue),
+        )

@@ -187,6 +187,27 @@ class PvdmaEngine:
             iommu.unmap(container.domain_name, cursor, take)
             cursor += take
 
+    def forget_container(self, container):
+        """Tear down every PVDMA mapping a container still holds.
+
+        Container stop (graceful or abnormal) must not leave pinned
+        blocks or Map-Cache state behind: a later container reusing the
+        name would inherit stale registrations — the fleet-churn variant
+        of the Figure 5 hazard.  Blocks are unmapped while the IOMMU
+        domain still exists; call this *before* ``container.shutdown()``.
+
+        Returns the number of blocks that were still cached.
+        """
+        cache = self._map_cache.pop(container.name, None)
+        self._stats.pop(container.name, None)
+        if not cache:
+            return 0
+        iommu = self.hypervisor.iommu
+        if iommu.has_domain(container.domain_name):
+            for block in sorted(cache):
+                self._unmap_block(container, block, iommu)
+        return len(cache)
+
     def device_dma(self, container, gpa, length=4096):
         """Model a device (e.g. GPU) DMA through the IOMMU.
 

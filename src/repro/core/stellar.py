@@ -11,8 +11,8 @@ from repro.core.pvdma import PvdmaEngine
 from repro.core.vstellar import StellarRnic
 from repro.pcie.topology import build_ai_server_fabric
 from repro.sim.units import GiB
-from repro.virt.container import RunDContainer
-from repro.virt.hypervisor import Hypervisor, MemoryMode
+from repro.virt.container import ContainerState, RunDContainer
+from repro.virt.hypervisor import Hypervisor, HypervisorError, MemoryMode
 from repro.virt.sf import ScalableFunctionManager
 from repro.virt.virtio import VirtioDevice, VirtioDeviceType
 
@@ -119,6 +119,37 @@ class StellarHost:
         record = LaunchRecord(container, boot_seconds, device_seconds)
         self.launches.append(record)
         return record
+
+    def stop_container(self, container, abnormal=False):
+        """Tear down a container and every host resource launched with it.
+
+        The reverse of :meth:`launch_container`, in dependency order:
+        PVDMA mappings are unmapped while the IOMMU domain still exists,
+        the vStellar device and its PASID binding are destroyed, the
+        virtio-net scalable function is returned to its manager, and the
+        MicroVM is shut down.  ``abnormal=True`` models a crashed guest
+        (the hypervisor reaps it); the resource release is identical —
+        that symmetry is what fleet churn depends on.
+        """
+        if container.state is not ContainerState.RUNNING:
+            raise HypervisorError(
+                "container %r is not running (state=%s)"
+                % (container.name, container.state.value)
+            )
+        self.pvdma.forget_container(container)
+        vdev = getattr(container, "vstellar_device", None)
+        if vdev is not None:
+            vdev.parent.destroy_vdevice(vdev)
+            container.vstellar_device = None
+        sf = getattr(container, "virtio_net_sf", None)
+        if sf is not None:
+            for manager in self.sf_managers:
+                if sf in manager.sfs:
+                    manager.destroy(sf)
+                    break
+            container.virtio_net_sf = None
+        container.shutdown()
+        return container
 
     def dma_prepare(self, container, gva_region):
         """Run PVDMA preparation for a guest buffer about to be DMA'd.

@@ -59,7 +59,8 @@ RULES = {
     ),
     "L-layer": (
         "import breaks the layer DAG (sim/obs import no domain layer, "
-        "memory/pcie never import virt/training, nothing imports legacy)"
+        "memory/pcie never import virt/training, nothing imports legacy, "
+        "only workloads imports the cluster layer)"
     ),
     "L-private": (
         "cross-module private-attribute access x._attr; use the public "
@@ -79,6 +80,7 @@ RULES = {
 DOMAIN_LAYERS = frozenset({
     "core", "memory", "pcie", "rnic", "net", "virt", "training",
     "collectives", "workloads", "analysis", "legacy", "calibration",
+    "cluster",
 })
 
 #: Infrastructure layers every domain layer may depend on — never the
@@ -263,6 +265,10 @@ def layer_violation(importer_module, imported_module):
         return "repro.%s must not import domain layer repro.%s" % (src, dst)
     if src in ("memory", "pcie") and dst in ("virt", "training"):
         return "repro.%s must not import repro.%s" % (src, dst)
+    # cluster is the top domain layer: it may import everything (except
+    # legacy, covered above); below it only workloads may drive a fleet.
+    if dst == "cluster" and src is not None and src not in ("cluster", "workloads"):
+        return "repro.%s must not import the cluster layer (only workloads may)" % src
     return None
 
 

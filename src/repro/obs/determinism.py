@@ -146,19 +146,8 @@ class DeterminismReport:
         )
 
 
-def check_determinism(seed=17, runs=2, max_mismatches=10, **probe_kwargs):
-    """Run the seeded probe ``runs`` times and diff the fingerprints.
-
-    Returns a :class:`DeterminismReport`; ``report.ok`` is the CI gate.
-    Mismatching metric keys (up to ``max_mismatches``) are listed with
-    their per-run values so a regression points straight at the counter
-    family that diverged.
-    """
-    if runs < 2:
-        raise ValueError("determinism needs at least 2 runs, got %d" % runs)
-    fingerprints = [
-        probe_fingerprint(seed=seed, **probe_kwargs) for _ in range(runs)
-    ]
+def _diff_fingerprints(fingerprints, max_mismatches):
+    """Diff N same-seed fingerprints into a :class:`DeterminismReport`."""
     reference = fingerprints[0]
     mismatches = []
     all_keys = []
@@ -178,3 +167,99 @@ def check_determinism(seed=17, runs=2, max_mismatches=10, **probe_kwargs):
         fp.trace_digest == reference.trace_digest for fp in fingerprints
     )
     return DeterminismReport(fingerprints, mismatches, trace_match)
+
+
+def check_determinism(seed=17, runs=2, max_mismatches=10, **probe_kwargs):
+    """Run the seeded probe ``runs`` times and diff the fingerprints.
+
+    Returns a :class:`DeterminismReport`; ``report.ok`` is the CI gate.
+    Mismatching metric keys (up to ``max_mismatches``) are listed with
+    their per-run values so a regression points straight at the counter
+    family that diverged.
+    """
+    if runs < 2:
+        raise ValueError("determinism needs at least 2 runs, got %d" % runs)
+    fingerprints = [
+        probe_fingerprint(seed=seed, **probe_kwargs) for _ in range(runs)
+    ]
+    return _diff_fingerprints(fingerprints, max_mismatches)
+
+
+def fleet_fingerprint(seed=17, scenario="churn"):
+    """Run one seeded fleet scenario in isolation; return its fingerprint.
+
+    ``scenario`` is ``"churn"`` (the canonical 16-host / 3-tenant run) or
+    ``"smoke"`` (the two-host probe leg).  Fresh registry and tracer per
+    call, as in :func:`probe_fingerprint`.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+    from repro.workloads.fleet_bench import run_churn, run_fleet_smoke  # simlint: ok L-layer
+
+    registry = MetricsRegistry("determinism-fleet")
+    tracer = Tracer("determinism-fleet")
+    runner = {"churn": run_churn, "smoke": run_fleet_smoke}[scenario]
+    runner(seed=seed, registry=registry, tracer=tracer)
+    metrics = registry.snapshot()
+    return ProbeFingerprint(
+        seed=seed,
+        metrics=metrics,
+        metrics_digest=snapshot_digest(metrics),
+        trace_digest=trace_digest(tracer),
+        trace_events=len(tracer),
+    )
+
+
+class FleetDeterminismReport:
+    """Outcome of the multi-seed fleet determinism check."""
+
+    __slots__ = ("reports", "cross_seed_distinct")
+
+    def __init__(self, reports, cross_seed_distinct):
+        #: ``{seed: DeterminismReport}`` — each seed must self-reproduce.
+        self.reports = reports
+        #: Different seeds must also produce *different* runs, or the
+        #: scenario is not actually consuming its seed.
+        self.cross_seed_distinct = cross_seed_distinct
+
+    @property
+    def ok(self):
+        return self.cross_seed_distinct and all(
+            report.ok for report in self.reports.values()
+        )
+
+    def describe(self):
+        lines = []
+        for seed, report in self.reports.items():
+            lines.append("seed %d: %s" % (seed, report.describe()))
+        if not self.cross_seed_distinct:
+            lines.append("seeds produced identical traces (seed unused?)")
+        return "; ".join(lines)
+
+    def __repr__(self):
+        return "FleetDeterminismReport(ok=%s, seeds=%s)" % (
+            self.ok, sorted(self.reports),
+        )
+
+
+def check_fleet_determinism(seeds=(17, 23), runs=2, max_mismatches=10,
+                            scenario="churn"):
+    """Fleet determinism gate: each seed reproduces, seeds differ.
+
+    Runs the scenario ``runs`` times per seed, diffing metrics + trace
+    digests per seed exactly like :func:`check_determinism`, and
+    additionally requires distinct seeds to produce distinct traces.
+    """
+    if runs < 2:
+        raise ValueError("determinism needs at least 2 runs, got %d" % runs)
+    reports = {}
+    first_digests = []
+    for seed in seeds:
+        fingerprints = [
+            fleet_fingerprint(seed=seed, scenario=scenario)
+            for _ in range(runs)
+        ]
+        reports[seed] = _diff_fingerprints(fingerprints, max_mismatches)
+        first_digests.append(fingerprints[0].trace_digest)
+    cross_seed_distinct = len(set(first_digests)) == len(first_digests)
+    return FleetDeterminismReport(reports, cross_seed_distinct)

@@ -4,9 +4,10 @@
 ``--metrics``) executes this probe: a small :class:`StellarHost` with two
 tenant containers doing vStellar RDMA (rnic/pcie/pvdma/mem families),
 then a packet-level spray run with background loss (net/scheduler
-families, flow spans, queue-depth sampling).  Everything is seeded, so
-two probes produce identical metric snapshots — the regression tests
-rely on that.
+families, flow spans, queue-depth sampling), then a two-host fleet smoke
+scenario with churn, an abort, and an uplink failure (cluster family).
+Everything is seeded, so two probes produce identical metric snapshots —
+the regression tests rely on that.
 """
 
 # The probe is obs's one sanctioned full-stack entry point: it exists to
@@ -30,7 +31,7 @@ class ProbeResult:
     """Everything a probe run produced, ready for reporting or export."""
 
     def __init__(self, host, containers, sim, flow_results, registry, tracer,
-                 sampler):
+                 sampler, fleet=None):
         self.host = host
         self.containers = containers
         self.sim = sim
@@ -38,6 +39,7 @@ class ProbeResult:
         self.registry = registry
         self.tracer = tracer
         self.sampler = sampler
+        self.fleet = fleet
 
     def reports(self):
         """``[(title, report dict)]`` for the Neohost-style console dump."""
@@ -69,7 +71,8 @@ class ProbeResult:
 
 def run_probe(registry=None, tracer=None, seed=17,
               sample_interval=DEFAULT_SAMPLE_INTERVAL, max_samples=512,
-              message_bytes=1 * MiB, flow_count=4, loss_rate=0.005):
+              message_bytes=1 * MiB, flow_count=4, loss_rate=0.005,
+              fleet=True):
     """Run the canned full-stack telemetry workload; returns ProbeResult.
 
     ``registry``/``tracer`` default to the process-wide registry and a
@@ -132,4 +135,13 @@ def run_probe(registry=None, tracer=None, seed=17,
     ]
     results = run_flows(sim, flows, timeout=0.05)
     sampler.stop()
-    return ProbeResult(host, containers, sim, results, registry, tracer, sampler)
+
+    # -- fleet leg: two-host churn smoke (cluster.* family) ---------------
+    fleet_sim = None
+    if fleet:
+        from repro.workloads.fleet_bench import run_fleet_smoke  # simlint: ok L-layer
+
+        fleet_sim, _ = run_fleet_smoke(seed=seed, tracer=tracer,
+                                       registry=registry)
+    return ProbeResult(host, containers, sim, results, registry, tracer,
+                       sampler, fleet=fleet_sim)

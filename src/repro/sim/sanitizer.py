@@ -13,9 +13,12 @@ discrete-event system:
   live events remain queued has leaked them; the leaked events are named
   in the error so the culprit callback is one grep away;
 * **conservation** — cross-checks sourced from a metrics snapshot:
-  packets sent == delivered + dropped (+ in flight), and every bounded
+  packets sent == delivered + dropped (+ in flight), every bounded
   structure (ATC/IOTLB ``size``/``capacity``, switch LUT
-  ``lut_used``/``lut_capacity``) stays within its configured capacity.
+  ``lut_used``/``lut_capacity``, per-host ``gpus_used``/
+  ``gpus_capacity``) stays within its configured capacity, and fleet
+  job accounting balances (submitted == queued + starting + running +
+  completed + failed).
 
 The sanitizer is opt-in and composable: ``attach()`` wraps one
 :class:`~repro.sim.engine.EventScheduler` instance's ``step`` (the run
@@ -149,6 +152,7 @@ class SimSanitizer:
         self.checks_run += 1
         self._check_packet_conservation(snapshot, drained)
         self._check_capacities(snapshot)
+        self._check_job_conservation(snapshot)
 
     @staticmethod
     def _check_packet_conservation(snapshot, drained):
@@ -194,6 +198,28 @@ class SimSanitizer:
                 raise SanitizerError(
                     "%s exceeds configured capacity: %r > %r"
                     % (key, used, bound)
+                )
+
+    @staticmethod
+    def _check_job_conservation(snapshot):
+        # Fleet job accounting: every submitted job is in exactly one
+        # state at all times (``repro.cluster`` exports the counters from
+        # independent increments, so a missed transition trips this).
+        states = ("queued", "starting", "running", "completed", "failed")
+        for key, submitted in snapshot.items():
+            if not key.endswith(".jobs_submitted"):
+                continue
+            base = key[:-len("jobs_submitted")]
+            counts = [snapshot.get(base + "jobs_" + state) for state in states]
+            if any(count is None for count in counts):
+                continue
+            accounted = sum(counts)
+            if accounted != submitted:
+                raise SanitizerError(
+                    "%s*: job states sum to %d but %d were submitted "
+                    "(queued=%d starting=%d running=%d completed=%d "
+                    "failed=%d)"
+                    % ((base, accounted, submitted) + tuple(counts))
                 )
 
     # -- everything ------------------------------------------------------

@@ -192,18 +192,26 @@ class TrainingSimulation:
         self.gpus_per_server = gpus_per_server
 
     def measure_dp_bandwidth(self, gpu_count, placement, transport,
-                             sim_seconds=0.06, dt=0.01):
+                             sim_seconds=0.06, dt=0.01, servers=None,
+                             sim=None):
         """Run the job's DP rings on the fabric; return B/s per GPU.
 
         The ring turns at its slowest member's rate, so the measured
         bottleneck rate per RNIC (divided by the GPUs sharing it) is the
         gradient-all-reduce bandwidth the cost model should see.
+
+        ``servers`` overrides the placement-driven server pick with an
+        explicit ring order (the cluster scheduler assigns hosts itself);
+        ``sim`` injects a pre-populated :class:`FluidSimulation` so the
+        measurement can share the fabric with other tenants' traffic.
         """
-        servers = place_job(
-            gpu_count, self.topology, placement,
-            seed=self.seed, gpus_per_server=self.gpus_per_server,
-        )
-        sim = FluidSimulation(self.topology, dt=dt, seed=self.seed)
+        if servers is None:
+            servers = place_job(
+                gpu_count, self.topology, placement,
+                seed=self.seed, gpus_per_server=self.gpus_per_server,
+            )
+        if sim is None:
+            sim = FluidSimulation(self.topology, dt=dt, seed=self.seed)
         task = RingAllReduceTask(
             "dp-ring",
             servers,
@@ -221,14 +229,22 @@ class TrainingSimulation:
 
     def train(self, model, strategy, framework=Framework.MEGATRON,
               placement=Placement.RANDOM, transport="stellar",
-              secure_container=False, config=None):
-        """Full pipeline: measure DP bandwidth, then build the breakdown."""
+              secure_container=False, config=None, dp_bandwidth=None,
+              servers=None):
+        """Full pipeline: measure DP bandwidth, then build the breakdown.
+
+        ``dp_bandwidth`` skips the measurement when the caller already
+        measured the fabric (the fleet simulation shares one measurement
+        across a congestion epoch); ``servers`` forwards an explicit ring
+        order to :meth:`measure_dp_bandwidth`.
+        """
         transport_config = (
             TRANSPORTS[transport] if isinstance(transport, str) else transport
         )
-        dp_bandwidth = self.measure_dp_bandwidth(
-            strategy.gpus, placement, transport_config
-        )
+        if dp_bandwidth is None:
+            dp_bandwidth = self.measure_dp_bandwidth(
+                strategy.gpus, placement, transport_config, servers=servers
+            )
         overhead = VSTELLAR_VIRT_OVERHEAD if secure_container else 0.0
         return iteration_breakdown(
             model,

@@ -1,5 +1,15 @@
-"""Workload harnesses: perftest analogs, GDR sweeps, startup timing."""
+"""Workload harnesses: perftest analogs, GDR sweeps, startup timing,
+fleet-scale churn scenarios."""
 
+from repro.workloads.fleet_bench import (
+    CHURN_SEED,
+    build_churn_fleet,
+    churn_tenants,
+    churn_topology,
+    run_churn,
+    run_fleet_smoke,
+    smoke_specs,
+)
 from repro.workloads.gdr_bench import (
     AtcMissExperiment,
     GdrSweepRow,
@@ -21,10 +31,17 @@ from repro.workloads.startup import StartupRow, measure_startup
 
 __all__ = [
     "AtcMissExperiment",
+    "CHURN_SEED",
     "GdrSweepRow",
+    "build_churn_fleet",
+    "churn_tenants",
+    "churn_topology",
     "default_gdr_sizes",
     "emtt_sweep",
     "gdr_datapath_curve",
+    "run_churn",
+    "run_fleet_smoke",
+    "smoke_specs",
     "PROFILES",
     "DatapathProfile",
     "PerftestRow",

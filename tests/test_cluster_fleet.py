@@ -1,0 +1,228 @@
+"""End-to-end FleetSimulation tests.
+
+Three scenarios:
+
+* the CI smoke fleet (two hosts, three jobs, one abort, one failure),
+* a purpose-built failure-locality fleet proving a dead uplink degrades
+  only the job whose sprayed paths cross it,
+* the canonical 16-host / 3-tenant churn scenario, asserting the
+  paper-level effects (Figure 6 cold-start growth with pinned GB,
+  bounded ATC with multi-tenant miss growth, nonzero queue waits).
+"""
+
+import pytest
+
+from repro.cluster import FleetSimulation, JobSpec, JobState, PlacementPolicy
+from repro.net.topology import DualPlaneTopology
+from repro.obs.metrics import MetricsRegistry
+from repro.sim import SimSanitizer
+from repro.sim.units import GiB, MiB
+from repro.workloads.fleet_bench import (
+    CHURN_FAILURE_AT,
+    CHURN_FAILURE_SECONDS,
+    churn_tenants,
+    run_churn,
+    run_fleet_smoke,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    registry = MetricsRegistry("fleet-smoke-test")
+    fleet, result = run_fleet_smoke(registry=registry)
+    return fleet, result, registry
+
+
+@pytest.fixture(scope="module")
+def churn():
+    registry = MetricsRegistry("fleet-churn-test")
+    fleet, result = run_churn(registry=registry)
+    return fleet, result, registry
+
+
+def job_named(result, name):
+    return next(job for job in result.jobs if job.spec.name == name)
+
+
+class TestSmokeScenario:
+    def test_every_job_reaches_a_terminal_state(self, smoke):
+        fleet, result, registry = smoke
+        counters = result.counters
+        assert counters["jobs_submitted"] == 3
+        assert counters["jobs_completed"] == 2
+        assert counters["jobs_failed"] == 1
+        assert counters["jobs_queued"] == 0
+        assert counters["jobs_running"] == 0
+
+    def test_abort_job_queued_then_failed(self, smoke):
+        fleet, result, registry = smoke
+        abort = job_named(result, "smoke-abort")
+        assert abort.state is JobState.FAILED
+        assert abort.wait_seconds > 0  # queued behind the full hosts
+        assert abort.iterations_done < abort.spec.iterations
+
+    def test_hosts_fully_drained_after_run(self, smoke):
+        fleet, result, registry = smoke
+        for host in fleet.scheduler.hosts:
+            assert host.gpus_reserved == 0
+            assert host.dram_reserved == 0
+            assert len(host.host.hypervisor.containers) == 0
+
+    def test_full_pin_starts_slower_than_pvdma(self, smoke):
+        fleet, result, registry = smoke
+        pinned = job_named(result, "smoke-pinned")
+        pvdma = job_named(result, "smoke-pvdma")
+        assert pinned.startup_seconds > pvdma.startup_seconds
+
+    def test_link_failure_was_injected_and_healed(self, smoke):
+        fleet, result, registry = smoke
+        assert result.counters["link_failures"] == 1
+        assert result.counters["links_down"] == 0
+
+    def test_registry_snapshot_passes_conservation(self, smoke):
+        fleet, result, registry = smoke
+        SimSanitizer(fleet.engine, registry).check_conservation(drained=True)
+
+
+class TestFailureLocality:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        topology = DualPlaneTopology(
+            segments=2, servers_per_segment=1, rails=1, planes=2,
+            aggs_per_plane=2,
+        )
+        fleet = FleetSimulation(
+            topology, policy=PlacementPolicy.SPREAD, seed=7,
+            host_config=dict(gpus=2, rnics=1, dram_bytes=8 * GiB,
+                             gpu_hbm_bytes=1 * GiB, atc_capacity=128),
+            sample_pages=32,
+        )
+        # The victim: a 4-QP legacy transport spanning both segments, so
+        # a quarter of its sprayed paths can die with one uplink.
+        fleet.submit(JobSpec(
+            "affected", "a", containers=2, gpus_per_container=1,
+            memory_bytes=1 * GiB, working_set_bytes=4 * MiB,
+            iterations=120, transport="cx7",
+        ), at=0.0)
+        # The bystander: a single-host job; no fabric traffic at all.
+        fleet.submit(JobSpec(
+            "solo", "b", containers=1, gpus_per_container=1,
+            memory_bytes=1 * GiB, working_set_bytes=4 * MiB,
+            iterations=120, transport="stellar",
+        ), at=0.0)
+        fleet.inject_link_failure(at=10.0, duration=6.0)
+        registry = MetricsRegistry("failure-locality")
+        fleet.register_metrics(registry)
+        with SimSanitizer(fleet.engine, registry):
+            result = fleet.run()
+        return fleet, result
+
+    def test_both_jobs_complete(self, outcome):
+        fleet, result = outcome
+        assert result.counters["jobs_completed"] == 2
+
+    def test_victim_is_penalized_only_during_the_window(self, outcome):
+        fleet, result = outcome
+        affected = job_named(result, "affected")
+        during = [entry for entry in affected.iteration_log
+                  if 10.0 <= entry[0] < 16.0]
+        outside = [entry for entry in affected.iteration_log
+                   if not 10.0 <= entry[0] < 16.0]
+        assert during and outside
+        assert all(entry[3] < 1.0 for entry in during)
+        assert all(entry[3] == 1.0 for entry in outside)
+
+    def test_victim_iterations_slow_down_then_recover(self, outcome):
+        fleet, result = outcome
+        affected = job_named(result, "affected")
+        degraded = [entry[2] for entry in affected.iteration_log
+                    if entry[3] < 1.0]
+        healthy = [entry[2] for entry in affected.iteration_log
+                   if entry[3] == 1.0]
+        assert min(degraded) > max(healthy)
+        # Entries after the heal exist and run at the healthy rate again.
+        post = [entry for entry in affected.iteration_log if entry[0] >= 16.0]
+        assert post and all(entry[3] == 1.0 for entry in post)
+
+    def test_bystander_never_notices(self, outcome):
+        fleet, result = outcome
+        solo = job_named(result, "solo")
+        assert all(entry[3] == 1.0 for entry in solo.iteration_log)
+        assert all(s == pytest.approx(1.0) for s in solo.slowdown_samples)
+
+
+class TestChurnScenario:
+    def test_all_jobs_accounted(self, churn):
+        fleet, result, registry = churn
+        counters = result.counters
+        assert counters["jobs_submitted"] > 0
+        assert (counters["jobs_completed"] + counters["jobs_failed"]
+                == counters["jobs_submitted"])
+        assert counters["jobs_queued"] == 0
+        SimSanitizer(fleet.engine, registry).check_conservation(drained=True)
+
+    def test_contention_produces_queue_waits(self, churn):
+        fleet, result, registry = churn
+        waits = [job.wait_seconds for job in result.jobs
+                 if job.wait_seconds is not None]
+        assert max(waits) > 0
+
+    def test_cold_start_grows_with_pinned_memory(self, churn):
+        fleet, result, registry = churn
+        by_pinned_gb = {}
+        pvdma_startups = []
+        for job in result.jobs:
+            if job.startup_seconds is None:
+                continue
+            if job.spec.memory_mode.value == "full_pin":
+                by_pinned_gb.setdefault(
+                    job.spec.memory_bytes, []).append(job.startup_seconds)
+            else:
+                pvdma_startups.append(job.startup_seconds)
+        assert len(by_pinned_gb) >= 2  # both legacy sizes showed up
+        sizes = sorted(by_pinned_gb)
+        means = [sum(by_pinned_gb[s]) / len(by_pinned_gb[s]) for s in sizes]
+        assert means == sorted(means)  # monotone in pinned bytes
+        assert means[-1] > means[0] * 1.5
+        # PVDMA start-up is decoupled from container memory.
+        assert max(pvdma_startups) < min(by_pinned_gb[sizes[-1]])
+
+    def test_failure_degrades_some_jobs_but_not_all(self, churn):
+        fleet, result, registry = churn
+        window_end = CHURN_FAILURE_AT + CHURN_FAILURE_SECONDS
+        degraded, unaffected = [], []
+        for job in result.jobs:
+            penalties = [entry[3] for entry in job.iteration_log]
+            if penalties and min(penalties) < 1.0:
+                degraded.append(job)
+            elif penalties:
+                unaffected.append(job)
+        assert degraded and unaffected
+        for job in degraded:
+            bad = [entry[0] for entry in job.iteration_log if entry[3] < 1.0]
+            assert all(CHURN_FAILURE_AT <= t < window_end for t in bad)
+
+    def test_atc_stays_bounded_on_every_host(self, churn):
+        fleet, result, registry = churn
+        for host in fleet.scheduler.hosts:
+            snap = host.snapshot()
+            assert snap["atc"]["size"] <= snap["atc"]["capacity"]
+            assert snap["lut_used"] <= snap["lut_capacity"]
+
+    def test_multi_tenant_atc_misses_exceed_single_tenant(self, churn):
+        fleet, result, registry = churn
+
+        def miss_rate(run_fleet):
+            hits = misses = 0
+            for host in run_fleet.scheduler.hosts:
+                snap = host.atc.snapshot()
+                hits += snap["hits"]
+                misses += snap["misses"]
+            return misses / max(1, hits + misses)
+
+        solo_fleet, _ = run_churn(tenants=[churn_tenants()[0]], failure=False)
+        assert miss_rate(fleet) > miss_rate(solo_fleet)
+
+    def test_slowdown_tail_reflects_contention(self, churn):
+        fleet, result, registry = churn
+        assert result.p99_slowdown() > 1.0

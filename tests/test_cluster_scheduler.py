@@ -1,0 +1,122 @@
+"""Unit tests for placement policies — pure, on stub hosts."""
+
+import pytest
+
+from repro.cluster import FleetScheduler, JobSpec, PlacementPolicy
+from repro.net.topology import ServerAddress
+from repro.sim.units import GiB
+
+
+class StubHost:
+    """The slice of FleetHost the scheduler reads: a name, an address,
+    and a [gpus, dram, sfs, lut] free vector."""
+
+    def __init__(self, segment, index, gpus=4, dram=32 * GiB, sfs=8, lut=4):
+        self.name = "h%d-%d" % (segment, index)
+        self.address = ServerAddress(segment, index)
+        self._free = [gpus, dram, sfs, lut]
+
+    def free_vector(self):
+        return list(self._free)
+
+
+def make_hosts(segments=2, per_segment=2, **kwargs):
+    return [
+        StubHost(segment, index, **kwargs)
+        for segment in range(segments)
+        for index in range(per_segment)
+    ]
+
+
+def spec(containers=2, gpus=1, memory=1 * GiB, lut=0, name="job"):
+    return JobSpec(name, "t", containers=containers, gpus_per_container=gpus,
+                   memory_bytes=memory, lut_entries_per_container=lut)
+
+
+class TestPlacement:
+    def test_first_fit_fills_hosts_in_address_order(self):
+        hosts = make_hosts()
+        sched = FleetScheduler(hosts, PlacementPolicy.FIRST_FIT)
+        ring = sched.place(spec(containers=6, gpus=1))
+        # 4 GPUs on h0-0, then 2 on h0-1.
+        assert [h.name for h in ring] == ["h0-0"] * 4 + ["h0-1"] * 2
+
+    def test_pack_prefers_the_most_loaded_fitting_host(self):
+        hosts = make_hosts()
+        hosts[1]._free[0] = 1  # h0-1 nearly full: pack targets it first
+        sched = FleetScheduler(hosts, PlacementPolicy.PACK)
+        ring = sched.place(spec(containers=2, gpus=1))
+        assert ring[0].name == "h0-1"
+
+    def test_spread_places_one_container_per_host_per_lap(self):
+        hosts = make_hosts()
+        sched = FleetScheduler(hosts, PlacementPolicy.SPREAD)
+        ring = sched.place(spec(containers=4, gpus=1))
+        assert len({h.name for h in ring}) == 4
+
+    def test_spread_ties_interleave_segments(self):
+        # Equal free vectors: the index-then-segment tie-break alternates
+        # segments, so consecutive ring edges cross the agg planes.
+        hosts = make_hosts()
+        sched = FleetScheduler(hosts, PlacementPolicy.SPREAD)
+        ring = sched.place(spec(containers=2, gpus=1))
+        assert {h.address.segment for h in ring} == {0, 1}
+
+    def test_dual_plane_keeps_the_ring_in_one_segment(self):
+        hosts = make_hosts()
+        sched = FleetScheduler(hosts, PlacementPolicy.DUAL_PLANE)
+        ring = sched.place(spec(containers=4, gpus=2))
+        assert len({h.address.segment for h in ring}) == 1
+
+    def test_dual_plane_starts_in_the_freest_segment(self):
+        hosts = make_hosts()
+        for host in hosts:
+            if host.address.segment == 0:
+                host._free[0] = 1  # segment 0 nearly full
+        sched = FleetScheduler(hosts, PlacementPolicy.DUAL_PLANE)
+        ring = sched.place(spec(containers=2, gpus=2))
+        assert all(h.address.segment == 1 for h in ring)
+
+    def test_unplaceable_job_returns_none(self):
+        sched = FleetScheduler(make_hosts(), PlacementPolicy.FIRST_FIT)
+        assert sched.place(spec(containers=1, gpus=5)) is None
+        assert sched.place(spec(containers=17, gpus=1)) is None
+
+    def test_lut_demand_constrains_placement(self):
+        hosts = make_hosts(lut=0)
+        sched = FleetScheduler(hosts, PlacementPolicy.FIRST_FIT)
+        assert sched.place(spec(containers=1, gpus=1, lut=1)) is None
+        assert sched.place(spec(containers=1, gpus=1, lut=0)) is not None
+
+    def test_place_is_pure(self):
+        hosts = make_hosts()
+        sched = FleetScheduler(hosts, PlacementPolicy.SPREAD)
+        before = {h.name: h.free_vector() for h in hosts}
+        assert sched.place(spec(containers=4, gpus=1)) is not None
+        assert {h.name: h.free_vector() for h in hosts} == before
+
+
+class TestHostTotals:
+    def test_totals_aggregate_shared_hosts(self):
+        hosts = make_hosts()
+        sched = FleetScheduler(hosts, PlacementPolicy.FIRST_FIT)
+        job = spec(containers=3, gpus=1, memory=2 * GiB)
+        ring = sched.place(job)
+        totals = sched.host_totals(job, ring)
+        assert sum(t["gpus"] for t in totals.values()) == 3
+        assert sum(t["sfs"] for t in totals.values()) == 3
+        assert totals["h0-0"]["dram_bytes"] == 3 * 2 * GiB
+
+
+class TestQueueAndSnapshot:
+    def test_needs_at_least_one_host(self):
+        with pytest.raises(ValueError):
+            FleetScheduler([])
+
+    def test_snapshot_reports_queue_depth(self):
+        sched = FleetScheduler(make_hosts(), PlacementPolicy.DUAL_PLANE)
+        sched.enqueue(object())
+        snap = sched.snapshot()
+        assert snap["queue_depth"] == 1
+        assert snap["policy"] == "dual_plane"
+        assert snap["hosts"] == 4

@@ -99,3 +99,40 @@ class TestDoubleRunProbe:
     def test_rejects_single_run(self):
         with pytest.raises(ValueError):
             check_determinism(runs=1)
+
+
+class TestFleetDeterminism:
+    @pytest.fixture(scope="class")
+    def smoke_report(self):
+        from repro.obs.determinism import check_fleet_determinism
+
+        return check_fleet_determinism(seeds=(17, 23), runs=2,
+                                       scenario="smoke")
+
+    def test_each_seed_reproduces(self, smoke_report):
+        for seed, report in smoke_report.reports.items():
+            assert report.ok, "seed %d: %s" % (seed, report.describe())
+            first, second = report.fingerprints
+            assert first.metrics == second.metrics
+            assert first.trace_digest == second.trace_digest
+
+    def test_distinct_seeds_produce_distinct_traces(self, smoke_report):
+        assert smoke_report.cross_seed_distinct
+        assert smoke_report.ok
+
+    def test_churn_scenario_double_run_is_digest_equal(self):
+        from repro.obs.determinism import check_fleet_determinism
+
+        report = check_fleet_determinism(seeds=(17,), runs=2,
+                                         scenario="churn")
+        assert report.ok, report.describe()
+        inner = report.reports[17]
+        assert inner.trace_match
+        assert inner.metric_mismatches == []
+        assert inner.fingerprints[0].trace_events > 0
+
+    def test_rejects_single_fleet_run(self):
+        from repro.obs.determinism import check_fleet_determinism
+
+        with pytest.raises(ValueError):
+            check_fleet_determinism(runs=1)

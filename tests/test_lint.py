@@ -358,3 +358,45 @@ class TestShippedTreeIsClean:
         )
         assert bad.returncode == 1
         assert "D-random" in bad.stdout
+
+
+class TestClusterLayer:
+    def test_domain_importing_cluster_fires(self):
+        assert "L-layer" in rules_fired(
+            "from repro.cluster import FleetHost\n",
+            path="src/repro/net/helper.py",
+        )
+        assert "L-layer" in rules_fired(
+            "import repro.cluster.fleet\n",
+            path="src/repro/training/helper.py",
+        )
+
+    def test_infra_importing_cluster_fires(self):
+        assert "L-layer" in rules_fired(
+            "from repro.cluster import FleetSimulation\n",
+            path="src/repro/obs/helper.py",
+        )
+
+    def test_workloads_importing_cluster_is_clean(self):
+        assert rules_fired(
+            "from repro.cluster import FleetSimulation\n",
+            path="src/repro/workloads/helper.py",
+        ) == set()
+
+    def test_cluster_may_import_domains_but_not_legacy(self):
+        assert rules_fired(
+            "from repro.net import DualPlaneTopology\n"
+            "from repro.core import StellarHost\n"
+            "from repro.training import TrainingSimulation\n",
+            path="src/repro/cluster/helper.py",
+        ) == set()
+        assert "L-layer" in rules_fired(
+            "from repro.legacy import LegacyHost\n",
+            path="src/repro/cluster/helper.py",
+        )
+
+    def test_layer_violation_helper_covers_cluster(self):
+        assert layer_violation("repro.net.topology", "repro.cluster") is not None
+        assert layer_violation("repro.workloads.fleet_bench",
+                               "repro.cluster") is None
+        assert layer_violation("repro.cluster.fleet", "repro.training") is None

@@ -202,3 +202,39 @@ class TestFullStack:
         with pytest.raises(SanitizerError, match="unaccounted"):
             with SimSanitizer(sched, registry=registry):
                 sched.run(until=1.0)  # drains; 1 packet unaccounted
+
+
+class TestJobConservation:
+    @staticmethod
+    def fleet_snapshot():
+        return {
+            "cluster.fleet.jobs_submitted": 3,
+            "cluster.fleet.jobs_queued": 1,
+            "cluster.fleet.jobs_starting": 0,
+            "cluster.fleet.jobs_running": 1,
+            "cluster.fleet.jobs_completed": 1,
+            "cluster.fleet.jobs_failed": 0,
+        }
+
+    def test_balanced_job_counts_pass(self):
+        sanitizer = SimSanitizer(EventScheduler())
+        sanitizer.check_conservation(snapshot=self.fleet_snapshot())
+
+    def test_lost_job_detected(self):
+        snapshot = self.fleet_snapshot()
+        snapshot["cluster.fleet.jobs_running"] = 0  # a job vanished
+        sanitizer = SimSanitizer(EventScheduler())
+        with pytest.raises(SanitizerError, match="3 were submitted"):
+            sanitizer.check_conservation(snapshot=snapshot)
+
+    def test_double_counted_job_detected(self):
+        snapshot = self.fleet_snapshot()
+        snapshot["cluster.fleet.jobs_completed"] = 2  # counted twice
+        sanitizer = SimSanitizer(EventScheduler())
+        with pytest.raises(SanitizerError, match="job states sum to 4"):
+            sanitizer.check_conservation(snapshot=snapshot)
+
+    def test_partial_families_are_skipped(self):
+        snapshot = {"cluster.fleet.jobs_submitted": 3}  # no state leaves
+        sanitizer = SimSanitizer(EventScheduler())
+        sanitizer.check_conservation(snapshot=snapshot)

@@ -1,0 +1,135 @@
+"""Churn edge cases: container stop/start cycles must leak nothing.
+
+Fleet churn (repro.cluster) starts and stops RunD containers all day on
+the same hosts; these tests pin down the lifecycle corners that make
+that safe: stopping mid-PVDMA leaves no pinned blocks or Map-Cache
+state, names are reusable after a stop, double start/stop are rejected,
+and an abnormal exit releases exactly the same resources as a graceful
+one.
+"""
+
+import pytest
+
+from repro.core import StellarHost
+from repro.sim.units import GiB, MiB
+from repro.virt import ContainerState, HypervisorError, MemoryMode
+
+
+def make_host():
+    return StellarHost.build(
+        host_memory_bytes=64 * GiB, gpus=4, rnics=2, gpu_hbm_bytes=1 * GiB
+    )
+
+
+class TestStopDuringPinning:
+    def test_stop_after_partial_dma_prepare_leaves_no_pvdma_state(self):
+        host = make_host()
+        record = host.launch_container("churn-a", 4 * GiB)
+        container = record.container
+        buf = container.alloc_buffer(64 * MiB)
+        # Pin only part of the working set: churn can kill a container at
+        # any point of its on-demand pinning ramp.
+        cost = host.dma_prepare(container, buf)
+        assert cost > 0
+        assert host.pvdma.cached_blocks(container)
+        host.stop_container(container)
+        assert container.state is ContainerState.STOPPED
+        assert host.pvdma.cached_blocks(container) == {}
+        assert container.name not in host.pvdma.snapshot()["containers"]
+        assert not host.hypervisor.iommu.has_domain(container.domain_name)
+
+    def test_forget_container_reports_blocks_it_unmapped(self):
+        host = make_host()
+        container = host.launch_container("churn-b", 4 * GiB).container
+        buf = container.alloc_buffer(8 * MiB)
+        host.dma_prepare(container, buf)
+        blocks = len(host.pvdma.cached_blocks(container))
+        assert blocks > 0
+        assert host.pvdma.forget_container(container) == blocks
+        # Idempotent: a second forget finds nothing.
+        assert host.pvdma.forget_container(container) == 0
+
+
+class TestNameReuse:
+    def test_name_is_reusable_after_stop_with_fresh_map_cache(self):
+        host = make_host()
+        first = host.launch_container("churn-reuse", 2 * GiB).container
+        buf = first.alloc_buffer(4 * MiB)
+        host.dma_prepare(first, buf)
+        first_misses = host.pvdma.stats(first).misses
+        assert first_misses > 0
+        host.stop_container(first)
+
+        second = host.launch_container("churn-reuse", 2 * GiB).container
+        assert second is not first
+        # No inherited registrations: the new container's first DMA
+        # misses again instead of hitting the old container's blocks
+        # (the fleet-churn variant of the Figure 5 hazard).
+        buf2 = second.alloc_buffer(4 * MiB)
+        host.dma_prepare(second, buf2)
+        stats = host.pvdma.stats(second)
+        assert stats.misses > 0
+        assert stats.hits == 0
+
+
+class TestDoubleTransitions:
+    def test_double_start_same_name_rejected_while_running(self):
+        host = make_host()
+        host.launch_container("churn-dup", 2 * GiB)
+        with pytest.raises(HypervisorError):
+            host.launch_container("churn-dup", 2 * GiB)
+
+    def test_double_boot_rejected(self):
+        host = make_host()
+        container = host.launch_container("churn-boot", 2 * GiB).container
+        with pytest.raises(HypervisorError):
+            container.boot()
+
+    def test_double_stop_rejected(self):
+        host = make_host()
+        container = host.launch_container("churn-stop", 2 * GiB).container
+        host.stop_container(container)
+        with pytest.raises(HypervisorError):
+            host.stop_container(container)
+
+
+class TestAbnormalExit:
+    def test_abnormal_stop_releases_sf_vdevice_and_domain(self):
+        host = make_host()
+        rnic = host.rnics[0]
+        manager = host.sf_managers[0]
+        sfs_before = manager.num_sfs
+        vdevs_before = len(rnic.vdevices)
+
+        container = host.launch_container(
+            "churn-crash", 2 * GiB, rnic_index=0,
+            memory_mode=MemoryMode.PVDMA,
+        ).container
+        buf = container.alloc_buffer(4 * MiB)
+        host.dma_prepare(container, buf)
+        assert manager.num_sfs == sfs_before + 1
+        assert len(rnic.vdevices) == vdevs_before + 1
+
+        host.stop_container(container, abnormal=True)
+        assert container.state is ContainerState.STOPPED
+        assert manager.num_sfs == sfs_before
+        assert len(rnic.vdevices) == vdevs_before
+        assert container.vstellar_device is None
+        assert container.virtio_net_sf is None
+        assert host.pvdma.cached_blocks(container) == {}
+        assert not host.hypervisor.iommu.has_domain(container.domain_name)
+
+    def test_abnormal_and_graceful_release_identically(self):
+        host = make_host()
+        outcomes = []
+        for name, abnormal in (("churn-g", False), ("churn-x", True)):
+            container = host.launch_container(name, 2 * GiB).container
+            buf = container.alloc_buffer(4 * MiB)
+            host.dma_prepare(container, buf)
+            host.stop_container(container, abnormal=abnormal)
+            outcomes.append((
+                container.state,
+                host.pvdma.cached_blocks(container),
+                host.hypervisor.iommu.has_domain(container.domain_name),
+            ))
+        assert outcomes[0] == outcomes[1]
