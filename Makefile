@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint simlint bench bench-smoke tour examples all clean
+.PHONY: install test lint simlint bench bench-smoke perf perf-smoke tour examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -40,6 +40,19 @@ bench-smoke:
 		PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/test_fig06_startup.py benchmarks/test_fig11_link_failure.py \
 		--benchmark-only -s
+
+# Tracked perf suite (repro.perf): full-size kernels, events/sec table,
+# speedup column vs the newest same-mode entry in BENCH_perf.json.
+# Append a run to the trajectory with:
+#   make perf PERF_ARGS="--record --label my-change"
+perf:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.perf $(PERF_ARGS)
+
+# CI-sized perf pass: trimmed kernels plus the >30% machine-normalized
+# regression gate against the newest smoke-mode BENCH_perf.json entry.
+perf-smoke:
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src:$(PYTHONPATH) \
+		$(PYTHON) -m repro.perf --check $(PERF_ARGS)
 
 tour:
 	$(PYTHON) -m repro

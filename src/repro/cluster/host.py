@@ -53,6 +53,35 @@ class SharedAtc:
         self.translation_seconds += calibration.ATC_HIT_SECONDS + result.latency
         return False
 
+    def access_many(self, domain_name, das):
+        """Batched :meth:`access` over a page sample; returns the hit count.
+
+        Identical per-page semantics and accounting order (the
+        ``translation_seconds`` float accumulates in the same sequence,
+        so fleet digests are unchanged) — but bound methods and a local
+        accumulator drop the per-page call overhead that dominates
+        fleet-scale iteration touching.
+        """
+        hits = 0
+        page_size = self.page_size
+        lookup = self.cache.lookup
+        insert = self.cache.insert
+        ats_translate = self.iommu.ats_translate
+        hit_seconds = calibration.ATC_HIT_SECONDS
+        translation_seconds = self.translation_seconds
+        for da in das:
+            key = (domain_name, da - (da % page_size))
+            hit, _ = lookup(key)
+            if hit:
+                translation_seconds += hit_seconds
+                hits += 1
+            else:
+                result = ats_translate(domain_name, key[1])
+                insert(key, (result.hpa, result.kind))
+                translation_seconds += hit_seconds + result.latency
+        self.translation_seconds = translation_seconds
+        return hits
+
     def invalidate_domain(self, domain_name):
         """ATS invalidation when a tenant's container stops."""
         self.cache.invalidate_where(lambda key: key[0] == domain_name)
@@ -208,11 +237,7 @@ class FleetHost:
 
     def touch(self, container, pages):
         """One iteration's worth of device accesses to a working set."""
-        hits = 0
-        for da in pages:
-            if self.atc.access(container.domain_name, da):
-                hits += 1
-        return hits
+        return self.atc.access_many(container.domain_name, pages)
 
     # -- telemetry ---------------------------------------------------------
 

@@ -47,7 +47,7 @@ RULES = {
     ),
     "D-wallclock": (
         "wall-clock read (time.time/perf_counter/datetime.now/...) outside "
-        "repro.obs; simulations must only consume scheduler.now"
+        "repro.obs/repro.perf; simulations must only consume scheduler.now"
     ),
     "D-set-iter": (
         "iteration over a bare set/frozenset; wrap in sorted(...) so the "
@@ -80,7 +80,7 @@ RULES = {
 DOMAIN_LAYERS = frozenset({
     "core", "memory", "pcie", "rnic", "net", "virt", "training",
     "collectives", "workloads", "analysis", "legacy", "calibration",
-    "cluster",
+    "cluster", "perf",
 })
 
 #: Infrastructure layers every domain layer may depend on — never the
@@ -101,6 +101,12 @@ WALLCLOCK_IMPORTS = frozenset({
     "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
     "perf_counter_ns", "process_time", "process_time_ns",
 })
+
+#: Packages sanctioned to read the wall clock: the observability layer
+#: (profiling the simulator itself, never feeding simulated state) and
+#: the perf harness (benchmark timing is its whole job).  Everything
+#: else must consume ``scheduler.now``.
+WALLCLOCK_ALLOWED = ("repro.obs", "repro.perf")
 
 #: Modules whose import is ambient randomness.
 RANDOM_MODULES = frozenset({"random", "secrets"})
@@ -282,8 +288,9 @@ class _Checker(ast.NodeVisitor):
         self.private_defs = private_defs
         self.violations = []
         self._in_rng_module = module == "repro.sim.rng"
-        self._in_obs = module is not None and (
-            module == "repro.obs" or module.startswith("repro.obs.")
+        self._wallclock_ok = module is not None and any(
+            module == pkg or module.startswith(pkg + ".")
+            for pkg in WALLCLOCK_ALLOWED
         )
 
     # -- plumbing --------------------------------------------------------
@@ -333,7 +340,7 @@ class _Checker(ast.NodeVisitor):
     def visit_ImportFrom(self, node):
         module = self._resolve_from(node)
         self._check_random_import(node, module)
-        if module == "time" and not self._in_obs:
+        if module == "time" and not self._wallclock_ok:
             clocks = sorted(
                 alias.name for alias in node.names
                 if alias.name in WALLCLOCK_IMPORTS
@@ -374,7 +381,7 @@ class _Checker(ast.NodeVisitor):
                     "%s is ambient randomness; draw from a seeded RngStream"
                     % dotted,
                 )
-            if not self._in_obs and dotted in WALLCLOCK_CALLS:
+            if not self._wallclock_ok and dotted in WALLCLOCK_CALLS:
                 self._report(
                     node, "D-wallclock",
                     "%s reads the wall clock; simulations read scheduler.now"

@@ -9,8 +9,11 @@ Used for the queue-depth (Figure 9) and loss-resilience (Figure 11)
 experiments; the fluid simulator handles the 512+-GPU collective runs.
 """
 
+from functools import partial
+
 from repro import calibration
-from repro.core.spray import SprayConnection
+from repro.core.spray import PathSelector, SprayConnection
+from repro.rnic.cc import WindowCC
 from repro.sim.engine import EventScheduler
 from repro.sim.rng import RngStream
 
@@ -106,6 +109,10 @@ class PacketNetSim:
         self.ecn_threshold = ecn_threshold
         self.max_queue = max_queue
         self._ports = {}
+        #: id(route) -> (route, tuple of PortState) — per-route port
+        #: resolution memo, see send_packet().  The entry keeps the route
+        #: object alive, so its id can never be recycled while cached.
+        self._route_ports = {}
         self.packets_sent = 0
         self.packets_delivered = 0
         self.packets_dropped = 0
@@ -183,55 +190,89 @@ class PacketNetSim:
         self.port(ref).drop_prob = drop_prob
 
     def send_packet(self, route, size, on_delivered, on_dropped=None):
-        """Forward one packet along ``route`` (a list of LinkRefs).
+        """Forward one packet along ``route`` (a sequence of LinkRefs).
 
         ``on_delivered(latency, ecn_marked)`` fires at the destination;
         ``on_dropped(link)`` fires at the drop point.
         """
-        start_time = self.now
         self.packets_sent += 1
-        self._hop(route, 0, size, False, start_time, on_delivered, on_dropped)
+        # Resolve the route's PortStates once per packet instead of once
+        # per hop: routes from DualPlaneTopology.route() are interned
+        # tuples, so an identity-checked id() memo replaces one LinkRef
+        # dict lookup per hop (a Python-level __hash__ call each) with a
+        # single int-keyed get per packet.  The memo entry pins the route
+        # object, so a cached id can never be recycled.
+        entry = self._route_ports.get(id(route))
+        if entry is None or entry[0] is not route:
+            ports = tuple(self.port(ref) for ref in route)
+            entry = (route, ports, len(ports))
+            self._route_ports[id(route)] = entry
+        packet = (
+            entry[1], entry[2], size, self.scheduler.now,
+            on_delivered, on_dropped,
+        )
+        self._hop(packet, 0, False)
 
-    def _hop(self, route, index, size, ecn, start_time, on_delivered, on_dropped):
-        if index >= len(route):
+    def _hop(self, packet, index, ecn):
+        # The per-packet hot loop: one invocation per hop per packet, so
+        # port state is updated inline (attribute stores on locals)
+        # instead of through PortState helpers.  Float expressions match
+        # the helpers op for op — sampled depths and departure times feed
+        # the determinism digests.  The per-packet invariants travel in
+        # one ``packet`` tuple so each hop's continuation closes over
+        # three cells instead of eight.
+        ports, hop_count, size, start_time, on_delivered, on_dropped = packet
+        scheduler = self.scheduler
+        now = scheduler.now
+        if index >= hop_count:
             self.packets_delivered += 1
-            latency = self.now - start_time
+            latency = now - start_time
             if self._latency_hist is not None:
                 self._latency_hist.observe(latency * 1e6)
             on_delivered(latency, ecn)
             return
-        port = self.port(route[index])
-        queue = port.sample_queue(self.now)
-        dropped = False
-        if port.drop_prob > 0 and self.rng.random() < port.drop_prob:
+        port = ports[index]
+        # Inlined PortState.sample_queue()/queue_bytes().
+        queue = (port.busy_until - now) * port.rate / 8.0
+        if queue <= 0.0:
+            queue = 0.0
+        port.queue_samples += 1
+        port.queue_sample_sum += queue
+        if queue > port.queue_max:
+            port.queue_max = queue
+        drop_prob = port.drop_prob
+        if drop_prob > 0 and self.rng.random() < drop_prob:
             port.drops_random += 1
-            dropped = True
         elif queue + size > port.max_queue:
             port.drops_overflow += 1
-            dropped = True
-        if dropped:
-            self.packets_dropped += 1
-            if self.tracer is not None:
-                self.tracer.instant(
-                    "packet.drop", self.now, track="net",
-                    args={"link": repr(route[index]), "bytes": size},
-                )
-            if on_dropped is not None:
-                on_dropped(route[index])
+        else:
+            if queue >= port.ecn_threshold:
+                port.ecn_marks += 1
+                ecn = True
+            tx_time = size * 8.0 / port.rate
+            busy = port.busy_until
+            depart = (busy if busy > now else now) + tx_time
+            port.busy_until = depart
+            next_index = index + 1
+            # schedule_call: the hop event is never cancelled, so skip
+            # the Event-handle allocation.  Untraced runs continue via a
+            # C-level partial (no closure frame per hop); traced runs
+            # keep the lambda so the recorded callback qualname stays
+            # ``PacketNetSim._hop.<locals>.<lambda>`` in the digests.
+            if self.tracer is None:
+                hop = partial(self._hop, packet, next_index, ecn)
+            else:
+                hop = lambda: self._hop(packet, next_index, ecn)
+            scheduler.schedule_call(depart - now + HOP_PROPAGATION_SECONDS, hop)
             return
-        if queue >= port.ecn_threshold:
-            port.ecn_marks += 1
-            ecn = True
-        tx_time = size * 8.0 / port.rate
-        depart = max(self.now, port.busy_until) + tx_time
-        port.busy_until = depart
-        delay = depart - self.now + HOP_PROPAGATION_SECONDS
-        self.scheduler.schedule(
-            delay,
-            lambda: self._hop(
-                route, index + 1, size, ecn, start_time, on_delivered, on_dropped
-            ),
-        )
+        self.packets_dropped += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "packet.drop", now, track="net",
+                args={"link": repr(port.ref), "bytes": size},
+            )
+        if on_dropped is not None:
+            on_dropped(port.ref)
 
     # -- statistics -------------------------------------------------------
 
@@ -322,6 +363,14 @@ class FlowResult:
         )
 
 
+def _drop_ignored(link):
+    """Shared no-op drop callback: flows detect loss by RTO only.
+
+    Module-level so the per-packet send path doesn't allocate a fresh
+    closure for a callback that never does anything.
+    """
+
+
 class MessageFlow:
     """One RDMA message driven through a SprayConnection over the sim."""
 
@@ -343,6 +392,8 @@ class MessageFlow:
         recovery="selective",
     ):
         self.sim = sim
+        self._scheduler = sim.scheduler  # hot-path alias (sim.now property)
+        self._send_packet = sim.send_packet  # hot-path bound method
         self.flow_id = flow_id
         self.src = src
         self.dst = dst
@@ -366,6 +417,20 @@ class MessageFlow:
         self._next_seq = 0
         #: seq -> (rto event, size, path) for every unacked packet.
         self._outstanding = {}
+        # SprayConnection.rto is immutable after construction; the alias
+        # saves one attribute hop per transmitted packet.
+        self._rto = self.conn.rto
+        # Oblivious selectors inherit the base no-op on_feedback; caching
+        # None for them skips one dead method call per ACK.  Selectors
+        # that do react to feedback (dwrr, flowlet) keep the bound method.
+        selector = self.conn.selector
+        if type(selector).on_feedback is PathSelector.on_feedback:
+            self._selector_feedback = None
+        else:
+            self._selector_feedback = selector.on_feedback
+        #: path id -> interned route; (src, dst, rail, connection_id) are
+        #: fixed per flow, so the topology route key shrinks to one int.
+        self._routes = {}
         if recovery not in ("selective", "go_back_n"):
             raise ValueError("unknown recovery mode %r" % recovery)
         #: "selective" is Stellar's out-of-order-tolerant recovery (Direct
@@ -401,54 +466,118 @@ class MessageFlow:
     # -- transmission machinery ----------------------------------------
 
     def _pump(self):
-        while self.bytes_unsent > 0 and self.conn.cc.can_send(self.mtu):
-            size = min(self.mtu, self.bytes_unsent)
+        conn = self.conn
+        cc = conn.cc
+        next_path = conn.selector.next_path  # skip the conn delegation
+        mtu = self.mtu
+        now = self._scheduler.now
+        if cc.__class__ is WindowCC:
+            # Inlined can_send(mtu)/on_send(size) for the stock window
+            # CC — identical arithmetic, two fewer Python calls per
+            # packet.  Subclasses and alternative CCs take the generic
+            # loop below so overrides keep working.
+            while self.bytes_unsent > 0:
+                in_flight = cc.in_flight
+                if in_flight != 0 and in_flight + mtu > cc.window:
+                    break
+                size = mtu if mtu < self.bytes_unsent else self.bytes_unsent
+                self.bytes_unsent -= size
+                seq = self._next_seq
+                self._next_seq = seq + 1
+                cc.in_flight = in_flight + size
+                self._transmit(seq, size, next_path(now=now))
+            return
+        while self.bytes_unsent > 0 and cc.can_send(mtu):
+            size = mtu if mtu < self.bytes_unsent else self.bytes_unsent
             self.bytes_unsent -= size
             seq = self._next_seq
             self._next_seq += 1
-            self.conn.cc.on_send(size)
-            self._transmit(seq, size, self.conn.next_path(now=self.sim.now))
+            cc.on_send(size)
+            self._transmit(seq, size, next_path(now=now))
 
     def _transmit(self, seq, size, path):
-        route = self.sim.topology.route(
-            self.src, self.dst, self.rail,
-            path_id=path, connection_id=self.connection_id,
-        )
-        sent_at = self.sim.now
-        rto_event = self.sim.scheduler.schedule(
-            self.conn.rto, lambda: self._on_rto(seq, size, path)
-        )
+        route = self._routes.get(path)
+        if route is None:
+            route = self.sim.topology.route(
+                self.src, self.dst, self.rail,
+                path_id=path, connection_id=self.connection_id,
+            )
+            self._routes[path] = route
+        scheduler = self._scheduler
+        sent_at = scheduler.now
+        # RTO callbacks are scheduler-visible, so traced runs keep the
+        # lambda (its qualname is digest-bearing when a timer fires);
+        # untraced runs use a C-level partial.  The delivery callback is
+        # invoked directly by the packet sim — never recorded — so it is
+        # always a partial: _hop calls it with (latency, ecn), which
+        # append positionally onto (seq, size, path, sent_at).
+        if self.sim.tracer is None:
+            rto_cb = partial(self._on_rto, seq, size, path)
+        else:
+            rto_cb = lambda: self._on_rto(seq, size, path)
+        rto_event = scheduler.schedule(self._rto, rto_cb)
         self._outstanding[seq] = (rto_event, size, path)
-        self.sim.send_packet(
+        self._send_packet(
             route,
             size,
-            on_delivered=lambda latency, ecn: self._on_delivered(
-                seq, size, path, sent_at, latency, ecn
-            ),
-            on_dropped=lambda link: None,  # loss is detected by RTO only
+            on_delivered=partial(self._on_delivered, seq, size, path, sent_at),
+            on_dropped=_drop_ignored,
         )
 
     def _on_delivered(self, seq, size, path, sent_at, latency, ecn):
-        # The ACK flies back contention-free (ACKs are tiny).
+        # The ACK flies back contention-free (ACKs are tiny).  Same
+        # traced/untraced split as the hop continuation: the ACK event's
+        # qualname is digest-bearing, so traced runs keep the in-function
+        # lambda while untraced runs skip the closure and its extra frame.
         ack_delay = HOP_PROPAGATION_SECONDS * 2
-        self.sim.scheduler.schedule(
-            ack_delay, lambda: self._on_ack(seq, size, path, sent_at, ecn)
-        )
+        if self.sim.tracer is None:
+            ack_cb = partial(self._on_ack, seq, size, path, sent_at, ecn)
+        else:
+            ack_cb = lambda: self._on_ack(seq, size, path, sent_at, ecn)
+        self._scheduler.schedule_call(ack_delay, ack_cb)
 
     def _on_ack(self, seq, size, path, sent_at, ecn):
-        if seq not in self._outstanding:
+        outstanding = self._outstanding
+        if self.recovery == "go_back_n":
+            if seq not in outstanding:
+                return  # already retransmitted; ignore the stale ACK
+            if seq != min(outstanding):
+                # A go-back-N receiver discards out-of-order arrivals: a
+                # gap ahead of this packet means it will be retransmitted
+                # anyway.
+                return
+        entry = outstanding.pop(seq, None)
+        if entry is None:
             return  # already retransmitted; ignore the stale ACK
-        if self.recovery == "go_back_n" and seq != min(self._outstanding):
-            # A go-back-N receiver discards out-of-order arrivals: a gap
-            # ahead of this packet means it will be retransmitted anyway.
-            return
-        entry = self._outstanding.pop(seq)
         entry[0].cancel()
-        rtt = self.sim.now - sent_at
+        now = self._scheduler.now
+        rtt = now - sent_at
         self.bytes_acked += size
-        self.conn.on_ack(path, size, rtt=rtt, ecn=ecn, now=self.sim.now)
+        # Inlined SprayConnection.on_ack (pure delegation): credit the CC
+        # and feed the path selector directly, one frame fewer per ACK.
+        conn = self.conn
+        cc = conn.cc
+        if cc.__class__ is WindowCC and not ecn and rtt <= cc.target_rtt:
+            # Inlined WindowCC.on_ack additive-increase path — the vast
+            # majority of ACKs even in loss runs — with the arithmetic
+            # matched op for op.  ECN marks and inflated RTTs fall back
+            # to the real method so the cut/holdoff logic stays in cc.py,
+            # as do CC subclasses (exact-type check).
+            in_flight = cc.in_flight - size
+            cc.in_flight = in_flight if in_flight > 0 else 0
+            cc.acks += 1
+            window = cc.window
+            cc.window = min(
+                cc.max_window,
+                window + cc.additive_bytes * size / max(window, 1.0),
+            )
+        else:
+            cc.on_ack(size, ecn, rtt, now)
+        feedback = self._selector_feedback
+        if feedback is not None:
+            feedback(path, rtt, ecn)
         if self.bytes_acked >= self.message_bytes and self.finish_time is None:
-            self.finish_time = self.sim.now
+            self.finish_time = now
             if self.sim.tracer is not None:
                 self.sim.tracer.async_end(
                     "flow", id=self.flow_id, ts=self.finish_time, track="flows",

@@ -24,19 +24,28 @@ from repro.net.ecmp import EcmpHasher, flow_entropy
 
 
 class LinkRef:
-    """A directed link (transmit port) in the fabric."""
+    """A directed link (transmit port) in the fabric.
 
-    __slots__ = ("kind", "key")
+    LinkRefs key every per-port dict in the packet and fluid simulators,
+    so the hash is computed once at construction and equality tests
+    identity first — the route cache hands out interned instances, which
+    makes the identity test hit on the per-packet fast path.
+    """
+
+    __slots__ = ("kind", "key", "_hash")
 
     # kinds: "host_up", "host_down", "tor_up", "tor_down"
     def __init__(self, kind, key):
         self.kind = kind
         self.key = key
+        self._hash = hash((kind, key))
 
     def as_tuple(self):
         return (self.kind, self.key)
 
     def __eq__(self, other):
+        if other is self:
+            return True
         return (
             isinstance(other, LinkRef)
             and self.kind == other.kind
@@ -44,7 +53,7 @@ class LinkRef:
         )
 
     def __hash__(self):
-        return hash((self.kind, self.key))
+        return self._hash
 
     def __repr__(self):
         return "LinkRef(%s, %r)" % (self.kind, self.key)
@@ -103,6 +112,17 @@ class DualPlaneTopology:
             tor_uplink_rate if tor_uplink_rate is not None else port_rate
         )
         self._hasher = EcmpHasher(planes * aggs_per_plane)
+        # Per-(src, dst, rail, path, connection) resolved routes.  Route
+        # resolution (flow entropy + ECMP hash + four LinkRef builds) is
+        # the hottest per-packet topology work, and the key space is tiny
+        # compared to packet counts, so routes are resolved once and the
+        # interned tuples handed out forever.  Topology structure is
+        # immutable after construction, so the cache never invalidates.
+        self._route_cache = {}
+        # Interned LinkRefs: one instance per directed port, so the
+        # simulators' per-port dict lookups hit CPython's identity
+        # short-circuit instead of tuple-comparing keys per packet.
+        self._link_cache = {}
 
     # -- enumeration -------------------------------------------------------
 
@@ -125,22 +145,30 @@ class DualPlaneTopology:
 
     # -- link naming ---------------------------------------------------------
 
+    def _link(self, kind, key):
+        """Intern one LinkRef per directed port (see ``_link_cache``)."""
+        ident = (kind, key)
+        ref = self._link_cache.get(ident)
+        if ref is None:
+            ref = self._link_cache[ident] = LinkRef(kind, key)
+        return ref
+
     def host_up(self, server, rail, plane):
-        return LinkRef("host_up", (server.segment, server.index, rail, plane))
+        return self._link("host_up", (server.segment, server.index, rail, plane))
 
     def host_down(self, server, rail, plane):
-        return LinkRef("host_down", (server.segment, server.index, rail, plane))
+        return self._link("host_down", (server.segment, server.index, rail, plane))
 
     def tor_up(self, segment, rail, plane, agg):
         """ToR(segment, rail, plane) -> aggregation switch ``agg``.
 
         These are the ports whose queue depth Figures 9 and 12 report.
         """
-        return LinkRef("tor_up", (segment, rail, plane, agg))
+        return self._link("tor_up", (segment, rail, plane, agg))
 
     def tor_down(self, segment, rail, plane, agg):
         """Aggregation switch ``agg`` -> ToR(segment, rail, plane)."""
-        return LinkRef("tor_down", (segment, rail, plane, agg))
+        return self._link("tor_down", (segment, rail, plane, agg))
 
     def link_rate(self, link):
         if link.kind in ("host_up", "host_down"):
@@ -179,24 +207,39 @@ class DualPlaneTopology:
     def route(self, src, dst, rail, path_id=0, connection_id=0):
         """The directed links from ``src`` to ``dst`` on ``rail`` for one
         path id.  Rail-optimized: traffic never changes rails.
+
+        Returns an interned, immutable tuple — the same object for the
+        same (src, dst, rail, path, connection) — so per-packet callers
+        never pay resolution twice and port-dict lookups hit the LinkRef
+        identity fast path.
         """
-        entropy = flow_entropy(src.node_id, dst.node_id, connection_id)
-        plane, agg = self.ecmp_choice(entropy, path_id)
+        key = (
+            src.segment, src.index, dst.segment, dst.index,
+            rail, path_id, connection_id,
+        )
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
         if src == dst:
             raise ValueError("route to self: %r" % (src,))
+        entropy = flow_entropy(src.node_id, dst.node_id, connection_id)
+        plane, agg = self.ecmp_choice(entropy, path_id)
         if src.segment == dst.segment:
             # Same ToR: host -> ToR -> host; the plane still matters (two
             # single-plane ToRs), the agg layer is not involved.
-            return [
+            route = (
                 self.host_up(src, rail, plane),
                 self.host_down(dst, rail, plane),
-            ]
-        return [
-            self.host_up(src, rail, plane),
-            self.tor_up(src.segment, rail, plane, agg),
-            self.tor_down(dst.segment, rail, plane, agg),
-            self.host_down(dst, rail, plane),
-        ]
+            )
+        else:
+            route = (
+                self.host_up(src, rail, plane),
+                self.tor_up(src.segment, rail, plane, agg),
+                self.tor_down(dst.segment, rail, plane, agg),
+                self.host_down(dst, rail, plane),
+            )
+        self._route_cache[key] = route
+        return route
 
     def escape_route(self, src, dst, rail, path_id=0, connection_id=0):
         """The core-layer escape path (Section 3.1 problem 6 context).

@@ -1,0 +1,57 @@
+"""Tracked performance benchmarks for the simulation core (``make perf``).
+
+ATLAHS and ASTRA-sim both show that application-centric AI-network
+simulators live or die on event-loop throughput: the interesting
+experiments (Fig. 11 loss sweeps, fleet churn) execute hundreds of
+thousands of scheduler events, so events/second *is* the iteration speed
+of the research loop.  This package makes that number a tracked,
+regression-gated artifact instead of folklore:
+
+* :mod:`repro.perf.kernels` — the canonical kernel suite: pure
+  scheduler churn, a cancellation-heavy RTO pattern, the Fig. 9/11
+  packet kernels, a 512-GPU fluid AllReduce, and the 16-host fleet
+  churn scenario.  Every kernel is seeded and deterministic; only the
+  wall clock varies between runs.
+* :mod:`repro.perf.harness` — timing, machine-speed normalization, the
+  ``BENCH_perf.json`` trajectory file, and the >30% regression gate CI
+  runs (``python -m repro.perf --check``).
+
+``repro.perf`` is the one domain layer sanctioned (alongside
+``repro.obs``) to read the host wall clock: measuring the *simulator's*
+speed is its whole job.  Nothing here ever feeds wall time back into
+simulation state — simlint still enforces that for every other layer.
+"""
+
+from repro.perf.harness import (
+    KERNELS,
+    PerfReport,
+    check_regression,
+    load_bench,
+    machine_score,
+    run_suite,
+    write_bench,
+)
+from repro.perf.kernels import (
+    fleet_churn_kernel,
+    fluid_allreduce_kernel,
+    packet_fig9_kernel,
+    packet_fig11_kernel,
+    scheduler_cancel_kernel,
+    scheduler_churn_kernel,
+)
+
+__all__ = [
+    "KERNELS",
+    "PerfReport",
+    "check_regression",
+    "load_bench",
+    "machine_score",
+    "run_suite",
+    "write_bench",
+    "fleet_churn_kernel",
+    "fluid_allreduce_kernel",
+    "packet_fig9_kernel",
+    "packet_fig11_kernel",
+    "scheduler_cancel_kernel",
+    "scheduler_churn_kernel",
+]

@@ -1,0 +1,120 @@
+"""CLI for the perf suite: ``python -m repro.perf`` / ``make perf``.
+
+Default run: time every kernel, print the table with a speedup column
+against the newest same-mode entry in ``BENCH_perf.json``, and leave the
+file untouched.  ``--record`` appends the run to the history (do this
+when a PR lands a perf change); ``--check`` exits non-zero on a >30%
+machine-normalized regression (the CI ``perf-smoke`` job).
+"""
+
+import argparse
+import os
+import sys
+
+from repro.analysis import Table
+from repro.perf import harness
+
+
+def _fmt_eps(value):
+    if value >= 1e6:
+        return "%.2fM" % (value / 1e6)
+    if value >= 1e3:
+        return "%.1fk" % (value / 1e3)
+    return "%.1f" % value
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro.perf",
+        description="Tracked perf benchmarks for the simulation core.",
+    )
+    parser.add_argument("--json", default=harness.DEFAULT_BENCH_PATH,
+                        metavar="PATH",
+                        help="trajectory file (default: %(default)s)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="trimmed CI workloads (also: REPRO_BENCH_SMOKE=1)")
+    parser.add_argument("--kernel", action="append", metavar="NAME",
+                        help="run only this kernel (repeatable)")
+    parser.add_argument("--label", default=None,
+                        help="history label for --record / baseline lookup")
+    parser.add_argument("--record", action="store_true",
+                        help="append this run to the history in --json")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 on >%d%% normalized regression vs the "
+                             "baseline" % int(harness.REGRESSION_THRESHOLD * 100))
+    parser.add_argument("--baseline", default=None, metavar="LABEL",
+                        help="compare against this history label instead of "
+                             "the newest same-mode entry")
+    parser.add_argument("--list", action="store_true",
+                        help="list kernels and exit")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name, spec in harness.KERNELS.items():
+            print("%-22s %s" % (name, spec.description))
+        return 0
+
+    smoke = args.smoke or bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    report = harness.run_suite(
+        smoke=smoke, names=args.kernel,
+        log=lambda msg: print("  [perf] %s" % msg),
+    )
+    data = harness.load_bench(args.json)
+    baseline = harness.find_baseline(data, report.mode, label=args.baseline)
+    entry = report.to_entry(args.label or "run")
+
+    ratios = {}
+    if baseline is not None:
+        for kernel, ratio, _ in harness.check_regression(entry, baseline):
+            ratios[kernel] = ratio
+
+    table = Table(
+        "Perf suite (%s mode) — machine score %s/s"
+        % (report.mode, _fmt_eps(report.machine_score)),
+        ["kernel", "wall s", "events", "events/s",
+         "vs %s" % (baseline.get("label") if baseline else "baseline")],
+    )
+    for name, res in report.results.items():
+        ratio = ratios.get(name)
+        table.add_row(
+            name,
+            "%.3f" % res.wall_seconds,
+            "%d" % res.events,
+            _fmt_eps(res.events_per_sec),
+            ("%.2fx" % ratio) if ratio is not None else "-",
+        )
+    table.print()
+
+    if args.record:
+        if args.label is None:
+            print("error: --record requires --label", file=sys.stderr)
+            return 2
+        data["history"].append(entry)
+        harness.write_bench(args.json, data)
+        print("  [perf] recorded %r (%s) -> %s"
+              % (args.label, report.mode, args.json))
+
+    if args.check:
+        if baseline is None:
+            print("  [perf] no %s-mode baseline in %s; nothing to check"
+                  % (report.mode, args.json))
+            return 0
+        regressed = [
+            (kernel, ratio)
+            for kernel, ratio, bad in harness.check_regression(entry, baseline)
+            if bad
+        ]
+        if regressed:
+            for kernel, ratio in regressed:
+                print("  [perf] REGRESSION %s: %.2fx of baseline %r"
+                      % (kernel, ratio, baseline.get("label")), file=sys.stderr)
+            return 1
+        print("  [perf] regression gate passed vs %r" % baseline.get("label"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

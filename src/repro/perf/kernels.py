@@ -1,0 +1,223 @@
+"""Canonical, seeded perf kernels for the simulation core.
+
+Each kernel is a plain function ``kernel(smoke=False) -> dict`` that runs
+a fixed, deterministic workload and returns at least:
+
+* ``events`` — the unit-of-work count the harness divides by wall time
+  (scheduler events for the event-driven kernels, flow-steps for the
+  fluid solver).
+* ``meta``   — a small dict of workload facts for the report table.
+
+Kernels never read the wall clock themselves — timing lives in
+:mod:`repro.perf.harness` so every kernel is measured the same way.
+Seeds are fixed: two runs of a kernel do identical work, so wall time is
+the only thing that varies and ``events/sec`` is comparable across
+commits.  ``smoke=True`` (CI) shrinks the workload, never the shape.
+"""
+
+from repro.collectives.allreduce import RingAllReduceTask
+from repro.net import (
+    DualPlaneTopology,
+    MessageFlow,
+    PacketNetSim,
+    ServerAddress,
+    run_flows,
+)
+from repro.net.fluid_sim import FluidSimulation
+from repro.rnic.cc import WindowCC
+from repro.sim.engine import EventScheduler
+from repro.sim.units import GB, MB, usec
+from repro.workloads.fleet_bench import run_churn, run_fleet_smoke
+
+
+def scheduler_churn_kernel(smoke=False):
+    """Pure event-loop throughput: 64 self-rescheduling callback chains.
+
+    No packets, no tracer — this isolates heap push/pop, tie-breaking
+    and dispatch, the floor under every other kernel.
+    """
+    target = 50_000 if smoke else 500_000
+    sched = EventScheduler()
+
+    def make_chain(lane):
+        delay = (lane % 7 + 1) * 1e-6
+
+        def tick():
+            sched.schedule(delay, tick)
+
+        return tick
+
+    for lane in range(64):
+        sched.schedule((lane + 1) * 1e-7, make_chain(lane))
+    sched.run(max_events=target)
+    assert sched.events_executed == target
+    return {
+        "events": sched.events_executed,
+        "meta": {"chains": 64, "sim_seconds": round(sched.now, 6)},
+    }
+
+
+def scheduler_cancel_kernel(smoke=False):
+    """Cancellation-heavy loop mirroring the packet sim's RTO pattern.
+
+    Every executed "ack" cancels a pending 250 us timer and arms a new
+    one, so live events are a sliver of the heap: exactly the shape that
+    bloats Fig. 11 loss runs.  Exercises lazy skipping + compaction.
+    """
+    target = 30_000 if smoke else 300_000
+    sched = EventScheduler()
+    rto = usec(250)
+
+    def make_lane():
+        state = {"timer": None}
+
+        def timeout():  # never fires in the steady state
+            state["timer"] = None
+
+        def ack():
+            if state["timer"] is not None:
+                state["timer"].cancel()
+            state["timer"] = sched.schedule(rto, timeout)
+            sched.schedule(2e-6, ack)
+
+        return ack
+
+    for lane in range(32):
+        sched.schedule((lane + 1) * 1e-7, make_lane())
+    sched.run(max_events=target)
+    snap = sched.snapshot()
+    return {
+        "events": sched.events_executed,
+        "meta": {"lanes": 32, "final_queue_len": snap["queue_len"]},
+    }
+
+
+def _fig_topology():
+    return DualPlaneTopology(
+        segments=2, servers_per_segment=12, rails=1, planes=2,
+        aggs_per_plane=60,
+    )
+
+
+def _ring_servers(count):
+    # Alternate segments so half the ring edges cross the agg layer.
+    servers = []
+    for i in range(count // 2):
+        servers.append(ServerAddress(0, i))
+        servers.append(ServerAddress(1, i))
+    return servers
+
+
+def _ring_flows(sim, servers, loss):
+    flows = []
+    for i, src in enumerate(servers):
+        dst = servers[(i + 1) % len(servers)]
+        flows.append(MessageFlow(
+            sim, "ring-%d" % i, src, dst, 0,
+            message_bytes=1000 * MB,
+            algorithm="obs", path_count=128,
+            mtu=128 * 1024, connection_id=i,
+            cc=WindowCC(init_window=2 * 1024 * 1024,
+                        additive_bytes=64 * 1024, target_rtt=usec(150)),
+            recovery="selective",
+        ))
+    if loss > 0:
+        victim_route = sim.topology.route(
+            servers[0], servers[1], 0, path_id=0, connection_id=0)
+        sim.inject_loss(victim_route[1], loss)
+    return flows
+
+
+def packet_fig9_kernel(smoke=False):
+    """Loss-free Fig. 9 shape: 24-server spray ring at packet granularity.
+
+    Hot paths: per-packet route resolution, per-hop scheduling, port
+    serialization, ECN marks, window CC.
+    """
+    window = 0.0008 if smoke else 0.003
+    sim = PacketNetSim(_fig_topology(), seed=17, ecn_threshold=1 * MB)
+    flows = _ring_flows(sim, _ring_servers(24), loss=0.0)
+    run_flows(sim, flows, timeout=window)
+    return {
+        "events": sim.scheduler.events_executed,
+        "meta": {
+            "packets": sim.packets_sent,
+            "sim_seconds": window,
+            "flows": len(flows),
+        },
+    }
+
+
+def packet_fig11_kernel(smoke=False):
+    """Fig. 11 loss kernel: same ring with 3% drop on one victim uplink.
+
+    The >= 2x speedup acceptance gate is measured on this kernel — loss
+    triggers RTO timer churn, retransmission and per-path repair, so it
+    stresses the scheduler's cancelled-event handling hardest.
+    """
+    window = 0.001 if smoke else 0.004
+    sim = PacketNetSim(_fig_topology(), seed=17, ecn_threshold=1 * MB)
+    flows = _ring_flows(sim, _ring_servers(24), loss=0.03)
+    results = run_flows(sim, flows, timeout=window)
+    rtos = sum(r.rtos for r in results)
+    return {
+        "events": sim.scheduler.events_executed,
+        "meta": {
+            "packets": sim.packets_sent,
+            "rtos": rtos,
+            "sim_seconds": window,
+            "flows": len(flows),
+        },
+    }
+
+
+def fluid_allreduce_kernel(smoke=False):
+    """512-GPU continuous AllReduce in the fluid solver.
+
+    64 servers x 8 GPUs, 4 rails, 128-way spray: 256 flows re-priced by
+    progressive-filling max-min each dt.  The flow set never changes
+    after launch, so a solver that notices static epochs wins big here.
+    """
+    duration = 0.06 if smoke else 0.3
+    topology = DualPlaneTopology(
+        segments=4, servers_per_segment=16, rails=4, planes=2,
+        aggs_per_plane=8,
+    )
+    sim = FluidSimulation(topology, dt=0.01, seed=17)
+    task = RingAllReduceTask(
+        "perf-allreduce", list(topology.servers()), data_bytes=int(1 * GB),
+        rails=4, algorithm="obs", path_count=128, gpus_per_server=8,
+    )
+    task.launch(sim, continuous=True)
+    steps = sim.run(duration=duration)
+    return {
+        "events": steps * len(sim.flows),
+        "meta": {
+            "gpus": task.gpu_count,
+            "flows": len(sim.flows),
+            "steps": steps,
+            "bus_gbps": round(task.bus_bandwidth_bytes() * 8 / 1e9, 3),
+        },
+    }
+
+
+def fleet_churn_kernel(smoke=False):
+    """Fleet end-to-end: 16-host 3-tenant churn (2-host smoke in CI).
+
+    Everything at once — container boot, PVDMA, congestion-epoch fluid
+    repricing, link failures, ATC sharing.  The second >= 2x acceptance
+    gate is measured on this kernel's full mode.
+    """
+    if smoke:
+        fleet, result = run_fleet_smoke(seed=17)
+    else:
+        fleet, result = run_churn(seed=17)
+    snap = fleet.snapshot()
+    return {
+        "events": fleet.engine.events_executed,
+        "meta": {
+            "completed_jobs": snap["jobs_completed"],
+            "rate_epochs": snap["rate_epochs"],
+            "sim_seconds": round(fleet.engine.now, 3),
+        },
+    }

@@ -4,6 +4,23 @@ The scheduler is deliberately minimal: events are ``(time, sequence,
 callback)`` triples, ties broken by insertion order so runs are fully
 deterministic.  Components schedule callbacks; the run loop executes them
 in timestamp order until the queue drains or a time/ event budget is hit.
+
+Hot-path design (the perf suite in :mod:`repro.perf` tracks all of it):
+
+* Heap entries are plain ``(time, seq, event)`` tuples, so ``heappush``/
+  ``heappop`` compare tuples in C instead of calling ``Event.__lt__``
+  per comparison (``seq`` is unique, so the ``event`` element is never
+  compared).
+* Live/cancelled counts are maintained incrementally — ``pending()`` is
+  O(1) instead of an O(n) heap scan.
+* ``run()`` is a fused loop: one heap pop per event, instead of the old
+  ``peek_time()`` + ``step()`` pair that could touch the heap twice.
+* Cancelled events are skipped lazily, and when tracing is off the heap
+  is compacted once dead entries outnumber live ones (loss-heavy packet
+  runs cancel thousands of RTO timers that would otherwise linger until
+  their deadline).  Traced runs never compact: the tracer's queue-depth
+  samples are part of the determinism digest, and a traced heap must
+  look exactly like it always did.
 """
 
 import heapq
@@ -26,17 +43,25 @@ class SimProcessError(RuntimeError):
 class Event:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "callback", "cancelled", "seq")
+    __slots__ = ("time", "callback", "cancelled", "seq", "_sched")
 
-    def __init__(self, time, seq, callback):
+    def __init__(self, time, seq, callback, sched=None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        # Owning scheduler while the event sits in its heap; cleared on
+        # execution/skip so late cancels don't corrupt the live count.
+        self._sched = sched
 
     def cancel(self):
         """Mark the event dead; the run loop skips cancelled events."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sched = self._sched
+            if sched is not None:
+                self._sched = None
+                sched._note_cancel()
 
     def __lt__(self, other):
         return (self.time, self.seq) < (other.time, other.seq)
@@ -52,11 +77,21 @@ class EventScheduler:
     #: Emit a queue-depth counter sample every N traced callbacks.
     QUEUE_SAMPLE_EVERY = 32
 
+    #: Compact the heap (untraced runs only) once cancelled entries both
+    #: outnumber live ones and exceed this floor — below it, lazy
+    #: skipping is cheaper than a heapify.
+    COMPACT_MIN_DEAD = 64
+
     def __init__(self, start_time=0.0, tracer=None):
         self.now = float(start_time)
+        # Heap entries are (time, seq, payload) where payload is either a
+        # cancellable Event handle or — via schedule_call() — the bare
+        # callback itself.  seq is unique, so payloads are never compared.
         self._heap = []
         self._counter = itertools.count()
         self.events_executed = 0
+        # Cancelled-but-still-queued entry count; live = len(heap) - dead.
+        self._dead = 0
         self.tracer = None
         if tracer is not None:
             self.set_tracer(tracer)
@@ -66,7 +101,8 @@ class EventScheduler:
 
         Disabled tracers (``NULL_TRACER``) normalize to ``None`` so the run
         loop's only overhead when tracing is off is one ``is not None``
-        test per event.
+        test per run.  Attach tracers between ``run()`` calls — the run
+        loop latches the tracer when it starts.
         """
         if tracer is not None and not getattr(tracer, "enabled", True):
             tracer = None
@@ -90,7 +126,25 @@ class EventScheduler:
         """Schedule ``callback()`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimProcessError("cannot schedule into the past (delay=%r)" % delay)
-        return self.schedule_at(self.now + delay, callback)
+        # Inlined schedule_at(): this is the per-packet hot call, and
+        # delay >= 0 already guarantees the past-scheduling invariant.
+        time = self.now + delay
+        event = Event(time, next(self._counter), callback, self)
+        heapq.heappush(self._heap, (time, event.seq, event))
+        return event
+
+    def schedule_call(self, delay, callback):
+        """Fire-and-forget :meth:`schedule`: no :class:`Event` handle.
+
+        For hot paths that never cancel (per-hop packet forwarding): the
+        bare callback goes into the heap, skipping the Event allocation.
+        Execution order and tracing are identical to :meth:`schedule`.
+        """
+        if delay < 0:
+            raise SimProcessError("cannot schedule into the past (delay=%r)" % delay)
+        heapq.heappush(
+            self._heap, (self.now + delay, next(self._counter), callback)
+        )
 
     def schedule_at(self, time, callback):
         """Schedule ``callback()`` at an absolute simulation time."""
@@ -98,38 +152,82 @@ class EventScheduler:
             raise SimProcessError(
                 "cannot schedule at t=%g before now=%g" % (time, self.now)
             )
-        event = Event(float(time), next(self._counter), callback)
-        heapq.heappush(self._heap, event)
+        time = float(time)
+        event = Event(time, next(self._counter), callback, self)
+        heapq.heappush(self._heap, (time, event.seq, event))
         return event
+
+    def _note_cancel(self):
+        """Accounting hook from :meth:`Event.cancel` (pending events only)."""
+        dead = self._dead = self._dead + 1
+        if (
+            dead >= self.COMPACT_MIN_DEAD
+            and dead * 2 > len(self._heap)
+            and self.tracer is None
+        ):
+            self._compact()
+
+    def _compact(self):
+        """Drop cancelled entries in place and re-heapify.
+
+        In place (``heap[:] =``) on purpose: the fused run loop holds a
+        local reference to the heap list, which must stay valid across a
+        compaction triggered from inside a callback.
+        """
+        heap = self._heap
+        heap[:] = [
+            entry for entry in heap
+            if entry[2].__class__ is not Event or not entry[2].cancelled
+        ]
+        heapq.heapify(heap)
+        self._dead = 0
 
     def peek_time(self):
         """Timestamp of the next live event, or ``None`` if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap:
+            payload = heap[0][2]
+            if payload.__class__ is Event and payload.cancelled:
+                heapq.heappop(heap)
+                self._dead -= 1
+                continue
+            return heap[0][0]
+        return None
 
     def step(self):
-        """Execute the next live event.  Returns ``False`` when queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.now = event.time
+        """Execute the next live event.  Returns ``False`` when queue is empty.
+
+        The fused ``run()`` loop is the fast path; ``step()`` stays the
+        single-event building block for drivers that need per-event
+        control (``SimSanitizer`` shadows it to interpose checks).
+        """
+        heap = self._heap
+        while heap:
+            event_time, _seq, payload = heapq.heappop(heap)
+            if payload.__class__ is Event:
+                if payload.cancelled:
+                    self._dead -= 1
+                    continue
+                payload._sched = None
+                callback = payload.callback
+            else:
+                callback = payload
+            self.now = event_time
             self.events_executed += 1
             tracer = self.tracer
             if tracer is None:
-                event.callback()
+                callback()
                 return True
             # Wall-clock here profiles the *simulator itself* (how long a
             # callback took in host time); it never feeds simulation state.
             wall_start = time.perf_counter()  # simlint: ok D-wallclock
-            event.callback()
+            callback()
             wall = time.perf_counter() - wall_start  # simlint: ok D-wallclock
             depth = None
             if self.events_executed % self.QUEUE_SAMPLE_EVERY == 0:
-                depth = len(self._heap)
+                depth = len(heap)
             tracer.record_callback(
-                event.time, callback_name(event.callback), wall, queue_depth=depth
+                event_time, callback_name(callback), wall, queue_depth=depth
             )
             return True
         return False
@@ -144,6 +242,65 @@ class EventScheduler:
 
         Returns:
             The number of events executed by this call.
+        """
+        if "step" in self.__dict__:
+            # step() has been instance-shadowed (SimSanitizer does this to
+            # interpose per-event checks); honour it instead of the fused
+            # loop so every event still flows through the shadow.
+            return self._run_stepped(until, max_events)
+        executed = 0
+        budget = float("inf") if max_events is None else max_events
+        limit = float("inf") if until is None else until
+        heap = self._heap
+        heappop = heapq.heappop
+        tracer = self.tracer
+        sample_every = self.QUEUE_SAMPLE_EVERY
+        while heap:
+            if executed >= budget:
+                return executed
+            entry = heap[0]
+            payload = entry[2]
+            is_event = payload.__class__ is Event
+            if is_event:
+                if payload.cancelled:
+                    heappop(heap)
+                    self._dead -= 1
+                    continue
+                callback = payload.callback
+            else:
+                callback = payload
+            event_time = entry[0]
+            if event_time > limit:
+                self.now = float(until)
+                return executed
+            heappop(heap)
+            if is_event:
+                payload._sched = None
+            self.now = event_time
+            self.events_executed += 1
+            executed += 1
+            if tracer is None:
+                callback()
+                continue
+            # Wall-clock here profiles the *simulator itself*; see step().
+            wall_start = time.perf_counter()  # simlint: ok D-wallclock
+            callback()
+            wall = time.perf_counter() - wall_start  # simlint: ok D-wallclock
+            depth = None
+            if self.events_executed % sample_every == 0:
+                depth = len(heap)
+            tracer.record_callback(
+                event_time, callback_name(callback), wall, queue_depth=depth
+            )
+        if until is not None and self.now < until:
+            self.now = float(until)
+        return executed
+
+    def _run_stepped(self, until, max_events):
+        """Pre-fusion run loop over ``peek_time()``/``step()``.
+
+        Kept for instance-level ``step`` shadowing; executes the same
+        events in the same order as the fused loop.
         """
         executed = 0
         while True:
@@ -163,7 +320,7 @@ class EventScheduler:
 
     def pending(self):
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return len(self._heap) - self._dead
 
     def live_events(self):
         """The live events still queued, in execution order.
@@ -171,8 +328,19 @@ class EventScheduler:
         Public accessor for leak diagnostics (``SimSanitizer``): a
         workload that declares completion while events remain queued has
         leaked them, and their reprs/callbacks name the culprit.
+        Handle-free ``schedule_call`` entries are wrapped in synthetic
+        Events so callers see one uniform shape.
         """
-        return sorted(event for event in self._heap if not event.cancelled)
+        live = []
+        for entry in self._heap:
+            payload = entry[2]
+            if payload.__class__ is Event:
+                if not payload.cancelled:
+                    live.append(payload)
+            else:
+                live.append(Event(entry[0], entry[1], payload))
+        live.sort()
+        return live
 
     def __repr__(self):
         return "EventScheduler(now=%g, pending=%d)" % (self.now, self.pending())

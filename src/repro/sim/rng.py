@@ -39,6 +39,12 @@ class RngStream:
         self._names = tuple(names)
         self._root_seed = int(root_seed)
         self._random = random.Random(self.seed)
+        # Hot-path bindings: expose the underlying generator's bound
+        # methods directly so per-draw calls skip one Python frame.  The
+        # same generator methods run either way, so draw sequences (and
+        # therefore determinism digests) are unchanged.
+        self.random = self._random.random
+        self.randint = self._random.randint
 
     def child(self, *names):
         """Return a new stream derived from this stream's identity."""

@@ -72,6 +72,34 @@ class TestDWallclock:
             path="src/repro/obs/profiler.py",
         ) == set()
 
+    def test_perf_package_is_exempt(self):
+        # The benchmark harness's whole job is wall-clock timing.
+        assert rules_fired(
+            "from time import perf_counter\n\ndef t():\n"
+            "    return perf_counter()\n",
+            path="src/repro/perf/harness.py",
+        ) == set()
+
+    def test_exemption_does_not_leak_to_other_layers(self):
+        # repro.perf being sanctioned must not loosen the rule anywhere
+        # else: the same snippet still fires across the domain layers.
+        snippet = "import time\n\ndef f():\n    return time.perf_counter()\n"
+        for path in (
+            "src/repro/net/snippet.py",
+            "src/repro/cluster/snippet.py",
+            "src/repro/sim/snippet.py",
+            "src/repro/workloads/snippet.py",
+        ):
+            assert "D-wallclock" in rules_fired(snippet, path=path), path
+
+    def test_perflike_module_name_elsewhere_not_exempt(self):
+        # Only the repro.perf package is sanctioned, not any module that
+        # happens to be named perf.
+        assert "D-wallclock" in rules_fired(
+            "import time\n\ndef f():\n    return time.time()\n",
+            path="src/repro/net/perf.py",
+        )
+
     def test_scheduler_now_is_clean(self):
         assert "D-wallclock" not in rules_fired(
             "def f(scheduler):\n    return scheduler.now\n"
