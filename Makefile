@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint simlint bench bench-smoke perf perf-smoke tour examples all clean
+.PHONY: install test lint simlint bench bench-smoke perf perf-smoke figures figures-smoke tour examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -53,6 +53,20 @@ perf:
 perf-smoke:
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src:$(PYTHONPATH) \
 		$(PYTHON) -m repro.perf --check $(PERF_ARGS)
+
+# Full figure sweeps through the parallel runner (repro.runner): every
+# sweep point is a cached TaskSpec, so re-running after a code change
+# only recomputes what the change touched (cache under .repro_cache/).
+# Extra flags via RUN_ARGS, e.g. make figures RUN_ARGS="--refresh".
+figures:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro run figures $(RUN_ARGS)
+
+# CI-sized pooled subset: 2 workers, cache off, and every pooled row
+# diffed byte-for-byte against a sequential re-run (the determinism
+# invariant the runner must preserve).
+figures-smoke:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro run figures-smoke \
+		--workers 2 --no-cache --check-sequential
 
 tour:
 	$(PYTHON) -m repro

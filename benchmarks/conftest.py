@@ -30,6 +30,34 @@ def _persist_tables():
         yield
 
 
+@pytest.fixture(scope="session")
+def figure_runner():
+    """Shared repro.runner backend for the figure-sweep benchmarks.
+
+    Returns ``run(specs) -> OrderedDict(key -> value)``.  The pool size
+    comes from ``REPRO_BENCH_WORKERS`` (default 0 = inline, so plain
+    ``make bench`` stays single-process and deterministic-by-construction);
+    pointing ``REPRO_FIGURES_CACHE`` at a directory reuses the
+    content-addressed result cache across benchmark sessions.  Either
+    way the merged rows are identical — that equivalence is what
+    ``python -m repro run --check-sequential`` and the runner pool tests
+    enforce.
+    """
+    from collections import OrderedDict
+
+    from repro.runner import ResultCache, run_tasks
+
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+    cache_dir = os.environ.get("REPRO_FIGURES_CACHE")
+    cache = ResultCache(cache_dir) if cache_dir else None
+
+    def run(specs):
+        report = run_tasks(specs, workers=workers, cache=cache)
+        return OrderedDict(report.rows())
+
+    return run
+
+
 @pytest.fixture
 def once(benchmark):
     """Run a measurement exactly once under pytest-benchmark timing.

@@ -2,15 +2,23 @@
 
 Paper: without PVDMA, startup grows with memory (1.6 TB pins for ~390 s);
 with PVDMA the boot stays under 20 s at every size, up to 15x faster.
+
+The sweep runs through the ``repro.runner`` backend (shared
+``figure_runner`` fixture): each memory point is one TaskSpec, so this
+benchmark exercises the same specs/keys as ``make figures`` and CI's
+pooled figures-smoke job.
 """
 
 from repro import calibration
 from repro.analysis import Table, format_decimal_bytes
-from repro.workloads import measure_startup
+from repro.runner.suites import build_figures
 
 
-def test_fig06_startup_time(once):
-    rows = once(measure_startup)
+def test_fig06_startup_time(once, figure_runner):
+    specs = [s for s in build_figures() if s.key.startswith("fig6/")]
+    assert len(specs) == len(calibration.FIG6_MEMORY_POINTS_BYTES)
+    merged = once(figure_runner, specs)
+    rows = [merged[spec.key] for spec in specs]
 
     table = Table(
         "Figure 6: GPU pod startup time (seconds)",
@@ -18,24 +26,25 @@ def test_fig06_startup_time(once):
     )
     for row in rows:
         table.add_row(
-            format_decimal_bytes(row.memory_bytes),
-            row.full_pin_seconds,
-            row.pvdma_seconds,
-            "%.0fx" % row.speedup,
+            format_decimal_bytes(row["memory_bytes"]),
+            row["full_pin_seconds"],
+            row["pvdma_seconds"],
+            "%.0fx" % row["speedup"],
         )
     table.print()
 
-    by_memory = {row.memory_bytes: row for row in rows}
+    by_memory = {row["memory_bytes"]: row for row in rows}
     big = by_memory[int(1.6e12)]
     # The paper's anchors: ~390 s of pinning at 1.6 TB; <20 s under PVDMA.
-    assert big.full_pin_seconds > 390
-    assert big.pvdma_seconds < 20
-    assert big.speedup >= calibration.STARTUP_SPEEDUP_MIN
+    assert big["full_pin_seconds"] > 390
+    assert big["pvdma_seconds"] < 20
+    assert big["speedup"] >= calibration.STARTUP_SPEEDUP_MIN
     # Startup grows with memory only on the full-pin path.
-    fulls = [row.full_pin_seconds for row in rows]
+    fulls = [row["full_pin_seconds"] for row in rows]
     assert fulls == sorted(fulls) and fulls[-1] > 10 * fulls[0]
-    pvdmas = [row.pvdma_seconds for row in rows]
+    pvdmas = [row["pvdma_seconds"] for row in rows]
     assert all(value < 20 for value in pvdmas)
     # "slight increase (11 seconds) between the 160 GB and 1.6 TB points".
-    delta = by_memory[int(1.6e12)].pvdma_seconds - by_memory[160 * 10**9].pvdma_seconds
+    delta = (by_memory[int(1.6e12)]["pvdma_seconds"]
+             - by_memory[160 * 10**9]["pvdma_seconds"])
     assert 5 < delta < 15

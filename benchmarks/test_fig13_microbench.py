@@ -3,24 +3,32 @@
 Paper: vStellar in a secure container matches bare metal at every size
 from 2 B to 8 MB; the VF+VxLAN CX7 solution pays +7% latency on 8 B
 messages and -9% bandwidth on 8 MB messages.
+
+The three profile sweeps run through the ``repro.runner`` backend
+(shared ``figure_runner`` fixture) — one TaskSpec per datapath profile,
+same keys as ``make figures``.  The functional-stack cross-check below
+keeps driving live RNIC objects directly: its inputs are stateful
+simulated devices, not picklable kwargs.
 """
 
 import pytest
 
 from repro.analysis import Table, format_bytes_axis
 from repro.rnic import BaseRnic
-from repro.workloads import run_functional_perftest, run_perftest
+from repro.runner.suites import build_figures
+from repro.workloads import run_functional_perftest
+
+PROFILES = ("bare_metal", "vstellar", "vf_vxlan_cx7")
 
 
-def run_sweeps():
-    return {
-        name: run_perftest(name)
-        for name in ("bare_metal", "vstellar", "vf_vxlan_cx7")
+def test_fig13a_latency_and_fig13b_throughput(once, figure_runner):
+    specs = [s for s in build_figures()
+             if s.key.startswith("fig13/perftest/")]
+    assert [s.kwargs["profile"] for s in specs] == list(PROFILES)
+    merged = once(figure_runner, specs)
+    sweeps = {
+        spec.kwargs["profile"]: merged[spec.key] for spec in specs
     }
-
-
-def test_fig13a_latency_and_fig13b_throughput(once):
-    sweeps = once(run_sweeps)
 
     lat = Table(
         "Figure 13a: RDMA write latency (us)",
@@ -30,32 +38,35 @@ def test_fig13a_latency_and_fig13b_throughput(once):
         "Figure 13b: RDMA write throughput (Gbps)",
         ["message", "bare metal", "vStellar", "VF+VxLAN CX7", "CX7 loss"],
     )
-    for b, v, x in zip(*(sweeps[k] for k in ("bare_metal", "vstellar",
-                                             "vf_vxlan_cx7"))):
+    for b, v, x in zip(*(sweeps[k] for k in PROFILES)):
         lat.add_row(
-            format_bytes_axis(b.size),
-            b.latency * 1e6, v.latency * 1e6, x.latency * 1e6,
-            "%.1f%%" % (100 * (x.latency / b.latency - 1)),
+            format_bytes_axis(b["size"]),
+            b["latency_us"], v["latency_us"], x["latency_us"],
+            "%.1f%%" % (100 * (x["latency_us"] / b["latency_us"] - 1)),
         )
         bw.add_row(
-            format_bytes_axis(b.size),
-            b.bandwidth / 1e9, v.bandwidth / 1e9, x.bandwidth / 1e9,
-            "%.1f%%" % (100 * (1 - x.bandwidth / b.bandwidth)),
+            format_bytes_axis(b["size"]),
+            b["bandwidth_gbps"], v["bandwidth_gbps"], x["bandwidth_gbps"],
+            "%.1f%%" % (100 * (1 - x["bandwidth_gbps"] / b["bandwidth_gbps"])),
         )
     lat.print()
     bw.print()
 
-    bare = {r.size: r for r in sweeps["bare_metal"]}
-    virt = {r.size: r for r in sweeps["vstellar"]}
-    vxlan = {r.size: r for r in sweeps["vf_vxlan_cx7"]}
+    bare = {r["size"]: r for r in sweeps["bare_metal"]}
+    virt = {r["size"]: r for r in sweeps["vstellar"]}
+    vxlan = {r["size"]: r for r in sweeps["vf_vxlan_cx7"]}
     # vStellar == bare metal across the entire sweep ("almost identical").
     for size in bare:
-        assert virt[size].latency == pytest.approx(bare[size].latency, rel=1e-9)
-        assert virt[size].bandwidth == pytest.approx(bare[size].bandwidth, rel=1e-9)
+        assert virt[size]["latency_us"] == pytest.approx(
+            bare[size]["latency_us"], rel=1e-9)
+        assert virt[size]["bandwidth_gbps"] == pytest.approx(
+            bare[size]["bandwidth_gbps"], rel=1e-9)
     # The CX7 competitor's two paper-quoted penalties.
-    assert vxlan[8].latency / bare[8].latency - 1 == pytest.approx(0.07, abs=0.01)
+    assert vxlan[8]["latency_us"] / bare[8]["latency_us"] - 1 == pytest.approx(
+        0.07, abs=0.01)
     eight_mb = 8 * 1024 * 1024
-    assert 1 - vxlan[eight_mb].bandwidth / bare[eight_mb].bandwidth == pytest.approx(
+    assert 1 - (vxlan[eight_mb]["bandwidth_gbps"]
+                / bare[eight_mb]["bandwidth_gbps"]) == pytest.approx(
         0.09, abs=0.01
     )
 

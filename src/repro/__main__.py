@@ -170,9 +170,18 @@ def export_telemetry(args):
 
 
 def main(argv=None):
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "run":
+        # Pooled experiment runner with result caching (repro.runner):
+        # ``python -m repro run <suite> [--workers N] [--no-cache] ...``.
+        from repro.runner.__main__ import main as runner_main
+
+        return runner_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Quick tour of the Stellar reproduction (%s)" % __version__,
+        epilog="Sweeps: 'python -m repro run <suite>' drives the pooled "
+               "experiment runner with result caching (see --list there).",
     )
     parser.add_argument(
         "tour", nargs="?", choices=sorted(TOURS) + ["all"], default="all",

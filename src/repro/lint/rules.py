@@ -57,6 +57,12 @@ RULES = {
         "id()-based sort key; id() changes across processes, so the order "
         "is not reproducible — sort on a stable attribute"
     ),
+    "D-taskpure": (
+        "@task callable captures ambient state (module-level mutable, "
+        "ambient RNG, the process-default registry, global/nonlocal, or a "
+        "mutable default); runner tasks must be pure — pool workers and "
+        "sequential runs must compute bit-identical results"
+    ),
     "L-layer": (
         "import breaks the layer DAG (sim/obs import no domain layer, "
         "memory/pcie never import virt/training, nothing imports legacy, "
@@ -80,7 +86,7 @@ RULES = {
 DOMAIN_LAYERS = frozenset({
     "core", "memory", "pcie", "rnic", "net", "virt", "training",
     "collectives", "workloads", "analysis", "legacy", "calibration",
-    "cluster", "perf",
+    "cluster", "perf", "runner",
 })
 
 #: Infrastructure layers every domain layer may depend on — never the
@@ -103,10 +109,12 @@ WALLCLOCK_IMPORTS = frozenset({
 })
 
 #: Packages sanctioned to read the wall clock: the observability layer
-#: (profiling the simulator itself, never feeding simulated state) and
-#: the perf harness (benchmark timing is its whole job).  Everything
-#: else must consume ``scheduler.now``.
-WALLCLOCK_ALLOWED = ("repro.obs", "repro.perf")
+#: (profiling the simulator itself, never feeding simulated state), the
+#: perf harness (benchmark timing is its whole job), and the runner's
+#: pool module (per-task worker seconds for the report table — task
+#: bodies themselves stay clock-free).  Everything else must consume
+#: ``scheduler.now``.
+WALLCLOCK_ALLOWED = ("repro.obs", "repro.perf", "repro.runner.pool")
 
 #: Modules whose import is ambient randomness.
 RANDOM_MODULES = frozenset({"random", "secrets"})
@@ -242,6 +250,47 @@ def _collect_private_defs(tree):
     return defined
 
 
+def _is_mutable_literal(node):
+    """Literal/constructor expressions that produce a mutable object."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in ("list", "dict", "set", "bytearray", "deque",
+                        "defaultdict", "OrderedDict", "Counter")
+    return False
+
+
+def _collect_mutable_globals(tree):
+    """Module-level names bound to mutable literals/constructors.
+
+    A ``@task`` callable reading one of these captures shared process
+    state: under the pool each worker sees its own fork-time copy, so
+    sequential and pooled runs can silently diverge (D-taskpure).
+    """
+    mutable = set()
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not _is_mutable_literal(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                mutable.add(target.id)
+    return mutable
+
+
 def _layer_of(module):
     """The repro subpackage a dotted module belongs to, or ``None``."""
     if module is None:
@@ -281,11 +330,13 @@ def layer_violation(importer_module, imported_module):
 class _Checker(ast.NodeVisitor):
     """Single-pass visitor applying every rule to one module."""
 
-    def __init__(self, path, module, waivers, private_defs):
+    def __init__(self, path, module, waivers, private_defs,
+                 mutable_globals=frozenset()):
         self.path = path
         self.module = module
         self.waivers = waivers
         self.private_defs = private_defs
+        self.mutable_globals = mutable_globals
         self.violations = []
         self._in_rng_module = module == "repro.sim.rng"
         self._wallclock_ok = module is not None and any(
@@ -463,6 +514,104 @@ class _Checker(ast.NodeVisitor):
                 )
         self.generic_visit(node)
 
+    # -- D-taskpure ------------------------------------------------------
+
+    @staticmethod
+    def _is_task_decorator(decorator):
+        if isinstance(decorator, ast.Call):
+            decorator = decorator.func
+        if isinstance(decorator, ast.Name):
+            return decorator.id == "task"
+        if isinstance(decorator, ast.Attribute):
+            return decorator.attr == "task"
+        return False
+
+    def visit_FunctionDef(self, node):
+        if any(self._is_task_decorator(d) for d in node.decorator_list):
+            self._check_task_purity(node)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def _check_task_purity(self, fn):
+        """Audit a ``@task`` callable for ambient-state capture.
+
+        Runner tasks execute in pool workers; anything they consume
+        besides kwargs/seed — a module-level mutable, ambient RNG, the
+        process-default metrics registry — makes pooled and sequential
+        runs diverge without any error.
+        """
+        args = fn.args
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_literal(default):
+                self._report(
+                    default, "D-taskpure",
+                    "task %s has a mutable default argument (shared across "
+                    "calls); default to None and build inside" % fn.name,
+                )
+        bound = {
+            arg.arg for arg in (
+                list(getattr(args, "posonlyargs", []))
+                + list(args.args) + list(args.kwonlyargs)
+            )
+        }
+        for vararg in (args.vararg, args.kwarg):
+            if vararg is not None:
+                bound.add(vararg.arg)
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.Name) and isinstance(
+                sub.ctx, (ast.Store, ast.Del)
+            ):
+                bound.add(sub.id)
+            elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)) and sub is not fn:
+                bound.add(sub.name)
+            elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                for alias in sub.names:
+                    bound.add((alias.asname or alias.name).split(".", 1)[0])
+        for sub in ast.walk(fn):
+            if isinstance(sub, (ast.Global, ast.Nonlocal)):
+                self._report(
+                    sub, "D-taskpure",
+                    "task %s uses %s; tasks must be pure functions of "
+                    "their kwargs" % (fn.name, type(sub).__name__.lower()),
+                )
+            elif isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                if sub.id in self.mutable_globals and sub.id not in bound:
+                    self._report(
+                        sub, "D-taskpure",
+                        "task %s captures module-level mutable %r; pass it "
+                        "through kwargs instead" % (fn.name, sub.id),
+                    )
+            elif isinstance(sub, ast.Call):
+                func = sub.func
+                call_name = func.id if isinstance(func, ast.Name) else (
+                    func.attr if isinstance(func, ast.Attribute) else None
+                )
+                if call_name == "get_registry":
+                    self._report(
+                        sub, "D-taskpure",
+                        "task %s reads the process-default metrics registry; "
+                        "build a fresh MetricsRegistry inside the task"
+                        % fn.name,
+                    )
+                dotted = _dotted_name(func) if isinstance(
+                    func, ast.Attribute
+                ) else None
+                if dotted is not None:
+                    root = dotted.split(".", 1)[0]
+                    if root in RANDOM_MODULES or dotted.startswith(
+                        ("np.random.", "numpy.random.")
+                    ):
+                        self._report(
+                            sub, "D-taskpure",
+                            "task %s draws ambient randomness (%s); thread "
+                            "a seed through kwargs" % (fn.name, dotted),
+                        )
+
     # -- A-rules ---------------------------------------------------------
 
     def visit_ClassDef(self, node):
@@ -548,6 +697,7 @@ def lint_source(source, path="<string>", module=None):
     tree = ast.parse(source, filename=path)
     checker = _Checker(
         path, module, parse_waivers(source), _collect_private_defs(tree),
+        mutable_globals=_collect_mutable_globals(tree),
     )
     checker.visit(tree)
     return sorted(checker.violations, key=Violation.sort_key)

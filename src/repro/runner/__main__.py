@@ -1,0 +1,157 @@
+"""CLI for the parallel runner: ``python -m repro run`` / ``make figures``.
+
+Runs a named suite through the pooled backend with the content-addressed
+cache, printing one row per task (cache hit or computed, worker seconds,
+digest prefix) plus the suite's consistency check.
+
+``--check-sequential`` is the determinism gate CI's ``figures-smoke`` job
+uses: the suite is executed once pooled and once sequentially, both with
+the cache bypassed, and every row must be byte-identical.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.analysis import Table
+from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.pool import default_workers, run_tasks
+from repro.runner.spec import canonical_json
+from repro.runner.suites import SUITES
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro run",
+        description="Pooled experiment runner with content-addressed "
+                    "result caching.",
+    )
+    parser.add_argument(
+        "suite", nargs="?", default="figures-smoke",
+        choices=sorted(SUITES),
+        help="task suite to run (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="pool size; 0/1 runs sequentially (default: min(4, cpus))",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="result cache root (default: %s or $%s)"
+             % (default_cache_dir(), "REPRO_CACHE_DIR"),
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the result cache entirely",
+    )
+    parser.add_argument(
+        "--refresh", action="store_true",
+        help="recompute every task and overwrite its cache entry",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the merged report (rows + provenance) as JSON",
+    )
+    parser.add_argument(
+        "--check-sequential", action="store_true",
+        help="also run the suite sequentially (no cache) and fail unless "
+             "every row is byte-identical to the pooled run",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list suites and exit",
+    )
+    return parser
+
+
+def print_report(suite_name, report):
+    table = Table(
+        "runner: %s — %d task(s), %d cached, workers=%d, %.2fs"
+        % (suite_name, len(report), report.hits, report.workers,
+           report.wall_seconds),
+        ["task", "status", "seconds", "digest"],
+    )
+    for result in report.results.values():
+        table.add_row(
+            result.key,
+            "hit" if result.cached else "run",
+            "%.3f" % result.seconds,
+            result.digest[:12],
+        )
+    table.print()
+
+
+def diff_reports(pooled, sequential):
+    """Byte-level row diff; returns the list of mismatching keys."""
+    mismatches = []
+    for (key_a, value_a), (key_b, value_b) in zip(
+        pooled.rows(), sequential.rows()
+    ):
+        if key_a != key_b or canonical_json(value_a) != canonical_json(value_b):
+            mismatches.append(key_a)
+    if len(pooled) != len(sequential):
+        mismatches.append("<row count: %d pooled vs %d sequential>"
+                          % (len(pooled), len(sequential)))
+    return mismatches
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name, suite in SUITES.items():
+            print("%-16s %s" % (name, suite.description))
+        return 0
+
+    suite = SUITES[args.suite]
+    specs = suite.build()
+    workers = args.workers if args.workers is not None else default_workers()
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+
+    report = run_tasks(specs, workers=workers, cache=cache,
+                       refresh=args.refresh)
+    print_report(args.suite, report)
+    if cache is not None:
+        stats = cache.stats
+        print("  [runner] cache %s: %d hit(s), %d store(s) -> %s"
+              % (args.suite, stats.hits, stats.stores, cache.root))
+
+    status = 0
+    if suite.check is not None:
+        problems = suite.check(report)
+        if problems:
+            for problem in problems:
+                print("  [runner] CHECK FAILED: %s" % problem,
+                      file=sys.stderr)
+            status = 1
+        else:
+            print("  [runner] suite check passed (%s)" % args.suite)
+
+    if args.check_sequential:
+        print("  [runner] verifying pooled == sequential (cache bypassed)...")
+        if cache is None and workers > 1:
+            pooled = report  # the primary run already was pooled + uncached
+        else:
+            pooled = run_tasks(specs, workers=max(2, workers), cache=None)
+        sequential = run_tasks(specs, workers=0, cache=None)
+        mismatches = diff_reports(pooled, sequential)
+        if mismatches:
+            for key in mismatches:
+                print("  [runner] DIVERGED: %s" % key, file=sys.stderr)
+            status = 1
+        else:
+            print("  [runner] %d row(s) byte-identical pooled vs sequential"
+                  % len(pooled))
+
+    if args.json:
+        document = report.to_json()
+        document["suite"] = args.suite
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("  [runner] report -> %s" % args.json)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""On-disk content-addressed result cache for runner tasks.
+
+Layout: ``<root>/<digest[:2]>/<digest>.json`` where the digest is the
+:meth:`repro.runner.spec.TaskSpec.digest` (code closure + canonical spec
++ seed).  The value stored is the task's *normalized* JSON result, so a
+cache hit is byte-identical to a recompute by construction.
+
+Robustness contract: the cache must never turn a disk problem into a
+wrong answer.  Any unreadable, truncated, or schema-mismatched entry is
+treated as a miss (and evicted) so the task simply recomputes.  Writes go
+through a temp file + ``os.replace`` so a crashed run cannot leave a
+half-written entry that later parses as valid JSON.
+"""
+
+import json
+import os
+
+#: Bump to orphan every previously written entry.
+CACHE_SCHEMA = 1
+
+#: Default cache root (relative to the working directory) and the
+#: environment override honoured by :func:`default_cache_dir`.
+DEFAULT_CACHE_DIR = ".repro_cache"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir():
+    return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+
+
+class CacheStats:
+    """Hit/miss/store counters for one runner invocation."""
+
+    __slots__ = ("hits", "misses", "stores", "evictions")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    def snapshot(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self):
+        return "CacheStats(hits=%d, misses=%d, stores=%d, evictions=%d)" % (
+            self.hits, self.misses, self.stores, self.evictions,
+        )
+
+
+class ResultCache:
+    """Content-addressed store mapping task digests to JSON results."""
+
+    def __init__(self, root=None):
+        self.root = root if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    def path_for(self, digest):
+        return os.path.join(self.root, digest[:2], digest + ".json")
+
+    def load(self, digest):
+        """``(hit, value)``; every failure mode is a miss, never an error."""
+        path = self.path_for(digest)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            if os.path.exists(path):
+                self._evict(path)
+            self.stats.misses += 1
+            return False, None
+        if (
+            not isinstance(document, dict)
+            or document.get("schema") != CACHE_SCHEMA
+            or document.get("digest") != digest
+            or "result" not in document
+        ):
+            self._evict(path)
+            self.stats.misses += 1
+            return False, None
+        self.stats.hits += 1
+        return True, document["result"]
+
+    def store(self, digest, result, spec=None):
+        """Atomically persist ``result`` under ``digest``."""
+        path = self.path_for(digest)
+        document = {"schema": CACHE_SCHEMA, "digest": digest, "result": result}
+        if spec is not None:
+            document["spec"] = spec.to_json()
+        temp = path + ".tmp.%d" % os.getpid()
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(temp, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(temp, path)
+            self.stats.stores += 1
+        except OSError:
+            # A read-only or full disk degrades to "no cache", not a crash.
+            try:
+                os.unlink(temp)
+            except OSError:
+                pass
+
+    def _evict(self, path):
+        try:
+            os.unlink(path)
+            self.stats.evictions += 1
+        except OSError:
+            pass
+
+    def __repr__(self):
+        return "ResultCache(%r, %r)" % (self.root, self.stats)

@@ -1,0 +1,125 @@
+"""Code fingerprints for the result cache: digest a task's source closure.
+
+A cached result is only reusable while the code that produced it is
+unchanged.  The closure of a task callable is its defining module plus
+every ``repro.*`` module that module (transitively) imports, discovered
+statically from the ``import`` statements in each source file — no code
+is executed to compute a fingerprint, so fingerprinting is itself free of
+side effects and deterministic.
+
+The digest deliberately covers *source bytes*, not bytecode or mtimes:
+editing a comment invalidates cached results (safe, cheap to recompute)
+while ``touch``-ing a file does not.
+"""
+
+import ast
+import hashlib
+import importlib.util
+
+
+#: Bump when the execution contract changes (result normalization, the
+#: worker protocol, ...) — invalidates every previously cached result.
+FINGERPRINT_SCHEMA = "repro-runner-v1"
+
+
+def _spec_origin(module_name):
+    """Source path for ``module_name``, or ``None`` when unresolvable."""
+    try:
+        spec = importlib.util.find_spec(module_name)
+    except (ImportError, ValueError, AttributeError):
+        return None
+    if spec is None or spec.origin in (None, "built-in", "frozen"):
+        return None
+    if not spec.origin.endswith(".py"):
+        return None
+    return spec.origin
+
+
+def _imported_modules(source, module_name):
+    """Absolute dotted module names imported by ``source``.
+
+    Resolves relative imports against ``module_name``; only names inside
+    the ``repro`` package are followed (stdlib and third-party modules are
+    pinned by the environment, not by the repo, so they stay out of the
+    digest).
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return []
+    package_parts = module_name.split(".")
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                module = node.module
+            else:
+                base = package_parts[: len(package_parts) - node.level]
+                if node.module:
+                    base = base + node.module.split(".")
+                module = ".".join(base) if base else None
+            if module is None:
+                continue
+            names.add(module)
+            # ``from repro.workloads import startup`` may name submodules.
+            for alias in node.names:
+                names.add("%s.%s" % (module, alias.name))
+    return sorted(n for n in names if n == "repro" or n.startswith("repro."))
+
+
+def module_closure(module_name, memo=None):
+    """``{dotted name: source path}`` for a module and its repro imports.
+
+    ``memo`` (optional dict) caches per-module results across calls — a
+    sweep of many specs over the same modules reads each file once.
+    """
+    if memo is None:
+        memo = {}
+    closure = {}
+    stack = [module_name]
+    while stack:
+        name = stack.pop()
+        if name in closure:
+            continue
+        cached = memo.get(name)
+        if cached is None:
+            origin = _spec_origin(name)
+            if origin is None:
+                memo[name] = (None, ())
+                continue
+            with open(origin, "rb") as handle:
+                source_bytes = handle.read()
+            imports = _imported_modules(
+                source_bytes.decode("utf-8", "replace"), name
+            )
+            cached = (origin, tuple(imports))
+            memo[name] = cached
+            memo[("source", name)] = source_bytes
+        origin, imports = cached
+        if origin is None:
+            continue
+        closure[name] = origin
+        stack.extend(imports)
+    return closure
+
+
+def closure_digest(module_name, memo=None):
+    """SHA-256 over the sorted source closure of ``module_name``."""
+    if memo is None:
+        memo = {}
+    closure = module_closure(module_name, memo=memo)
+    digest = hashlib.sha256()
+    digest.update(FINGERPRINT_SCHEMA.encode("utf-8"))
+    for name in sorted(closure):
+        source = memo.get(("source", name))
+        if source is None:
+            with open(closure[name], "rb") as handle:
+                source = handle.read()
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(source)
+        digest.update(b"\x00")
+    return digest.hexdigest()

@@ -1,0 +1,152 @@
+"""TaskSpec: one sweep point as a pure, picklable unit of work.
+
+A spec names its callable by dotted path (``repro.runner.tasks:startup_point``),
+carries JSON-plain kwargs plus an optional seed, and derives a
+content-addressed digest from the callable's source closure
+(:mod:`repro.runner.fingerprint`) and the canonicalized arguments.  Two
+specs with the same digest are guaranteed to compute the same result, so
+the digest doubles as the result-cache key.
+
+Task callables are **pure**: everything they consume arrives through
+kwargs/seed, everything they produce leaves through the JSON-plain return
+value.  The ``@task`` decorator marks callables as pool-executable and is
+what simlint's ``D-taskpure`` rule keys on.
+"""
+
+import hashlib
+import importlib
+import json
+
+from repro.runner.fingerprint import closure_digest
+
+
+class TaskError(ValueError):
+    """Invalid task spec or unresolvable task callable."""
+
+
+#: ``"module:attr"`` -> callable, populated by the :func:`task` decorator.
+_TASK_REGISTRY = {}
+
+
+def task(fn):
+    """Mark ``fn`` as a runner task (pure, picklable-by-path, JSON result).
+
+    simlint's ``D-taskpure`` rule audits every decorated callable for
+    ambient state (module-level mutables, ambient RNG, the process-default
+    metrics registry); the decorator itself only registers the callable so
+    resolution never depends on import side effects.
+    """
+    path = "%s:%s" % (fn.__module__, fn.__qualname__)
+    _TASK_REGISTRY[path] = fn
+    fn.__sim_task__ = True
+    return fn
+
+
+def registered_tasks():
+    """Snapshot of the registered task table (``path -> callable``)."""
+    return dict(_TASK_REGISTRY)
+
+
+def resolve_callable(path):
+    """Import and return the callable behind ``"module:attr"``."""
+    fn = _TASK_REGISTRY.get(path)
+    if fn is not None:
+        return fn
+    if ":" not in path:
+        raise TaskError("task path %r is not 'module:attr'" % path)
+    module_name, _, attr = path.partition(":")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise TaskError("cannot import task module %r: %s" % (module_name, exc))
+    target = module
+    for part in attr.split("."):
+        target = getattr(target, part, None)
+        if target is None:
+            raise TaskError("module %r has no attribute %r" % (module_name, attr))
+    if not callable(target):
+        raise TaskError("task %r is not callable" % path)
+    return target
+
+
+def canonical_json(value):
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def normalize_result(value):
+    """Round-trip ``value`` through canonical JSON.
+
+    Guarantees a task result is JSON-plain *before* it is cached or
+    compared, and makes a computed result byte-identical to the same
+    result read back from the cache (tuples become lists exactly once,
+    at the source).
+    """
+    try:
+        return json.loads(canonical_json(value))
+    except (TypeError, ValueError) as exc:
+        raise TaskError("task result is not JSON-plain data: %s" % exc)
+
+
+class TaskSpec:
+    """One pure unit of work: callable path + kwargs + seed.
+
+    ``key`` is the stable merge key results are ordered by; it must be
+    unique within a batch.  ``kwargs`` must be JSON-plain (they enter the
+    digest via canonical JSON and cross the process boundary by pickle).
+    """
+
+    __slots__ = ("key", "fn", "kwargs", "seed")
+
+    def __init__(self, key, fn, kwargs=None, seed=None):
+        if not key or not isinstance(key, str):
+            raise TaskError("task key must be a non-empty string: %r" % key)
+        if not isinstance(fn, str) or ":" not in fn:
+            raise TaskError("task fn must be a 'module:attr' path: %r" % fn)
+        self.key = key
+        self.fn = fn
+        self.kwargs = dict(kwargs or {})
+        self.seed = seed
+        try:
+            canonical_json(self.kwargs)
+        except (TypeError, ValueError) as exc:
+            raise TaskError("kwargs for %r are not JSON-plain: %s" % (key, exc))
+
+    # -- identity --------------------------------------------------------
+
+    @property
+    def module(self):
+        return self.fn.partition(":")[0]
+
+    def spec_payload(self):
+        """The argument half of the cache identity (JSON-plain)."""
+        return {"fn": self.fn, "kwargs": self.kwargs, "seed": self.seed}
+
+    def digest(self, memo=None):
+        """Content address: SHA-256 over code closure + canonical spec."""
+        code = closure_digest(self.module, memo=memo)
+        payload = canonical_json(self.spec_payload())
+        return hashlib.sha256(
+            (code + "\x00" + payload).encode("utf-8")
+        ).hexdigest()
+
+    # -- execution -------------------------------------------------------
+
+    def call_kwargs(self):
+        kwargs = dict(self.kwargs)
+        if self.seed is not None:
+            kwargs["seed"] = self.seed
+        return kwargs
+
+    def run(self):
+        """Resolve and invoke the callable; returns the *normalized* result."""
+        fn = resolve_callable(self.fn)
+        return normalize_result(fn(**self.call_kwargs()))
+
+    def to_json(self):
+        payload = self.spec_payload()
+        payload["key"] = self.key
+        return payload
+
+    def __repr__(self):
+        return "TaskSpec(%r, %s, seed=%r)" % (self.key, self.fn, self.seed)

@@ -1,0 +1,181 @@
+"""Built-in task suites: the repo's sweeps expressed as TaskSpec batches.
+
+A suite is a named, deterministic list of :class:`~repro.runner.spec.TaskSpec`
+plus an optional ``check`` that audits the merged report (repeat-equality
+for determinism cells, event-count agreement for perf kernels).  The CLI
+(``python -m repro run <suite>``), ``make figures``, and CI's
+``figures-smoke`` job all drive these.
+
+Suite membership is frozen per name — same suite, same spec list, same
+keys — so cached results stay addressable across invocations and a
+pooled run can always be diffed row-for-row against a sequential one.
+"""
+
+from collections import OrderedDict
+
+from repro.runner.spec import TaskSpec
+
+_TASKS = "repro.runner.tasks"
+
+
+def _spec(key, fn, kwargs=None, seed=None):
+    return TaskSpec(key, "%s:%s" % (_TASKS, fn), kwargs, seed=seed)
+
+
+# -- builders ------------------------------------------------------------
+
+
+def build_figures(trim=False):
+    """The figure sweeps: Fig 6 startup, Fig 8/14 GDR, Fig 13 perftest,
+    and the seeded fleet scenario (churn only in the full suite)."""
+    from repro import calibration
+    from repro.workloads.gdr_bench import default_gdr_sizes
+
+    specs = []
+    memory_points = (
+        (16 * 10**9, int(1.6e12)) if trim
+        else calibration.FIG6_MEMORY_POINTS_BYTES
+    )
+    for memory_bytes in memory_points:
+        specs.append(_spec(
+            "fig6/startup/%dGB" % (memory_bytes // 10**9),
+            "startup_point", {"memory_bytes": memory_bytes},
+        ))
+    gdr_sizes = (2 << 20, 4 << 20, 64 << 20) if trim else default_gdr_sizes()
+    for size in gdr_sizes:
+        specs.append(_spec(
+            "fig8/atc/%dKB" % (size >> 10),
+            "gdr_atc_point", {"message_bytes": size},
+        ))
+        specs.append(_spec(
+            "fig8/emtt/%dKB" % (size >> 10),
+            "gdr_emtt_point", {"message_bytes": size},
+        ))
+    for mode in ("vstellar", "bare_metal", "hyv_masq"):
+        specs.append(_spec(
+            "fig14/datapath/%s" % mode, "gdr_datapath_sweep", {"mode": mode},
+        ))
+    for profile in ("bare_metal", "vstellar", "vf_vxlan_cx7"):
+        specs.append(_spec(
+            "fig13/perftest/%s" % profile, "perftest_sweep",
+            {"profile": profile},
+        ))
+    specs.append(_spec(
+        "fleet/smoke", "fleet_scenario", {"scenario": "smoke"}, seed=17,
+    ))
+    if not trim:
+        specs.append(_spec(
+            "fleet/churn", "fleet_scenario", {"scenario": "churn"}, seed=17,
+        ))
+    return specs
+
+
+def build_figures_smoke():
+    return build_figures(trim=True)
+
+
+def build_determinism():
+    """Multi-seed determinism cells: every (seed, run) pair is one task.
+
+    ``run`` enters the cache key, so repeats stay distinct tasks; the
+    check then requires same-seed digests to agree and cross-seed fleet
+    digests to differ (a scenario that ignores its seed is a bug).
+    """
+    specs = []
+    for run in (0, 1):
+        specs.append(_spec(
+            "determinism/probe/seed17/run%d" % run,
+            "probe_digests", {"run": run}, seed=17,
+        ))
+    for seed in (17, 23):
+        for run in (0, 1):
+            specs.append(_spec(
+                "determinism/fleet/seed%d/run%d" % (seed, run),
+                "fleet_digests", {"run": run, "scenario": "smoke"}, seed=seed,
+            ))
+    return specs
+
+
+def check_determinism(report):
+    problems = []
+    by_cell = {}
+    for key, value in report.rows():
+        prefix, _, _ = key.rpartition("/")  # strip the runN leg
+        by_cell.setdefault(prefix, []).append((key, value))
+    seed_digests = {}
+    for prefix, cells in sorted(by_cell.items()):
+        digests = {
+            (value["metrics_digest"], value["trace_digest"])
+            for _, value in cells
+        }
+        if len(digests) != 1:
+            problems.append(
+                "%s: runs disagree (%d distinct digests)"
+                % (prefix, len(digests))
+            )
+        if prefix.startswith("determinism/fleet/"):
+            seed_digests[prefix] = cells[0][1]["trace_digest"]
+    if len(seed_digests) > 1 and len(set(seed_digests.values())) == 1:
+        problems.append(
+            "fleet seeds produced identical traces (seed unused?)"
+        )
+    return problems
+
+
+def build_perf():
+    """Every perf kernel's repeat pair as pooled determinism cells.
+
+    ``runner_fanout`` is excluded: it drives a pool itself, and pool
+    workers are daemonic — they cannot spawn a nested pool.
+    """
+    from repro.perf.harness import KERNELS
+
+    specs = []
+    for name in KERNELS:
+        if name == "runner_fanout":
+            continue
+        for repeat in (0, 1):
+            specs.append(_spec(
+                "perf/%s/repeat%d" % (name, repeat),
+                "perf_kernel_events",
+                {"name": name, "smoke": True, "repeat": repeat},
+            ))
+    return specs
+
+
+def check_perf(report):
+    problems = []
+    events = {}
+    for key, value in report.rows():
+        events.setdefault(value["name"], set()).add(value["events"])
+    for name, counts in sorted(events.items()):
+        if len(counts) != 1:
+            problems.append(
+                "kernel %s is not deterministic across repeats: %s"
+                % (name, sorted(counts))
+            )
+    return problems
+
+
+class Suite:
+    """A named spec batch plus its post-merge consistency check."""
+
+    __slots__ = ("name", "description", "build", "check")
+
+    def __init__(self, name, description, build, check=None):
+        self.name = name
+        self.description = description
+        self.build = build
+        self.check = check
+
+
+SUITES = OrderedDict((suite.name, suite) for suite in [
+    Suite("figures", "full figure sweeps (Fig 6/8/13/14 + fleet runs)",
+          build_figures),
+    Suite("figures-smoke", "trimmed figure sweeps (CI-sized)",
+          build_figures_smoke),
+    Suite("determinism", "multi-seed probe + fleet determinism cells",
+          build_determinism, check_determinism),
+    Suite("perf", "perf-kernel repeat pairs (event-count determinism)",
+          build_perf, check_perf),
+])

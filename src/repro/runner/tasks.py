@@ -1,0 +1,228 @@
+"""The runner's task library: every sweep point as a pure callable.
+
+Each function here is a ``@task``: all inputs arrive through kwargs (plus
+an explicit seed where the workload is stochastic), the return value is
+JSON-plain data, and nothing reads ambient state — no module-level
+mutables, no ambient RNG, no process-default metrics registry.  simlint's
+``D-taskpure`` rule enforces exactly that contract on every decorated
+callable, because these bodies execute inside pool workers where captured
+parent state would silently diverge between sequential and pooled runs.
+
+These tasks are the pooled backend for the Figure 6/8/13/14 sweeps, the
+fleet scenarios, the multi-seed determinism checks, and the perf-kernel
+repeat verification (``python -m repro run``, ``make figures``, and the
+benchmark suite's shared conftest fixture all build specs over them).
+"""
+
+from repro.runner.spec import task
+
+
+# -- Figure 6: GPU pod startup ------------------------------------------
+
+
+@task
+def startup_point(memory_bytes):
+    """One Figure 6 memory point: legacy full-pin vs Stellar PVDMA boot."""
+    from repro.workloads.startup import measure_startup
+
+    row = measure_startup(memory_points=(memory_bytes,))[0]
+    return {
+        "memory_bytes": row.memory_bytes,
+        "full_pin_seconds": row.full_pin_seconds,
+        "pvdma_seconds": row.pvdma_seconds,
+        "speedup": row.speedup,
+    }
+
+
+# -- Figures 8 / 14: GDR sweeps -----------------------------------------
+
+
+def _gdr_row(row):
+    return {
+        "message_bytes": row.message_bytes,
+        "gbps": row.gbps,
+        "atc_hit_rate": row.atc_hit_rate,
+        "iotlb_hit_rate": row.iotlb_hit_rate,
+        "avg_pcie_latency": row.avg_pcie_latency,
+    }
+
+
+@task
+def gdr_atc_point(message_bytes):
+    """One Figure 8 CX6 ATS/ATC sweep point (real ATC + IOTLB walk)."""
+    from repro.workloads.gdr_bench import AtcMissExperiment
+
+    return _gdr_row(AtcMissExperiment().measure(message_bytes))
+
+
+@task
+def gdr_emtt_point(message_bytes):
+    """One Figure 8 vStellar eMTT point (flat at line rate by design)."""
+    from repro.workloads.gdr_bench import emtt_sweep
+
+    return _gdr_row(emtt_sweep(sizes=(message_bytes,))[0])
+
+
+@task
+def gdr_datapath_sweep(mode):
+    """The Figure 14 curve for one GDR datapath mode."""
+    from repro.workloads.gdr_bench import gdr_datapath_curve
+
+    return [
+        {"message_bytes": row.message_bytes, "gbps": row.gbps}
+        for row in gdr_datapath_curve(mode)
+    ]
+
+
+# -- Figure 13: perftest microbenchmark ---------------------------------
+
+
+@task
+def perftest_sweep(profile, sizes=None):
+    """``ib_write_lat``/``ib_write_bw`` sweep for one datapath profile."""
+    from repro.workloads.perftest import run_perftest
+
+    return [
+        {
+            "size": row.size,
+            "latency_us": row.latency * 1e6,
+            "bandwidth_gbps": row.bandwidth / 1e9,
+        }
+        for row in run_perftest(profile, sizes=sizes)
+    ]
+
+
+# -- Fleet scenarios -----------------------------------------------------
+
+
+@task
+def fleet_scenario(scenario="smoke", seed=17):
+    """One seeded fleet run reduced to its determinism fingerprint.
+
+    Returns the metrics/trace digests plus headline counters — the exact
+    oracle ``repro.obs.determinism`` diffs, so pooled fleet runs are
+    comparable bit-for-bit against sequential ones.
+    """
+    from repro.obs.determinism import fleet_fingerprint
+
+    fingerprint = fleet_fingerprint(seed=seed, scenario=scenario)
+    return {
+        "scenario": scenario,
+        "seed": seed,
+        "metrics": len(fingerprint.metrics),
+        "metrics_digest": fingerprint.metrics_digest,
+        "trace_digest": fingerprint.trace_digest,
+        "trace_events": fingerprint.trace_events,
+    }
+
+
+# -- Determinism probes --------------------------------------------------
+
+
+@task
+def probe_digests(seed=17, run=0):
+    """Full-stack probe fingerprint for one (seed, run) determinism cell.
+
+    ``run`` only distinguishes repeat cells in the cache key — the digest
+    of run 0 and run 1 must match for the check to pass, so repeats must
+    not collapse into one cache entry.
+    """
+    from repro.obs.determinism import probe_fingerprint
+
+    fingerprint = probe_fingerprint(seed=seed)
+    return {
+        "seed": seed,
+        "run": run,
+        "metrics": len(fingerprint.metrics),
+        "metrics_digest": fingerprint.metrics_digest,
+        "trace_digest": fingerprint.trace_digest,
+    }
+
+
+@task
+def fleet_digests(seed=17, run=0, scenario="smoke"):
+    """Fleet determinism cell: like :func:`probe_digests` for a fleet run."""
+    from repro.obs.determinism import fleet_fingerprint
+
+    fingerprint = fleet_fingerprint(seed=seed, scenario=scenario)
+    return {
+        "seed": seed,
+        "run": run,
+        "scenario": scenario,
+        "metrics_digest": fingerprint.metrics_digest,
+        "trace_digest": fingerprint.trace_digest,
+    }
+
+
+# -- Perf-kernel repeats -------------------------------------------------
+
+
+@task
+def perf_kernel_events(name, smoke=True, repeat=0):
+    """One perf-kernel execution reduced to its deterministic event count.
+
+    The perf harness repeats each kernel to trim timing noise; expressed
+    as specs, those repeats fan out across the pool and the suite check
+    asserts the event counts agree — the kernel-determinism half of
+    ``time_kernel`` without the wall-clock half.  ``repeat`` keeps the
+    cells distinct in the cache.  Timing still belongs to ``repro.perf``.
+    """
+    from repro.perf.harness import KERNELS
+
+    out = KERNELS[name].fn(smoke=smoke)
+    return {
+        "name": name,
+        "repeat": repeat,
+        "events": out["events"],
+        "meta": out.get("meta", {}),
+    }
+
+
+# -- Fig. 11-style ring (the fanout perf kernel's unit of work) ----------
+
+
+@task
+def fig11_ring(seed=17, servers=8, window=0.002, loss=0.03):
+    """A small seeded Fig. 11-style spray ring with one lossy uplink.
+
+    The ``runner_fanout`` perf kernel runs N of these (distinct seeds) to
+    measure pool fan-out against sequential execution; the returned
+    counters double as the per-task determinism digest.
+    """
+    from repro.net import MessageFlow, PacketNetSim, ServerAddress, run_flows
+    from repro.net.topology import DualPlaneTopology
+    from repro.rnic.cc import WindowCC
+    from repro.sim.units import MB, usec
+
+    topology = DualPlaneTopology(
+        segments=2, servers_per_segment=servers // 2, rails=1, planes=2,
+        aggs_per_plane=8,
+    )
+    sim = PacketNetSim(topology, seed=seed, ecn_threshold=1 * MB)
+    ring = []
+    for i in range(servers // 2):
+        ring.append(ServerAddress(0, i))
+        ring.append(ServerAddress(1, i))
+    flows = []
+    for i, src in enumerate(ring):
+        dst = ring[(i + 1) % len(ring)]
+        flows.append(MessageFlow(
+            sim, "ring-%d" % i, src, dst, 0,
+            message_bytes=200 * MB,
+            algorithm="obs", path_count=64,
+            mtu=128 * 1024, connection_id=i,
+            cc=WindowCC(init_window=2 * 1024 * 1024,
+                        additive_bytes=64 * 1024, target_rtt=usec(150)),
+            recovery="selective",
+        ))
+    if loss > 0:
+        victim = topology.route(ring[0], ring[1], 0, path_id=0, connection_id=0)
+        sim.inject_loss(victim[1], loss)
+    results = run_flows(sim, flows, timeout=window)
+    return {
+        "seed": seed,
+        "events": sim.scheduler.events_executed,
+        "packets": sim.packets_sent,
+        "rtos": sum(r.rtos for r in results),
+        "delivered_bytes": sum(r.bytes_acked for r in results),
+    }

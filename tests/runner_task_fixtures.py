@@ -1,0 +1,38 @@
+"""Worker-importable task callables for the repro.runner tests.
+
+These live in their own module (not a test file) so pool workers can
+resolve them by dotted path under any start method.  They are plain
+functions, not ``@task``-decorated library tasks: the telemetry one
+deliberately touches the process-default registry to *prove* the runner
+isolates it per task, which is exactly what ``D-taskpure`` forbids in
+the shipped task library.
+"""
+
+
+def add_point(x, y=0, seed=None):
+    return {"x": x, "y": y, "seed": seed, "sum": x + y}
+
+
+def echo_tuple(x):
+    # Tuples are JSON-plain only after normalization (they become lists);
+    # returning one checks the compute path normalizes before caching.
+    return {"pair": (x, x + 1)}
+
+
+def counting_task(bumps, seed=None):
+    """Bump a counter on the process-default registry ``bumps`` times.
+
+    Under the runner each execution must see a fresh private registry:
+    every task reports ``counted == bumps`` no matter how many siblings
+    ran in the same worker process before it.
+    """
+    from repro.obs.metrics import get_registry
+
+    counter = get_registry().counter("runner_test.calls")
+    for _ in range(bumps):
+        counter.inc()
+    return {"bumps": bumps, "counted": counter.value()}
+
+
+def not_json(x):
+    return {"value": object()}

@@ -342,7 +342,8 @@ class TestHarness:
     def test_every_rule_has_description(self):
         assert set(RULES) == {
             "D-random", "D-wallclock", "D-set-iter", "D-id-key",
-            "L-layer", "L-private", "A-snapshot-pair", "A-snapshot-plain",
+            "D-taskpure", "L-layer", "L-private", "A-snapshot-pair",
+            "A-snapshot-plain",
         }
         assert all(RULES.values())
 

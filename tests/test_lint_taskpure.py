@@ -1,0 +1,156 @@
+"""simlint D-taskpure: runner task callables must be pure.
+
+The rule audits every ``@task``-decorated function for ambient-state
+capture — module-level mutables, ambient RNG, the process-default metrics
+registry, global/nonlocal, mutable default arguments — because task
+bodies execute inside pool workers where captured parent state silently
+diverges between sequential and pooled runs.
+"""
+
+from repro.lint.rules import lint_source
+
+
+def _rules(source, path="src/repro/runner/tasks.py"):
+    return [v.rule for v in lint_source(source, path=path)]
+
+
+def _taskpure(source):
+    return [r for r in _rules(source) if r == "D-taskpure"]
+
+
+class TestTaskPureDetection:
+    def test_clean_task_passes(self):
+        source = (
+            "from repro.runner.spec import task\n"
+            "@task\n"
+            "def point(size, seed=17):\n"
+            "    from repro.workloads.perftest import run_perftest\n"
+            "    rows = run_perftest('bare_metal', sizes=(size,))\n"
+            "    return {'size': size, 'seed': seed, 'n': len(rows)}\n"
+        )
+        assert _taskpure(source) == []
+
+    def test_module_level_mutable_capture_is_flagged(self):
+        source = (
+            "from repro.runner.spec import task\n"
+            "_CACHE = {}\n"
+            "@task\n"
+            "def point(size):\n"
+            "    _CACHE[size] = 1\n"
+            "    return {'n': len(_CACHE)}\n"
+        )
+        assert "D-taskpure" in _rules(source)
+
+    def test_local_shadow_of_mutable_name_is_allowed(self):
+        source = (
+            "from repro.runner.spec import task\n"
+            "_ROWS = []\n"
+            "@task\n"
+            "def point(size):\n"
+            "    _ROWS = [size]\n"
+            "    return {'n': len(_ROWS)}\n"
+        )
+        assert _taskpure(source) == []
+
+    def test_immutable_module_constant_is_allowed(self):
+        source = (
+            "from repro.runner.spec import task\n"
+            "SIZES = (1, 2, 4)\n"
+            "SCALE = 3\n"
+            "@task\n"
+            "def point():\n"
+            "    return {'n': len(SIZES) * SCALE}\n"
+        )
+        assert _taskpure(source) == []
+
+    def test_global_statement_is_flagged(self):
+        source = (
+            "from repro.runner.spec import task\n"
+            "TOTAL = 0\n"
+            "@task\n"
+            "def point(size):\n"
+            "    global TOTAL\n"
+            "    TOTAL += size\n"
+            "    return {'total': TOTAL}\n"
+        )
+        assert "D-taskpure" in _rules(source)
+
+    def test_default_registry_read_is_flagged(self):
+        source = (
+            "from repro.obs.metrics import get_registry\n"
+            "from repro.runner.spec import task\n"
+            "@task\n"
+            "def point(size):\n"
+            "    get_registry().counter('task.calls').inc()\n"
+            "    return {'size': size}\n"
+        )
+        assert "D-taskpure" in _rules(source)
+
+    def test_ambient_rng_is_flagged(self):
+        source = (
+            "import random\n"
+            "from repro.runner.spec import task\n"
+            "@task\n"
+            "def point():\n"
+            "    return {'x': random.random()}\n"
+        )
+        assert "D-taskpure" in _rules(source)
+
+    def test_mutable_default_argument_is_flagged(self):
+        source = (
+            "from repro.runner.spec import task\n"
+            "@task\n"
+            "def point(sizes=[]):\n"
+            "    return {'n': len(sizes)}\n"
+        )
+        assert "D-taskpure" in _rules(source)
+
+    def test_decorator_attribute_form_is_recognized(self):
+        source = (
+            "import repro.runner.spec as runner\n"
+            "_STATE = {}\n"
+            "@runner.task\n"
+            "def point():\n"
+            "    return dict(_STATE)\n"
+        )
+        assert "D-taskpure" in _rules(source)
+
+    def test_undecorated_function_is_not_audited(self):
+        source = (
+            "_STATE = {}\n"
+            "def helper():\n"
+            "    _STATE['x'] = 1\n"
+            "    return dict(_STATE)\n"
+        )
+        assert _taskpure(source) == []
+
+
+class TestTaskPureWaiver:
+    def test_waiver_suppresses_the_rule(self):
+        source = (
+            "from repro.runner.spec import task\n"
+            "_MEMO = {}\n"
+            "@task\n"
+            "def point(size):\n"
+            "    _MEMO[size] = size  # simlint: ok D-taskpure\n"
+            "    return {'size': size}\n"
+        )
+        assert _taskpure(source) == []
+
+    def test_rule_is_listed(self):
+        from repro.lint.rules import RULES
+
+        assert "D-taskpure" in RULES
+
+
+class TestShippedTasksAreClean:
+    def test_runner_task_library_is_taskpure(self):
+        import repro.runner.tasks as tasks_module
+
+        with open(tasks_module.__file__, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        violations = [
+            v for v in lint_source(source, path=tasks_module.__file__)
+            if v.rule == "D-taskpure"
+        ]
+        assert violations == []

@@ -99,7 +99,22 @@ class TestSuite:
         assert set(KERNELS) == {
             "scheduler_churn", "scheduler_cancel", "packet_fig9",
             "packet_fig11", "fluid_allreduce_512", "fleet_churn",
+            "runner_fanout",
         }
+
+    def test_runner_fanout_modes_agree_on_events(self, monkeypatch):
+        # The fan-out kernel must do bit-identical work inline and pooled
+        # (the PR 2/PR 4 invariant); only the wall clock may differ.
+        monkeypatch.setenv("REPRO_RUNNER_MODE", "sequential")
+        sequential = KERNELS["runner_fanout"].fn(smoke=True)
+        monkeypatch.setenv("REPRO_RUNNER_MODE", "pooled")
+        monkeypatch.setenv("REPRO_RUNNER_WORKERS", "2")
+        pooled = KERNELS["runner_fanout"].fn(smoke=True)
+        assert sequential["events"] == pooled["events"]
+        assert sequential["meta"]["packets"] == pooled["meta"]["packets"]
+        assert sequential["meta"]["rtos"] == pooled["meta"]["rtos"]
+        assert sequential["meta"]["mode"] == "sequential"
+        assert pooled["meta"]["mode"] == "pooled"
 
 
 class TestBenchFile:
@@ -187,3 +202,24 @@ class TestRegressionGate:
                 "%s speedup %.2fx below the 2x acceptance gate"
                 % (kernel, ratios[kernel])
             )
+
+    def test_runner_fanout_speedup_is_recorded_in_shipped_bench(self):
+        # PR 5 acceptance gate: pooled warm-cache execution of the fan-out
+        # kernel at 4 workers must be >= 2x the sequential baseline, with
+        # both entries recorded in the shipped bench history and doing
+        # identical work (same summed event count).
+        data = load_bench("BENCH_perf.json")
+        pre = find_baseline(data, "full", label="pr5-runner-fanout-pre")
+        post = find_baseline(data, "full", label="pr5-runner-fanout-post")
+        if pre is None or post is None:
+            pytest.skip("bench history not recorded in this checkout")
+        assert pre["kernels"]["runner_fanout"]["meta"]["mode"] == "sequential"
+        assert post["kernels"]["runner_fanout"]["meta"]["mode"] == "pooled"
+        assert post["kernels"]["runner_fanout"]["meta"]["workers"] == 4
+        assert (pre["kernels"]["runner_fanout"]["events"]
+                == post["kernels"]["runner_fanout"]["events"])
+        ratios = dict((k, r) for k, r, _ in check_regression(post, pre))
+        assert ratios["runner_fanout"] >= 2.0, (
+            "runner_fanout speedup %.2fx below the 2x acceptance gate"
+            % ratios["runner_fanout"]
+        )

@@ -1,0 +1,145 @@
+"""Result cache: hit/miss/refresh semantics and disk-fault tolerance.
+
+The robustness contract under test: the cache may *lose* results (any
+disk problem degrades to a recompute) but must never *invent* them — a
+corrupt, truncated, or mislabeled entry is a miss, not a wrong answer.
+"""
+
+import json
+import os
+
+from repro.runner import ResultCache, TaskSpec, run_tasks
+
+FIXTURES = "tests.runner_task_fixtures"
+
+
+def _spec(key, x):
+    return TaskSpec(key, "%s:add_point" % FIXTURES, {"x": x}, seed=7)
+
+
+class TestLoadStore:
+    def test_store_then_load_round_trips(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = _spec("p", 1)
+        digest = spec.digest()
+        cache.store(digest, {"sum": 1}, spec=spec)
+        hit, value = cache.load(digest)
+        assert hit and value == {"sum": 1}
+        assert cache.stats.snapshot() == {
+            "hits": 1, "misses": 0, "stores": 1, "evictions": 0,
+        }
+
+    def test_absent_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        hit, value = cache.load("ab" + "0" * 62)
+        assert not hit and value is None
+        assert cache.stats.misses == 1
+
+    def test_entries_are_sharded_by_digest_prefix(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        digest = "cd" + "1" * 62
+        assert cache.path_for(digest) == os.path.join(
+            str(tmp_path), "cd", digest + ".json")
+
+    def test_store_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = _spec("p", 2)
+        cache.store(spec.digest(), {"sum": 2}, spec=spec)
+        leftovers = [
+            name for _, _, files in os.walk(str(tmp_path))
+            for name in files if ".tmp." in name
+        ]
+        assert leftovers == []
+
+    def test_unwritable_root_degrades_to_no_cache(self, tmp_path):
+        blocker = tmp_path / "cache_root"
+        blocker.write_text("a file where the cache dir should be")
+        cache = ResultCache(str(blocker))
+        spec = _spec("p", 3)
+        cache.store(spec.digest(), {"sum": 3}, spec=spec)  # must not raise
+        assert cache.stats.stores == 0
+        hit, _ = cache.load(spec.digest())
+        assert not hit
+
+
+class TestCorruptionTolerance:
+    def _stored(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = _spec("p", 4)
+        digest = spec.digest()
+        cache.store(digest, {"sum": 4}, spec=spec)
+        return cache, spec, digest
+
+    def test_truncated_entry_is_a_miss_and_evicted(self, tmp_path):
+        cache, spec, digest = self._stored(tmp_path)
+        path = cache.path_for(digest)
+        with open(path, "r+") as handle:
+            handle.truncate(10)
+        hit, _ = cache.load(digest)
+        assert not hit
+        assert not os.path.exists(path)
+        assert cache.stats.evictions == 1
+        # The batch-level consequence: the task recomputes and re-stores.
+        report = run_tasks([spec], workers=0, cache=cache)
+        assert report.computed == 1
+        assert report["p"].value["sum"] == 4
+        assert cache.load(digest)[0]
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache, _, digest = self._stored(tmp_path)
+        path = cache.path_for(digest)
+        doc = json.load(open(path))
+        doc["schema"] = 999
+        json.dump(doc, open(path, "w"))
+        assert cache.load(digest) == (False, None)
+        assert not os.path.exists(path)
+
+    def test_digest_mismatch_is_a_miss(self, tmp_path):
+        # An entry renamed (or copied) to the wrong address must not
+        # serve: content-addressing means the digest *is* the identity.
+        cache, _, digest = self._stored(tmp_path)
+        wrong = "ee" + "2" * 62
+        os.makedirs(os.path.dirname(cache.path_for(wrong)), exist_ok=True)
+        os.rename(cache.path_for(digest), cache.path_for(wrong))
+        assert cache.load(wrong) == (False, None)
+
+
+class TestRunnerIntegration:
+    def test_hit_miss_refresh_cycle(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        specs = [_spec("p%d" % i, i) for i in range(3)]
+
+        cold = run_tasks(specs, workers=0, cache=cache)
+        assert (cold.computed, cold.hits) == (3, 0)
+
+        warm = run_tasks(specs, workers=0, cache=ResultCache(str(tmp_path)))
+        assert (warm.computed, warm.hits) == (0, 3)
+        assert [r.cached for r in warm.results.values()] == [True] * 3
+        assert warm.rows() == cold.rows()
+
+        refreshed = run_tasks(specs, workers=0,
+                              cache=ResultCache(str(tmp_path)), refresh=True)
+        assert (refreshed.computed, refreshed.hits) == (3, 0)
+        assert refreshed.rows() == cold.rows()
+
+    def test_cached_value_is_byte_identical_to_computed(self, tmp_path):
+        # echo_tuple returns a tuple; normalization must make the cached
+        # read-back indistinguishable from the original compute.
+        from repro.runner import canonical_json
+
+        spec = TaskSpec("t", "%s:echo_tuple" % FIXTURES, {"x": 1})
+        cache = ResultCache(str(tmp_path))
+        first = run_tasks([spec], workers=0, cache=cache)
+        second = run_tasks([spec], workers=0, cache=cache)
+        assert second["t"].cached
+        assert canonical_json(first["t"].value) == \
+            canonical_json(second["t"].value)
+        assert first["t"].value == {"pair": [1, 2]}
+
+    def test_no_cache_never_touches_disk(self, tmp_path, monkeypatch):
+        from repro.runner import CACHE_DIR_ENV
+
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "default"))
+        report = run_tasks([_spec("p", 1)], workers=0, cache=None)
+        assert report.cache_stats is None
+        assert not (tmp_path / "default").exists()

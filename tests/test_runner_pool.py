@@ -1,0 +1,150 @@
+"""Pool execution: the pooled == sequential acceptance invariant.
+
+PR 2 established determinism digests and PR 4 kept them stable through
+the perf work; the runner must not be the layer that breaks them.  The
+tests here run the same spec batches inline and across worker processes
+and require byte-identical merged rows, plus per-task telemetry
+isolation so pooled tasks never interleave counters.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+from repro.runner import (
+    ResultCache,
+    TaskSpec,
+    canonical_json,
+    default_workers,
+    run_tasks,
+)
+from repro.runner.suites import build_figures
+
+FIXTURES = "tests.runner_task_fixtures"
+
+
+def _rows_json(report):
+    return [(key, canonical_json(value)) for key, value in report.rows()]
+
+
+class TestMergeSemantics:
+    def test_results_merge_in_spec_order_not_completion_order(self):
+        specs = [
+            TaskSpec("p%02d" % i, "%s:add_point" % FIXTURES, {"x": i})
+            for i in range(8)
+        ]
+        report = run_tasks(specs, workers=2)
+        assert list(report.results) == ["p%02d" % i for i in range(8)]
+        assert [v["x"] for v in report.values()] == list(range(8))
+
+    def test_duplicate_keys_rejected(self):
+        specs = [
+            TaskSpec("same", "%s:add_point" % FIXTURES, {"x": 1}),
+            TaskSpec("same", "%s:add_point" % FIXTURES, {"x": 2}),
+        ]
+        with pytest.raises(ValueError):
+            run_tasks(specs, workers=0)
+
+    def test_default_workers_is_bounded(self):
+        assert 1 <= default_workers() <= 4
+
+
+class TestPooledEqualsSequential:
+    def test_fixture_batch_is_byte_identical(self):
+        specs = [
+            TaskSpec("p%d" % i, "%s:add_point" % FIXTURES,
+                     {"x": i, "y": 2 * i}, seed=i)
+            for i in range(6)
+        ]
+        pooled = run_tasks(specs, workers=2)
+        sequential = run_tasks(specs, workers=0)
+        assert _rows_json(pooled) == _rows_json(sequential)
+
+    def test_figure_sweep_subset_is_byte_identical(self):
+        # The PR acceptance test: real figure specs (Fig 6 + Fig 13 from
+        # the trimmed suite) through worker processes vs inline — merged
+        # rows and content digests must agree exactly.
+        specs = [
+            spec for spec in build_figures(trim=True)
+            if spec.key.startswith(("fig6/", "fig13/"))
+        ]
+        assert len(specs) >= 5
+        pooled = run_tasks(specs, workers=2)
+        sequential = run_tasks(specs, workers=0)
+        assert _rows_json(pooled) == _rows_json(sequential)
+        assert [pooled[s.key].digest for s in specs] == \
+            [sequential[s.key].digest for s in specs]
+
+    def test_pooled_run_with_cache_stays_identical(self, tmp_path):
+        specs = [
+            TaskSpec("p%d" % i, "%s:add_point" % FIXTURES, {"x": i})
+            for i in range(4)
+        ]
+        sequential = run_tasks(specs, workers=0)
+        cache = ResultCache(str(tmp_path))
+        cold = run_tasks(specs, workers=2, cache=cache)
+        warm = run_tasks(specs, workers=2, cache=ResultCache(str(tmp_path)))
+        assert warm.hits == len(specs)
+        assert _rows_json(cold) == _rows_json(sequential)
+        assert _rows_json(warm) == _rows_json(sequential)
+
+
+class TestTelemetryIsolation:
+    def _counting_specs(self, n):
+        return [
+            TaskSpec("c%d" % i, "%s:counting_task" % FIXTURES, {"bumps": 1})
+            for i in range(n)
+        ]
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_each_task_sees_a_fresh_registry(self, workers):
+        # Four tasks each bump the same counter once.  Shared ambient
+        # state would make later tasks on a reused worker report 2, 3,
+        # 4...; isolation means every task reports exactly 1.
+        report = run_tasks(self._counting_specs(4), workers=workers)
+        assert [v["counted"] for v in report.values()] == [1, 1, 1, 1]
+        for result in report.results.values():
+            assert result.telemetry["runner_test.calls"] == 1
+
+    def test_parent_registry_is_never_touched(self):
+        previous = set_registry(MetricsRegistry("pool-test-parent"))
+        try:
+            run_tasks(self._counting_specs(3), workers=0)
+            assert get_registry().snapshot() == {}
+        finally:
+            set_registry(previous)
+
+    def test_merged_telemetry_sums_across_tasks(self):
+        specs = [
+            TaskSpec("c%d" % i, "%s:counting_task" % FIXTURES,
+                     {"bumps": i + 1})
+            for i in range(3)
+        ]
+        report = run_tasks(specs, workers=2)
+        assert report.merged_telemetry()["runner_test.calls"] == 1 + 2 + 3
+
+    def test_cache_hits_carry_no_telemetry(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        run_tasks(self._counting_specs(2), workers=0, cache=cache)
+        warm = run_tasks(self._counting_specs(2), workers=0, cache=cache)
+        assert warm.hits == 2
+        assert warm.merged_telemetry() == {}
+
+
+class TestFailureModes:
+    def test_non_json_result_raises_taskerror(self):
+        from repro.runner import TaskError
+
+        spec = TaskSpec("bad", "%s:not_json" % FIXTURES, {"x": 1})
+        with pytest.raises(TaskError):
+            run_tasks([spec], workers=0)
+
+    def test_report_provenance_fields(self):
+        spec = TaskSpec("p", "%s:add_point" % FIXTURES, {"x": 1})
+        report = run_tasks([spec], workers=0)
+        result = report["p"]
+        assert result.cached is False
+        assert result.seconds >= 0.0
+        assert len(result.digest) == 64
+        as_json = report.to_json()
+        assert as_json["tasks"][0]["key"] == "p"
+        assert as_json["cache"] is None

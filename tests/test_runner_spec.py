@@ -1,0 +1,134 @@
+"""TaskSpec identity: canonicalization, digests, and code fingerprints.
+
+The digest is the result-cache key, so the properties under test are the
+cache's correctness argument: same spec + same code → same digest;
+different kwargs, seed, callable, *or source text* → different digest.
+"""
+
+import pytest
+
+from repro.runner import (
+    TaskError,
+    TaskSpec,
+    canonical_json,
+    normalize_result,
+    resolve_callable,
+)
+from repro.runner.fingerprint import closure_digest, module_closure
+
+FIXTURES = "tests.runner_task_fixtures"
+
+
+class TestCanonicalization:
+    def test_canonical_json_sorts_keys_and_strips_whitespace(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_normalize_result_converts_tuples_once(self):
+        assert normalize_result({"pair": (1, 2)}) == {"pair": [1, 2]}
+
+    def test_normalize_result_rejects_non_json(self):
+        with pytest.raises(TaskError):
+            normalize_result({"value": object()})
+
+
+class TestSpecValidation:
+    def test_empty_key_rejected(self):
+        with pytest.raises(TaskError):
+            TaskSpec("", "%s:add_point" % FIXTURES)
+
+    def test_fn_must_be_module_colon_attr(self):
+        with pytest.raises(TaskError):
+            TaskSpec("k", "just_a_name")
+
+    def test_non_json_kwargs_rejected(self):
+        with pytest.raises(TaskError):
+            TaskSpec("k", "%s:add_point" % FIXTURES, {"x": object()})
+
+    def test_duplicate_digest_for_identical_specs(self):
+        a = TaskSpec("k1", "%s:add_point" % FIXTURES, {"x": 1}, seed=3)
+        b = TaskSpec("k2", "%s:add_point" % FIXTURES, {"x": 1}, seed=3)
+        # The key names the row, not the work: it stays out of the digest.
+        assert a.digest() == b.digest()
+
+    def test_digest_varies_with_kwargs_seed_and_callable(self):
+        memo = {}
+        base = TaskSpec("k", "%s:add_point" % FIXTURES, {"x": 1}, seed=3)
+        digests = {
+            base.digest(memo=memo),
+            TaskSpec("k", "%s:add_point" % FIXTURES, {"x": 2},
+                     seed=3).digest(memo=memo),
+            TaskSpec("k", "%s:add_point" % FIXTURES, {"x": 1},
+                     seed=4).digest(memo=memo),
+            TaskSpec("k", "%s:echo_tuple" % FIXTURES, {"x": 1},
+                     seed=3).digest(memo=memo),
+        }
+        assert len(digests) == 4
+
+    def test_memoized_digest_matches_fresh_digest(self):
+        spec = TaskSpec("k", "%s:add_point" % FIXTURES, {"x": 1})
+        assert spec.digest(memo={}) == spec.digest()
+
+    def test_seed_is_injected_into_call_kwargs(self):
+        spec = TaskSpec("k", "%s:add_point" % FIXTURES, {"x": 1}, seed=9)
+        assert spec.call_kwargs() == {"x": 1, "seed": 9}
+        assert spec.run() == {"x": 1, "y": 0, "seed": 9, "sum": 1}
+
+
+class TestResolveCallable:
+    def test_import_path_resolution(self):
+        fn = resolve_callable("%s:add_point" % FIXTURES)
+        assert fn(x=2, y=3) == {"x": 2, "y": 3, "seed": None, "sum": 5}
+
+    def test_registered_tasks_resolve_without_import(self):
+        from repro.runner import registered_tasks
+
+        import repro.runner.tasks  # noqa: F401 -- populate the registry
+
+        tasks = registered_tasks()
+        assert "repro.runner.tasks:startup_point" in tasks
+        assert resolve_callable("repro.runner.tasks:startup_point") is \
+            tasks["repro.runner.tasks:startup_point"]
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(TaskError):
+            resolve_callable("%s:no_such_fn" % FIXTURES)
+
+    def test_unimportable_module_raises(self):
+        with pytest.raises(TaskError):
+            resolve_callable("definitely_not_a_module_xyz:fn")
+
+    def test_path_without_colon_raises(self):
+        with pytest.raises(TaskError):
+            resolve_callable("tests.runner_task_fixtures.add_point")
+
+
+class TestSourceFingerprint:
+    def _write_module(self, tmp_path, body):
+        module_path = tmp_path / "runner_digest_probe.py"
+        module_path.write_text(body)
+        return module_path
+
+    def test_editing_source_changes_the_digest(self, tmp_path, monkeypatch):
+        # The acceptance property for the cache key: a source edit — even
+        # a comment — must invalidate cached results for specs over that
+        # module.  Fresh memos per digest, since memos pin source bytes.
+        monkeypatch.syspath_prepend(str(tmp_path))
+        self._write_module(
+            tmp_path, "def probe(x):\n    return {'x': x}\n")
+        spec = TaskSpec("k", "runner_digest_probe:probe", {"x": 1})
+        before = spec.digest(memo={})
+        self._write_module(
+            tmp_path, "def probe(x):\n    # edited\n    return {'x': x}\n")
+        after = spec.digest(memo={})
+        assert before != after
+
+    def test_closure_follows_repro_imports_only(self):
+        closure = module_closure("repro.runner.tasks")
+        assert "repro.runner.tasks" in closure
+        assert "repro.runner.spec" in closure
+        assert all(name == "repro" or name.startswith("repro.")
+                   for name in closure)
+
+    def test_closure_digest_is_stable_within_a_session(self):
+        assert closure_digest("repro.runner.tasks") == \
+            closure_digest("repro.runner.tasks")
