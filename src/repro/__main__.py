@@ -66,10 +66,16 @@ def tour_spray():
     table.print()
 
 
-def tour_fleet():
+def tour_fleet(health_report=None):
     from repro.workloads import run_churn
 
-    fleet, result = run_churn()
+    flight = tracer = None
+    if health_report:
+        from repro.obs import FlightRecorder, Tracer
+
+        flight = FlightRecorder()
+        tracer = Tracer()
+    fleet, result = run_churn(flight=flight, tracer=tracer)
     table = Table(
         "Fleet churn: 16 hosts, 3 tenants, mid-run uplink failure",
         ["job", "tenant", "state", "wait s", "startup s", "iters",
@@ -90,6 +96,61 @@ def tour_fleet():
     summary.add_row("p99 slowdown vs isolated", result.p99_slowdown())
     summary.add_row("repricing epochs", result.counters["rate_epochs"])
     summary.print()
+    if health_report:
+        write_health_report(fleet, flight, tracer, health_report)
+
+
+def write_health_report(fleet, flight, tracer, path):
+    """Render the SLO/incident tables and write the JSON + Perfetto
+    artifacts for ``--health-report PATH``."""
+    import json
+
+    from repro.obs import write_perfetto_trace
+
+    document = fleet.health_report()
+    slo = document["slo"]
+    table = Table(
+        "Fleet SLO trackers",
+        ["entity", "breached", "metric", "breaches", "breach s", "peak ratio"],
+    )
+    for entity in fleet.slo.entities():
+        tracker = slo["trackers"][entity]
+        for metric, state in tracker["metrics"].items():
+            if not state["breaches"]:
+                continue
+            table.add_row(entity, "yes" if tracker["breached"] else "no",
+                          metric, state["breaches"],
+                          round(state["breach_seconds"], 1),
+                          state["peak_ratio"])
+    table.print()
+    incidents = Table(
+        "Incidents (fault -> impact -> recovery)",
+        ["fault", "at s", "entity", "affected", "impact", "recovery s"],
+    )
+    for incident in document["incidents"]:
+        fault = incident["fault"]
+        for entry in incident["affected"] or [None]:
+            if entry is None:
+                incidents.add_row(fault["kind"], fault["t"], fault["entity"],
+                                  "-", "-", "-")
+                continue
+            recovery = entry["recovery_seconds"]
+            incidents.add_row(
+                fault["kind"], fault["t"], fault["entity"], entry["entity"],
+                round(entry["impact"], 3),
+                round(recovery, 1) if recovery is not None else "-",
+            )
+    incidents.print()
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("health report: %d incidents, flight digest %s -> %s"
+          % (len(document["incidents"]),
+             document["flight"].get("digest", "-")[:12], path))
+    trace_path = path + ".trace.json"
+    count = write_perfetto_trace(trace_path, tracer=tracer, flight=flight)
+    print("perfetto trace: %d events -> %s (open in https://ui.perfetto.dev)"
+          % (count, trace_path))
 
 
 def tour_quickstart():
@@ -200,11 +261,20 @@ def main(argv=None):
         "--timeseries", metavar="PATH",
         help="export the sim-time gauge samples (.csv or .json)",
     )
+    parser.add_argument(
+        "--health-report", metavar="PATH", dest="health_report",
+        help="with the fleet tour: run churn with the flight recorder, "
+             "print the SLO/incident tables, and write the health JSON to "
+             "PATH plus a Perfetto trace to PATH.trace.json",
+    )
     args = parser.parse_args(argv)
     print("repro %s — Alibaba Stellar (SIGCOMM 2025) reproduction" % __version__)
     selected = sorted(TOURS) if args.tour == "all" else [args.tour]
     for name in selected:
-        TOURS[name]()
+        if name == "fleet":
+            tour_fleet(health_report=args.health_report)
+        else:
+            TOURS[name]()
     if args.trace or args.metrics or args.timeseries:
         export_telemetry(args)
     print("\nFull regeneration: pytest benchmarks/ --benchmark-only -s")

@@ -34,6 +34,13 @@ from repro.net.failure import effective_loss_rate, pick_victim_uplink
 from repro.net.fluid_sim import FluidSimulation
 from repro.net.loadmodel import StaticLoadModel
 from repro.net.topology import ServerAddress
+from repro.obs.slo import (
+    SLO_LATENCY_MULTIPLE,
+    SloBoard,
+    SloPolicy,
+    build_health_document,
+    default_job_policy,
+)
 from repro.sim.engine import EventScheduler
 from repro.sim.rng import RngStream
 from repro.sim.units import GB
@@ -150,10 +157,16 @@ class FleetSimulation:
         ring_bytes=int(1 * GB),
         congestion_dt=0.005,
         congestion_seconds=0.03,
+        flight=None,
     ):
         self.topology = topology
         self.seed = seed
         self.tracer = tracer
+        #: Optional FlightRecorder + the SLO board feeding off it.  Both
+        #: are passive observers: attaching them cannot perturb the run
+        #: (repro.obs.determinism asserts exactly that).
+        self.flight = flight
+        self.slo = SloBoard(flight=flight)
         self.engine = EventScheduler(tracer=tracer)
         if hosts is None:
             config = dict(host_config or {})
@@ -163,6 +176,13 @@ class FleetSimulation:
                 for address in topology.servers()
             ]
         self.scheduler = FleetScheduler(hosts, policy)
+        if flight is not None:
+            # Container churn flows in via the hypervisor hook, not via
+            # an upward import from repro.virt.
+            for host in self.scheduler.hosts:
+                host.host.hypervisor.on_churn = partial(
+                    self._on_host_churn, host.name
+                )
         self.trainer = TrainingSimulation(topology, seed=seed)
         self.block_iterations = block_iterations
         self.sample_pages = sample_pages
@@ -226,6 +246,17 @@ class FleetSimulation:
             self.tracer.instant(name, self.engine.now, track="fleet",
                                 cat="cluster", args=args)
 
+    def _record(self, kind, entity=None, severity="info", **payload):
+        if self.flight is not None:
+            self.flight.record(self.engine.now, "cluster", kind,
+                               entity=entity, severity=severity, **payload)
+
+    def _on_host_churn(self, host_name, kind, container_name):
+        if self.flight is not None:
+            self.flight.record(self.engine.now, "virt", kind,
+                               entity=container_name, severity="info",
+                               host=host_name)
+
     def _on_submit(self, spec):
         job = Job(spec, self.engine.now)
         job.index = len(self.jobs)
@@ -237,6 +268,9 @@ class FleetSimulation:
             ring = self.scheduler.place(spec)
         if ring is None:
             self.scheduler.enqueue(job)
+            self._record("admission-queue", entity="job:%s" % spec.name,
+                         severity="warn", tenant=spec.tenant,
+                         queue_depth=len(self.scheduler.queue))
         else:
             self._admit(job, ring)
 
@@ -276,6 +310,9 @@ class FleetSimulation:
             "hosts": len(per_host_seconds),
             "startup_s": round(job.startup_seconds, 3),
         })
+        self._record("job-admit", entity="job:%s" % spec.name,
+                     tenant=spec.tenant, hosts=len(per_host_seconds),
+                     startup_s=round(job.startup_seconds, 6))
         self.engine.schedule(job.startup_seconds, partial(self._on_running, job))
 
     def _on_running(self, job):
@@ -286,6 +323,17 @@ class FleetSimulation:
         self._starting -= 1
         self._running += 1
         self._recompute_rates()
+        now = self.engine.now
+        tracker = self.slo.tracker(
+            "job:%s" % job.spec.name, default_job_policy(job.iso_iter_seconds)
+        )
+        tracker.observe(now, "admission_wait", job.wait_seconds)
+        # Tenant trackers aggregate the normalized slowdown, which is
+        # comparable across jobs with different isolated baselines.
+        self.slo.tracker(
+            "tenant:%s" % job.spec.tenant,
+            SloPolicy(latency_p99_ceiling=SLO_LATENCY_MULTIPLE),
+        )
         if job.spec.abort_after is not None:
             job.abort_event = self.engine.schedule(
                 job.spec.abort_after, partial(self._on_abort, job)
@@ -301,7 +349,16 @@ class FleetSimulation:
         job.iteration_log.append(
             (self.engine.now, block, seconds, self.failure_penalty(job))
         )
-        job.slowdown_samples.append(seconds / job.iso_iter_seconds)
+        slowdown = seconds / job.iso_iter_seconds
+        job.slowdown_samples.append(slowdown)
+        now = self.engine.now
+        entity = "job:%s" % job.spec.name
+        if entity in self.slo:
+            self.slo.observe(now, entity, "latency", seconds)
+            self.slo.observe(now, entity, "goodput", 1.0 / seconds)
+            self.slo.observe(
+                now, "tenant:%s" % job.spec.tenant, "latency", slowdown
+            )
         for slot, container in enumerate(job.containers):
             job.hosts[slot].touch(container, job.touch_pages[container.name])
         job.iterations_done += block
@@ -337,6 +394,12 @@ class FleetSimulation:
             "tenant": job.spec.tenant,
             "iterations": job.iterations_done,
         })
+        self._record(
+            "job-abort" if abnormal else "job-complete",
+            entity="job:%s" % job.spec.name,
+            severity="error" if abnormal else "info",
+            tenant=job.spec.tenant, iterations=job.iterations_done,
+        )
         self._recompute_rates()
         self._drain_queue()
 
@@ -355,6 +418,8 @@ class FleetSimulation:
         self.failed_links.append(link)
         self.link_failures += 1
         self._instant("link-fail", {"link": str(link)})
+        self._record("link-fail", entity=str(link), severity="error",
+                     duration=duration)
         self._recompute_rates()
         self.engine.schedule(duration, partial(self._on_link_heal, link))
 
@@ -362,6 +427,7 @@ class FleetSimulation:
         if link in self.failed_links:
             self.failed_links.remove(link)
         self._instant("link-heal", {"link": str(link)})
+        self._record("link-heal", entity=str(link))
         self._recompute_rates()
 
     def _auto_victim(self):
@@ -561,6 +627,8 @@ class FleetSimulation:
                 "queued": len(self.scheduler.queue),
                 "links_down": len(self.failed_links),
             }, track="fleet")
+        self._record("congestion-epoch", running=self._running,
+                     links_down=len(self.failed_links))
 
     # -- working-set sampling ----------------------------------------------
 
@@ -580,6 +648,18 @@ class FleetSimulation:
         return pages[::stride][: self.sample_pages]
 
     # -- telemetry ---------------------------------------------------------
+
+    def health_report(self, grace=5.0):
+        """The fleet health document: counters, jobs, SLOs, incidents.
+
+        This is what ``python -m repro fleet --health-report`` writes and
+        the runner's health suite merges; see
+        :func:`repro.obs.slo.build_health_document` for the schema.
+        """
+        return build_health_document(
+            self.snapshot(), self.result().rows(),
+            board=self.slo, flight=self.flight, grace=grace,
+        )
 
     def snapshot(self):
         return {

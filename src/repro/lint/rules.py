@@ -80,6 +80,11 @@ RULES = {
         "snapshot() must build and return plain dict/list/scalar data "
         "(no sets, lambdas, or generators) so exports stay deterministic"
     ),
+    "A-flight-plain": (
+        "flight-recorder record(...) payloads must be plain scalar/dict/"
+        "list data (no sets, lambdas, or generators) so the flight log "
+        "digests and exports deterministically"
+    ),
 }
 
 #: repro subpackages that model the paper's stack (the "domain" layers).
@@ -92,6 +97,13 @@ DOMAIN_LAYERS = frozenset({
 #: Infrastructure layers every domain layer may depend on — never the
 #: reverse.
 INFRA_LAYERS = frozenset({"sim", "obs"})
+
+#: The passive observability plane: events flow *into* these modules via
+#: record()/observe() hooks, never via imports.  They may not import the
+#: probe (which drives domain workloads under a waiver) — that would
+#: invert the hook direction and drag domain layers into every consumer
+#: of the flight recorder.
+_OBS_PLANE = ("repro.obs.flight", "repro.obs.slo")
 
 #: Wall-clock attribute chains D-wallclock rejects.
 WALLCLOCK_CALLS = frozenset({
@@ -118,6 +130,11 @@ WALLCLOCK_ALLOWED = ("repro.obs", "repro.perf", "repro.runner.pool")
 
 #: Modules whose import is ambient randomness.
 RANDOM_MODULES = frozenset({"random", "secrets"})
+
+#: Receiver names whose ``.record(...)`` calls A-flight-plain treats as
+#: flight-recorder appends.  Matching is by the last dotted segment, so
+#: ``self.flight.record(...)`` and ``sim.flight.record(...)`` both count.
+FLIGHT_RECEIVERS = frozenset({"flight", "recorder", "flight_recorder"})
 
 _WAIVER_RE = re.compile(r"#\s*simlint:\s*ok\b([^#\n]*)")
 
@@ -318,6 +335,17 @@ def layer_violation(importer_module, imported_module):
         return "nothing imports repro.legacy (import of %s)" % imported_module
     if src in INFRA_LAYERS and dst in DOMAIN_LAYERS:
         return "repro.%s must not import domain layer repro.%s" % (src, dst)
+    if importer_module in _OBS_PLANE or any(
+        importer_module.startswith(plane + ".") for plane in _OBS_PLANE
+    ):
+        if imported_module == "repro.obs.probe" or imported_module.startswith(
+            "repro.obs.probe."
+        ):
+            return (
+                "%s must not import repro.obs.probe; flight/SLO events "
+                "arrive via record()/observe() hooks, not imports"
+                % importer_module
+            )
     if src in ("memory", "pcie") and dst in ("virt", "training"):
         return "repro.%s must not import repro.%s" % (src, dst)
     # cluster is the top domain layer: it may import everything (except
@@ -512,7 +540,38 @@ class _Checker(ast.NodeVisitor):
                     "id()-based sort key is process-dependent; key on a "
                     "stable attribute",
                 )
+        self._check_flight_payload(node)
         self.generic_visit(node)
+
+    def _check_flight_payload(self, node):
+        """A-flight-plain: flight record(...) arguments stay plain data.
+
+        Flight events are digested (canonical JSON) and exported to JSONL
+        and Perfetto; a set loses ordering and a lambda/generator breaks
+        serialization, so neither may ride in a payload.  Mirrors the
+        A-snapshot-plain walk, applied at the call site.
+        """
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "record"):
+            return
+        dotted = _dotted_name(func.value)
+        if dotted is None:
+            return
+        leaf = dotted.rsplit(".", 1)[-1]
+        if leaf not in FLIGHT_RECEIVERS and not leaf.endswith("flight"):
+            return
+        values = list(node.args) + [kw.value for kw in node.keywords]
+        for value in values:
+            for sub in ast.walk(value):
+                if isinstance(sub, (ast.Set, ast.SetComp, ast.Lambda,
+                                    ast.GeneratorExp)):
+                    self._report(
+                        node, "A-flight-plain",
+                        "flight record(...) payload must be plain "
+                        "dict/list/scalar data (found a %s)"
+                        % type(sub).__name__.lower(),
+                    )
+                    return
 
     # -- D-taskpure ------------------------------------------------------
 

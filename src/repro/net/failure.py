@@ -33,6 +33,14 @@ class FailureScenario:
         """Schedule a down/up cycle (optical flap)."""
         if up_at <= down_at:
             raise ValueError("flap must come back up after it goes down")
+        if self.sim.flight is not None:
+            # The down/up transitions themselves record via inject_loss;
+            # this marks the scenario decision, at decision time.
+            self.sim.flight.record(
+                self.sim.now, "net.failure", "flap-armed",
+                entity=repr(link), severity="info",
+                down_at=down_at, up_at=up_at,
+            )
         self.sim.scheduler.schedule_at(down_at, lambda: self.fail_link(link))
         self.sim.scheduler.schedule_at(up_at, lambda: self.heal_link(link))
 
@@ -58,6 +66,12 @@ def bgp_reroute(topology, sim, link, detect_seconds=1.0):
     capacity effect (the link drains nothing until healed)."""
     scenario = FailureScenario(sim)
     scenario.fail_link(link)
+    if sim.flight is not None:
+        sim.flight.record(
+            sim.now, "net.failure", "bgp-reroute",
+            entity=repr(link), severity="warn",
+            detect_seconds=detect_seconds,
+        )
     sim.scheduler.schedule(detect_seconds, lambda: scenario.heal_link(link))
     return scenario
 

@@ -102,8 +102,12 @@ class PacketNetSim:
         ecn_threshold=DEFAULT_ECN_THRESHOLD_BYTES,
         max_queue=DEFAULT_MAX_QUEUE_BYTES,
         tracer=None,
+        flight=None,
     ):
         self.topology = topology
+        #: Optional FlightRecorder; hooks live on rare paths only (loss
+        #: injection, RTOs), never per packet or per ACK.
+        self.flight = flight
         self.scheduler = EventScheduler()
         self.rng = RngStream(seed, "packet-sim")
         self.ecn_threshold = ecn_threshold
@@ -188,6 +192,17 @@ class PacketNetSim:
         if not 0.0 <= drop_prob <= 1.0:
             raise ValueError("drop probability out of range: %r" % drop_prob)
         self.port(ref).drop_prob = drop_prob
+        if self.flight is not None:
+            if drop_prob == 0.0:
+                kind, severity = "path-up", "info"
+            elif drop_prob >= 1.0:
+                kind, severity = "path-down", "error"
+            else:
+                kind, severity = "loss-inject", "warn"
+            self.flight.record(
+                self.now, "net", kind, entity=repr(ref),
+                severity=severity, drop_prob=drop_prob,
+            )
 
     def send_packet(self, route, size, on_delivered, on_dropped=None):
         """Forward one packet along ``route`` (a sequence of LinkRefs).
@@ -598,6 +613,13 @@ class MessageFlow:
                 "flow.rto", self.sim.now, track="flows",
                 args={"flow": repr(self.flow_id), "seq": seq, "path": path},
             )
+        flight = self.sim.flight
+        if flight is not None:
+            flight.record(
+                self.sim.now, "net", "retransmit",
+                entity=repr(self.flow_id), severity="warn",
+                seq=seq, path=path,
+            )
         self.conn.on_loss(path)
         if self.recovery == "go_back_n":
             # Classic RoCE: the loss invalidates every later in-flight
@@ -609,16 +631,31 @@ class MessageFlow:
                 event.cancel()
                 resend.append((s, sz, p))
             self.conn.cc.on_rto()  # full stall: halve window, clear flight
+            self._record_cc_collapse(flight)
             for s, sz, p in resend:
                 self.conn.cc.on_send(sz)
                 self._transmit(s, sz, self.conn.next_path(now=self.sim.now))
             return
         del self._outstanding[seq]
         self.conn.cc.on_rto(size)
+        self._record_cc_collapse(flight)
         # Instant recovery: retransmit on a different path (Section 7.2).
         retry_path = self.conn.retransmit_path(path)
         self.conn.cc.on_send(size)
         self._transmit(seq, size, retry_path)
+
+    def _record_cc_collapse(self, flight):
+        """Flag an RTO that drove the CC window to its floor (RTO path only)."""
+        if flight is None:
+            return
+        cc = self.conn.cc
+        min_window = getattr(cc, "min_window", None)
+        if min_window is not None and cc.window <= min_window:
+            flight.record(
+                self.sim.now, "net", "cc-collapse",
+                entity=repr(self.flow_id), severity="error",
+                window=cc.window,
+            )
 
 
 def run_flows(sim, flows, timeout=5.0):

@@ -11,6 +11,10 @@ on both to diagnose the Figure 8 regressions):
 * :mod:`repro.obs.sampler` — fixed-cadence gauge sampling (the Figure
   9/10 time series) with JSON/CSV dumps;
 * :mod:`repro.obs.export` — file writers and trace validation;
+* :mod:`repro.obs.flight` — the bounded flight recorder of structured
+  rare events (retransmits, link failures, job aborts, churn);
+* :mod:`repro.obs.slo` — per-entity SLO trackers and the
+  fault -> affected -> impact -> recovery incident builder;
 * :mod:`repro.obs.probe` — the canned full-stack run behind
   ``python -m repro metrics`` (imported lazily; pulls in the whole
   stack).
@@ -19,9 +23,21 @@ on both to diagnose the Figure 8 regressions):
 from repro.obs.export import (
     load_chrome_trace,
     metrics_document,
+    perfetto_document,
     write_chrome_trace,
     write_metrics_csv,
     write_metrics_json,
+    write_perfetto_trace,
+)
+from repro.obs.flight import FlightEvent, FlightRecorder
+from repro.obs.slo import (
+    SloBoard,
+    SloPolicy,
+    SloTracker,
+    build_health_document,
+    build_incidents,
+    default_job_policy,
+    merge_incident_reports,
 )
 from repro.obs.metrics import (
     Counter,
@@ -40,9 +56,20 @@ from repro.obs.trace import NULL_TRACER, NullTracer, TraceEvent, Tracer
 __all__ = [
     "load_chrome_trace",
     "metrics_document",
+    "perfetto_document",
     "write_chrome_trace",
     "write_metrics_csv",
     "write_metrics_json",
+    "write_perfetto_trace",
+    "FlightEvent",
+    "FlightRecorder",
+    "SloBoard",
+    "SloPolicy",
+    "SloTracker",
+    "build_health_document",
+    "build_incidents",
+    "default_job_policy",
+    "merge_incident_reports",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS_US",
     "Gauge",

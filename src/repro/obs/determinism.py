@@ -72,15 +72,16 @@ class ProbeFingerprint:
     """Everything one probe run pins down for the determinism diff."""
 
     __slots__ = ("seed", "metrics", "metrics_digest", "trace_digest",
-                 "trace_events")
+                 "trace_events", "flight_digest")
 
     def __init__(self, seed, metrics, metrics_digest, trace_digest,
-                 trace_events):
+                 trace_events, flight_digest=None):
         self.seed = seed
         self.metrics = metrics
         self.metrics_digest = metrics_digest
         self.trace_digest = trace_digest
         self.trace_events = trace_events
+        self.flight_digest = flight_digest
 
     def __repr__(self):
         return "ProbeFingerprint(seed=%d, %d metrics, trace=%s...)" % (
@@ -94,14 +95,16 @@ def probe_fingerprint(seed=17, **probe_kwargs):
     Fresh registry and tracer per call, so repeated calls never share
     state through the process-wide defaults.
     """
+    from repro.obs.flight import FlightRecorder
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.probe import run_probe
     from repro.obs.trace import Tracer
 
     registry = MetricsRegistry("determinism-probe")
     tracer = Tracer("determinism-probe")
+    flight = FlightRecorder()
     result = run_probe(registry=registry, tracer=tracer, seed=seed,
-                       **probe_kwargs)
+                       flight=flight, **probe_kwargs)
     metrics = result.registry.snapshot()
     return ProbeFingerprint(
         seed=seed,
@@ -109,22 +112,27 @@ def probe_fingerprint(seed=17, **probe_kwargs):
         metrics_digest=snapshot_digest(metrics),
         trace_digest=trace_digest(result.tracer),
         trace_events=len(result.tracer),
+        flight_digest=flight.digest(),
     )
 
 
 class DeterminismReport:
     """Outcome of an N-run determinism check."""
 
-    __slots__ = ("fingerprints", "metric_mismatches", "trace_match")
+    __slots__ = ("fingerprints", "metric_mismatches", "trace_match",
+                 "flight_match")
 
-    def __init__(self, fingerprints, metric_mismatches, trace_match):
+    def __init__(self, fingerprints, metric_mismatches, trace_match,
+                 flight_match=True):
         self.fingerprints = fingerprints
         self.metric_mismatches = metric_mismatches
         self.trace_match = trace_match
+        self.flight_match = flight_match
 
     @property
     def ok(self):
-        return not self.metric_mismatches and self.trace_match
+        return (not self.metric_mismatches and self.trace_match
+                and self.flight_match)
 
     def describe(self):
         if self.ok:
@@ -136,6 +144,9 @@ class DeterminismReport:
         if not self.trace_match:
             lines.append("trace digests differ: %s" % ", ".join(
                 fp.trace_digest[:12] for fp in self.fingerprints))
+        if not self.flight_match:
+            lines.append("flight-log digests differ: %s" % ", ".join(
+                str(fp.flight_digest)[:12] for fp in self.fingerprints))
         for key, values in self.metric_mismatches:
             lines.append("metric %s differs across runs: %r" % (key, values))
         return "; ".join(lines)
@@ -166,7 +177,11 @@ def _diff_fingerprints(fingerprints, max_mismatches):
     trace_match = all(
         fp.trace_digest == reference.trace_digest for fp in fingerprints
     )
-    return DeterminismReport(fingerprints, mismatches, trace_match)
+    flight_match = all(
+        fp.flight_digest == reference.flight_digest for fp in fingerprints
+    )
+    return DeterminismReport(fingerprints, mismatches, trace_match,
+                             flight_match)
 
 
 def check_determinism(seed=17, runs=2, max_mismatches=10, **probe_kwargs):
@@ -192,14 +207,16 @@ def fleet_fingerprint(seed=17, scenario="churn"):
     ``"smoke"`` (the two-host probe leg).  Fresh registry and tracer per
     call, as in :func:`probe_fingerprint`.
     """
+    from repro.obs.flight import FlightRecorder
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.trace import Tracer
     from repro.workloads.fleet_bench import run_churn, run_fleet_smoke  # simlint: ok L-layer
 
     registry = MetricsRegistry("determinism-fleet")
     tracer = Tracer("determinism-fleet")
+    flight = FlightRecorder()
     runner = {"churn": run_churn, "smoke": run_fleet_smoke}[scenario]
-    runner(seed=seed, registry=registry, tracer=tracer)
+    runner(seed=seed, registry=registry, tracer=tracer, flight=flight)
     metrics = registry.snapshot()
     return ProbeFingerprint(
         seed=seed,
@@ -207,6 +224,7 @@ def fleet_fingerprint(seed=17, scenario="churn"):
         metrics_digest=snapshot_digest(metrics),
         trace_digest=trace_digest(tracer),
         trace_events=len(tracer),
+        flight_digest=flight.digest(),
     )
 
 

@@ -31,7 +31,7 @@ class ProbeResult:
     """Everything a probe run produced, ready for reporting or export."""
 
     def __init__(self, host, containers, sim, flow_results, registry, tracer,
-                 sampler, fleet=None):
+                 sampler, fleet=None, flight=None):
         self.host = host
         self.containers = containers
         self.sim = sim
@@ -40,6 +40,7 @@ class ProbeResult:
         self.tracer = tracer
         self.sampler = sampler
         self.fleet = fleet
+        self.flight = flight
 
     def reports(self):
         """``[(title, report dict)]`` for the Neohost-style console dump."""
@@ -72,7 +73,7 @@ class ProbeResult:
 def run_probe(registry=None, tracer=None, seed=17,
               sample_interval=DEFAULT_SAMPLE_INTERVAL, max_samples=512,
               message_bytes=1 * MiB, flow_count=4, loss_rate=0.005,
-              fleet=True):
+              fleet=True, flight=None):
     """Run the canned full-stack telemetry workload; returns ProbeResult.
 
     ``registry``/``tracer`` default to the process-wide registry and a
@@ -115,7 +116,7 @@ def run_probe(registry=None, tracer=None, seed=17,
 
     # -- network leg: packet spray with sampling + tracing ---------------
     topology = DualPlaneTopology(segments=2, servers_per_segment=2, rails=1)
-    sim = PacketNetSim(topology, seed=seed, tracer=tracer)
+    sim = PacketNetSim(topology, seed=seed, tracer=tracer, flight=flight)
     sim.register_metrics(registry)
     if loss_rate:
         victim = topology.tor_uplinks(segment=0, rail=0)[0]
@@ -142,6 +143,6 @@ def run_probe(registry=None, tracer=None, seed=17,
         from repro.workloads.fleet_bench import run_fleet_smoke  # simlint: ok L-layer
 
         fleet_sim, _ = run_fleet_smoke(seed=seed, tracer=tracer,
-                                       registry=registry)
+                                       registry=registry, flight=flight)
     return ProbeResult(host, containers, sim, results, registry, tracer,
-                       sampler, fleet=fleet_sim)
+                       sampler, fleet=fleet_sim, flight=flight)

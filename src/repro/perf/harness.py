@@ -85,6 +85,8 @@ KERNELS = OrderedDict(
                    "Fig. 9 spray ring, loss-free packets"),
         KernelSpec("packet_fig11", _kernels.packet_fig11_kernel, 3,
                    "Fig. 11 spray ring, 3% loss on one uplink"),
+        KernelSpec("flight_overhead", _kernels.flight_overhead_kernel, 3,
+                   "fig11 ring, flight recorder off+on (overhead gate)"),
         KernelSpec("fluid_allreduce_512", _kernels.fluid_allreduce_kernel, 1,
                    "512-GPU continuous AllReduce, fluid max-min"),
         KernelSpec("fleet_churn", _kernels.fleet_churn_kernel, 1,

@@ -171,6 +171,45 @@ def packet_fig11_kernel(smoke=False):
     }
 
 
+def flight_overhead_kernel(smoke=False):
+    """The flight-recorder overhead gate: fig11 ring, recorder off vs on.
+
+    Runs the same lossy spray ring twice — once with ``flight=None``
+    (the disabled path every hot component ships with) and once with a
+    live :class:`repro.obs.flight.FlightRecorder`.  Both legs execute
+    identical scheduler work (asserted), so the ≤5% disabled-path
+    overhead budget is checked by comparing this kernel's recorded
+    events/sec against the pre-change ``packet_fig11`` baseline in
+    BENCH_perf.json — recording hooks live only on rare paths (RTOs,
+    loss injection), never per packet.
+    """
+    from repro.obs.flight import FlightRecorder
+
+    window = 0.0008 if smoke else 0.003
+    per_mode = {}
+    flight = None
+    for mode in ("disabled", "enabled"):
+        recorder = None if mode == "disabled" else FlightRecorder(capacity=8192)
+        sim = PacketNetSim(_fig_topology(), seed=17, ecn_threshold=1 * MB,
+                           flight=recorder)
+        flows = _ring_flows(sim, _ring_servers(24), loss=0.03)
+        run_flows(sim, flows, timeout=window)
+        per_mode[mode] = sim.scheduler.events_executed
+        if recorder is not None:
+            flight = recorder
+    assert per_mode["disabled"] == per_mode["enabled"]
+    return {
+        "events": per_mode["disabled"] + per_mode["enabled"],
+        "meta": {
+            "disabled_events": per_mode["disabled"],
+            "enabled_events": per_mode["enabled"],
+            "flight_recorded": flight.recorded,
+            "flight_dropped": flight.dropped,
+            "sim_seconds": window,
+        },
+    }
+
+
 def fluid_allreduce_kernel(smoke=False):
     """512-GPU continuous AllReduce in the fluid solver.
 

@@ -105,7 +105,8 @@ def check_determinism(report):
     seed_digests = {}
     for prefix, cells in sorted(by_cell.items()):
         digests = {
-            (value["metrics_digest"], value["trace_digest"])
+            (value["metrics_digest"], value["trace_digest"],
+             value.get("flight_digest"))
             for _, value in cells
         }
         if len(digests) != 1:
@@ -119,6 +120,51 @@ def check_determinism(report):
         problems.append(
             "fleet seeds produced identical traces (seed unused?)"
         )
+    return problems
+
+
+def build_health():
+    """Fleet health cells: one seeded health document per (scenario, seed).
+
+    Two seeds of the smoke scenario keep the suite CI-fast; the churn
+    scenario's full incident report is exercised by the CLI
+    (``python -m repro fleet --health-report``) and the e2e tests.
+    """
+    specs = []
+    for seed in (17, 23):
+        specs.append(_spec(
+            "health/smoke/seed%d" % seed,
+            "fleet_health", {"scenario": "smoke"}, seed=seed,
+        ))
+    return specs
+
+
+def check_health(report):
+    """Validate health-document shape and merge incidents in spec order."""
+    from repro.obs.slo import merge_incident_reports
+
+    problems = []
+    keyed = []
+    for key, value in report.rows():
+        for field in ("fleet", "jobs", "slo", "incidents", "flight"):
+            if field not in value:
+                problems.append("%s: missing %r field" % (key, field))
+        keyed.append((key, value.get("incidents", [])))
+    merged = merge_incident_reports(keyed)
+    for incident in merged:
+        fault = incident.get("fault", {})
+        for field in ("kind", "t", "entity"):
+            if field not in fault:
+                problems.append(
+                    "%s: incident fault missing %r"
+                    % (incident.get("source"), field)
+                )
+        for entry in incident.get("affected", []):
+            if "impact" not in entry or "recovery_seconds" not in entry:
+                problems.append(
+                    "%s: affected entry missing impact/recovery"
+                    % incident.get("source")
+                )
     return problems
 
 
@@ -176,6 +222,8 @@ SUITES = OrderedDict((suite.name, suite) for suite in [
           build_figures_smoke),
     Suite("determinism", "multi-seed probe + fleet determinism cells",
           build_determinism, check_determinism),
+    Suite("health", "fleet health documents + merged incident reports",
+          build_health, check_health),
     Suite("perf", "perf-kernel repeat pairs (event-count determinism)",
           build_perf, check_perf),
 ])

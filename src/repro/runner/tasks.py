@@ -136,6 +136,7 @@ def probe_digests(seed=17, run=0):
         "metrics": len(fingerprint.metrics),
         "metrics_digest": fingerprint.metrics_digest,
         "trace_digest": fingerprint.trace_digest,
+        "flight_digest": fingerprint.flight_digest,
     }
 
 
@@ -151,7 +152,28 @@ def fleet_digests(seed=17, run=0, scenario="smoke"):
         "scenario": scenario,
         "metrics_digest": fingerprint.metrics_digest,
         "trace_digest": fingerprint.trace_digest,
+        "flight_digest": fingerprint.flight_digest,
     }
+
+
+@task
+def fleet_health(scenario="smoke", seed=17):
+    """One seeded fleet run reduced to its health document.
+
+    The health suite merges the per-task ``incidents`` lists in spec
+    order (:func:`repro.obs.slo.merge_incident_reports`), so pooled and
+    sequential suite runs produce byte-identical merged reports.
+    """
+    from repro.obs.flight import FlightRecorder
+    from repro.workloads.fleet_bench import run_churn, run_fleet_smoke
+
+    flight = FlightRecorder()
+    runner = {"churn": run_churn, "smoke": run_fleet_smoke}[scenario]
+    fleet, _ = runner(seed=seed, flight=flight)
+    document = fleet.health_report()
+    document["scenario"] = scenario
+    document["seed"] = seed
+    return document
 
 
 # -- Perf-kernel repeats -------------------------------------------------

@@ -40,6 +40,10 @@ class Hypervisor:
             self.iommu = iommu if iommu is not None else Iommu()
             self._hpa_map = PhysicalMemoryMap(AddressSpace.HPA, 1 << 50)
         self.containers = {}
+        #: Optional churn hook ``(kind, container_name)`` — the fleet's
+        #: flight recorder subscribes here; events flow out via the hook,
+        #: never via an upward import.
+        self.on_churn = None
 
     def allocate_guest_ram(self, memory_bytes):
         """Back a guest's RAM with one contiguous HPA region."""
@@ -53,9 +57,13 @@ class Hypervisor:
         if container.name in self.containers:
             raise HypervisorError("container %r already exists" % container.name)
         self.containers[container.name] = container
+        if self.on_churn is not None:
+            self.on_churn("container-register", container.name)
 
     def forget_container(self, container):
-        self.containers.pop(container.name, None)
+        if self.containers.pop(container.name, None) is not None:
+            if self.on_churn is not None:
+                self.on_churn("container-forget", container.name)
 
     def bind_device_domain(self, container, function):
         """Attach a device's DMA to the container's IOMMU domain."""

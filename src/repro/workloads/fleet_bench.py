@@ -38,8 +38,11 @@ CHURN_SEED = 17
 #: Arrival horizon in simulated seconds; the run itself drains fully.
 CHURN_HORIZON = 240.0
 
-#: Mid-run uplink failure window (simulated seconds).
-CHURN_FAILURE_AT = 60.0
+#: Mid-run uplink failure window (simulated seconds).  Timed to land on
+#: peak contention, when the failure-sensitive 4-QP legacy tenant is
+#: live alongside the spray-armored svc/train jobs — the fleet-scale
+#: Figure 11 contrast (and the incident the health report attributes).
+CHURN_FAILURE_AT = 140.0
 CHURN_FAILURE_SECONDS = 45.0
 
 
@@ -97,7 +100,7 @@ def churn_tenants():
 
 def build_churn_fleet(seed=CHURN_SEED, tracer=None, registry=None,
                       policy=PlacementPolicy.SPREAD, tenants=None,
-                      horizon=CHURN_HORIZON, failure=True):
+                      horizon=CHURN_HORIZON, failure=True, flight=None):
     """Assemble (but do not run) the 16-host / 3-tenant churn scenario.
 
     ``SPREAD`` placement is the scenario default: it scatters rings
@@ -110,6 +113,7 @@ def build_churn_fleet(seed=CHURN_SEED, tracer=None, registry=None,
         policy=policy,
         seed=seed,
         tracer=tracer,
+        flight=flight,
         host_config=dict(
             gpus=4, rnics=2, dram_bytes=64 * GiB, gpu_hbm_bytes=2 * GiB,
             atc_capacity=512,
@@ -129,11 +133,11 @@ def build_churn_fleet(seed=CHURN_SEED, tracer=None, registry=None,
 
 def run_churn(seed=CHURN_SEED, tracer=None, registry=None,
               policy=PlacementPolicy.SPREAD, tenants=None,
-              horizon=CHURN_HORIZON, failure=True):
+              horizon=CHURN_HORIZON, failure=True, flight=None):
     """Run the churn scenario to drain; returns ``(fleet, result)``."""
     fleet = build_churn_fleet(
         seed=seed, tracer=tracer, registry=registry, policy=policy,
-        tenants=tenants, horizon=horizon, failure=failure,
+        tenants=tenants, horizon=horizon, failure=failure, flight=flight,
     )
     result = fleet.run()
     return fleet, result
@@ -165,7 +169,7 @@ def smoke_specs():
     ]
 
 
-def run_fleet_smoke(seed=CHURN_SEED, tracer=None, registry=None):
+def run_fleet_smoke(seed=CHURN_SEED, tracer=None, registry=None, flight=None):
     """A seconds-fast 2-segment fleet exercising every churn code path.
 
     Two hosts, three fixed jobs (PVDMA/Stellar, FULL_PIN/CX7, and one
@@ -181,6 +185,7 @@ def run_fleet_smoke(seed=CHURN_SEED, tracer=None, registry=None):
         policy=PlacementPolicy.SPREAD,
         seed=seed,
         tracer=tracer,
+        flight=flight,
         host_config=dict(
             gpus=2, rnics=1, dram_bytes=8 * GiB, gpu_hbm_bytes=1 * GiB,
             atc_capacity=256,

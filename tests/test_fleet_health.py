@@ -1,0 +1,202 @@
+"""End-to-end fleet health: flight recording through churn, SLO breach
+attribution, the health suite, and pooled-vs-sequential byte identity.
+
+The acceptance scenario: the 16-host churn run with its mid-run uplink
+failure, recorded by an attached FlightRecorder, must yield an
+IncidentReport naming at least one impacted job with a populated impact
+magnitude and recovery time.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import FlightRecorder
+from repro.workloads.fleet_bench import (
+    CHURN_FAILURE_AT,
+    CHURN_FAILURE_SECONDS,
+    run_churn,
+    run_fleet_smoke,
+)
+
+
+@pytest.fixture(scope="module")
+def churn_with_flight():
+    flight = FlightRecorder()
+    fleet, result = run_churn(flight=flight)
+    return fleet, result, flight
+
+
+@pytest.fixture(scope="module")
+def smoke_with_flight():
+    flight = FlightRecorder()
+    fleet, result = run_fleet_smoke(flight=flight)
+    return fleet, result, flight
+
+
+class TestFlightDuringChurn:
+    def test_fleet_events_recorded(self, churn_with_flight):
+        fleet, result, flight = churn_with_flight
+        kinds = {event["kind"] for event in flight.events()}
+        assert {"job-admit", "job-complete", "link-fail", "link-heal",
+                "congestion-epoch"} <= kinds
+        assert flight.by_kind("job-complete"), "no completions recorded"
+
+    def test_link_failure_event_matches_scenario(self, churn_with_flight):
+        _, _, flight = churn_with_flight
+        fails = flight.by_kind("link-fail")
+        assert len(fails) == 1
+        assert fails[0]["t"] == pytest.approx(CHURN_FAILURE_AT)
+        assert fails[0]["severity"] == "error"
+        assert fails[0]["payload"]["duration"] == pytest.approx(
+            CHURN_FAILURE_SECONDS)
+        heals = flight.by_kind("link-heal")
+        assert heals[0]["t"] == pytest.approx(
+            CHURN_FAILURE_AT + CHURN_FAILURE_SECONDS)
+
+    def test_container_churn_recorded_from_hypervisor_hook(
+            self, churn_with_flight):
+        _, _, flight = churn_with_flight
+        registers = flight.by_kind("container-register")
+        forgets = flight.by_kind("container-forget")
+        assert registers and forgets
+        assert all(event["layer"] == "virt" for event in registers)
+
+    def test_attaching_the_recorder_is_passive(self, churn_with_flight):
+        fleet, result, _ = churn_with_flight
+        _, bare_result = run_churn()
+        assert result.rows() == bare_result.rows()
+
+
+class TestIncidentReport:
+    def test_failure_yields_attributed_incident(self, churn_with_flight):
+        fleet, _, _ = churn_with_flight
+        document = fleet.health_report()
+        incidents = [
+            incident for incident in document["incidents"]
+            if incident["fault"]["kind"] == "link-fail"
+        ]
+        assert len(incidents) == 1
+        incident = incidents[0]
+        assert incident["fault"]["t"] == pytest.approx(CHURN_FAILURE_AT)
+        assert incident["fault"]["duration"] == pytest.approx(
+            CHURN_FAILURE_SECONDS)
+        assert incident["congestion_epochs"] > 0
+        jobs = [
+            entry for entry in incident["affected"]
+            if entry["entity"].startswith("job:")
+        ]
+        assert jobs, "no impacted jobs attributed to the link failure"
+        for entry in jobs:
+            assert entry["impact"] > 0.0
+            assert entry["metrics"]
+        recovered = [
+            entry for entry in jobs if entry["recovery_seconds"] is not None
+        ]
+        assert recovered, "no job recorded a recovery time"
+        for entry in recovered:
+            assert 0.0 < entry["recovery_seconds"] < fleet.engine.now
+
+    def test_health_document_is_json_plain(self, churn_with_flight):
+        fleet, _, flight = churn_with_flight
+        document = fleet.health_report()
+        encoded = json.dumps(document, sort_keys=True)
+        decoded = json.loads(encoded)
+        assert decoded["flight"]["digest"] == flight.digest()
+        assert decoded["fleet"]["jobs_completed"] > 0
+        assert len(decoded["jobs"]) == decoded["fleet"]["jobs_submitted"]
+
+    def test_slo_board_tracks_jobs_and_tenants(self, churn_with_flight):
+        fleet, result, _ = churn_with_flight
+        entities = fleet.slo.entities()
+        jobs = [name for name in entities if name.startswith("job:")]
+        tenants = [name for name in entities if name.startswith("tenant:")]
+        assert len(jobs) == result.counters["jobs_submitted"]
+        assert set(tenants) == {"tenant:svc", "tenant:train", "tenant:legacy"}
+
+
+class TestSmokeHealth:
+    def test_smoke_health_report_shape(self, smoke_with_flight):
+        fleet, _, _ = smoke_with_flight
+        document = fleet.health_report()
+        for field in ("generator", "fleet", "jobs", "slo", "incidents",
+                      "flight"):
+            assert field in document
+        # The smoke fleet injects a short uplink failure too.
+        assert any(
+            incident["fault"]["kind"] == "link-fail"
+            for incident in document["incidents"]
+        )
+        assert flightless_equal(document)
+
+    def test_abort_recorded_as_error(self, smoke_with_flight):
+        _, _, flight = smoke_with_flight
+        aborts = flight.by_kind("job-abort")
+        assert [event["entity"] for event in aborts] == ["job:smoke-abort"]
+        assert aborts[0]["severity"] == "error"
+
+    def test_admission_queue_event_for_queued_job(self, smoke_with_flight):
+        _, _, flight = smoke_with_flight
+        queued = flight.by_kind("admission-queue")
+        assert any(
+            event["entity"] == "job:smoke-abort" for event in queued)
+
+
+def flightless_equal(document):
+    """Double-run oracle: the same seed rebuilds the same document."""
+    flight = FlightRecorder()
+    fleet, _ = run_fleet_smoke(flight=flight)
+    again = fleet.health_report()
+    return json.dumps(again, sort_keys=True) == json.dumps(
+        document, sort_keys=True)
+
+
+class TestHealthSuite:
+    def test_pooled_matches_sequential_byte_for_byte(self):
+        from repro.runner import run_tasks
+        from repro.runner.suites import SUITES
+
+        suite = SUITES["health"]
+        specs = suite.build()
+        sequential = run_tasks(specs, workers=0)
+        pooled = run_tasks(specs, workers=2)
+        seq_rows = json.dumps(sequential.rows(), sort_keys=True)
+        pool_rows = json.dumps(pooled.rows(), sort_keys=True)
+        assert seq_rows == pool_rows
+        assert suite.check(sequential) == []
+        assert suite.check(pooled) == []
+
+    def test_check_flags_missing_fields(self):
+        from repro.runner import RunReport, TaskResult
+        from repro.runner.suites import check_health
+
+        results = {
+            "health/smoke/seed17": TaskResult(
+                "health/smoke/seed17", {"fleet": {}}, "0" * 64, False,
+                0.0, {}),
+        }
+        report = RunReport(results, workers=0, cache_stats=None,
+                           wall_seconds=0.0)
+        problems = check_health(report)
+        assert any("missing" in problem for problem in problems)
+
+    def test_check_validates_merged_incident_shape(self):
+        from repro.runner import RunReport, TaskResult
+        from repro.runner.suites import check_health
+
+        value = {
+            "fleet": {}, "jobs": [], "slo": {}, "flight": {},
+            "incidents": [{
+                "fault": {"kind": "link-fail"},  # missing t/entity
+                "affected": [{"entity": "job:x"}],  # missing impact
+            }],
+        }
+        results = {
+            "health/smoke/seed17": TaskResult(
+                "health/smoke/seed17", value, "0" * 64, False, 0.0, {}),
+        }
+        report = RunReport(results, workers=0, cache_stats=None,
+                           wall_seconds=0.0)
+        problems = check_health(report)
+        assert any("fault missing" in problem for problem in problems)
+        assert any("impact/recovery" in problem for problem in problems)

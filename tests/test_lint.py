@@ -194,6 +194,22 @@ class TestLLayer:
         assert layer_violation("repro.net.topology", "repro.sim") is None
         assert layer_violation(None, "repro.legacy") is None
 
+    def test_obs_plane_cannot_import_the_probe(self):
+        # Events flow into flight/slo via hooks; importing the probe
+        # (which drives domain workloads) would invert that direction.
+        assert layer_violation("repro.obs.flight", "repro.obs.probe") is not None
+        assert layer_violation("repro.obs.slo", "repro.obs.probe") is not None
+        assert layer_violation("repro.obs.probe", "repro.obs.flight") is None
+        assert layer_violation("repro.obs.export", "repro.obs.probe") is None
+        assert "L-layer" in rules_fired(
+            "from repro.obs.probe import run_probe\n",
+            path="src/repro/obs/slo.py",
+        )
+        assert "L-layer" not in rules_fired(
+            "from repro.obs.flight import FlightRecorder\n",
+            path="src/repro/obs/slo.py",
+        )
+
 
 class TestLPrivate:
     def test_foreign_private_access_fires(self):
@@ -286,6 +302,51 @@ class TestASnapshotPlain:
         )
 
 
+class TestAFlightPlain:
+    def test_set_payload_fires(self):
+        assert "A-flight-plain" in rules_fired(
+            "def f(self, t):\n"
+            "    self.flight.record(t, 'net', 'k', paths={1, 2})\n"
+        )
+
+    def test_lambda_payload_fires(self):
+        assert "A-flight-plain" in rules_fired(
+            "def f(flight, t):\n"
+            "    flight.record(t, 'net', 'k', fn=lambda: 1)\n"
+        )
+
+    def test_generator_payload_fires(self):
+        assert "A-flight-plain" in rules_fired(
+            "def f(recorder, t, xs):\n"
+            "    recorder.record(t, 'net', 'k', seqs=(x for x in xs))\n"
+        )
+
+    def test_plain_payload_is_clean(self):
+        assert "A-flight-plain" not in rules_fired(
+            "def f(self, t, seq):\n"
+            "    self.sim.flight.record(t, 'net', 'retransmit',\n"
+            "                           entity='flow', seq=seq,\n"
+            "                           paths=[1, 2], info={'a': 1})\n"
+        )
+
+    def test_non_flight_record_calls_ignored(self):
+        # A metrics recorder with a set argument is not this rule's
+        # business (other rules may still apply to it).
+        assert "A-flight-plain" not in rules_fired(
+            "def f(registry):\n"
+            "    registry.record('name', {1, 2})\n"
+        )
+
+    def test_positional_payload_checked_too(self):
+        assert "A-flight-plain" in rules_fired(
+            "def f(flight, t):\n"
+            "    flight.record(t, 'net', 'k', {1, 2})\n"
+        )
+
+    def test_rule_is_listed(self):
+        assert "A-flight-plain" in RULES
+
+
 class TestWaivers:
     def test_exact_rule_waiver(self):
         assert rules_fired(
@@ -343,7 +404,7 @@ class TestHarness:
         assert set(RULES) == {
             "D-random", "D-wallclock", "D-set-iter", "D-id-key",
             "D-taskpure", "L-layer", "L-private", "A-snapshot-pair",
-            "A-snapshot-plain",
+            "A-snapshot-plain", "A-flight-plain",
         }
         assert all(RULES.values())
 

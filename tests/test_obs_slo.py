@@ -1,0 +1,234 @@
+"""SLO reducer, breach state machine, and incident-attribution tests.
+
+The reducers are deterministic functions of (sim time, value) streams,
+so two identically-fed trackers must emit byte-identical breach events —
+that invariant is what lets the fleet determinism harness digest the
+flight log.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import FlightRecorder
+from repro.obs.slo import (
+    SLO_LATENCY_MULTIPLE,
+    Ewma,
+    SimWindow,
+    SloBoard,
+    SloPolicy,
+    SloTracker,
+    build_health_document,
+    build_incidents,
+    default_job_policy,
+    merge_incident_reports,
+)
+
+
+class TestReducers:
+    def test_ewma_converges_and_zscores(self):
+        ewma = Ewma(alpha=0.5)
+        for value in (10.0, 10.0, 10.0, 10.0):
+            ewma.update(value)
+        assert ewma.mean == pytest.approx(10.0)
+        assert ewma.zscore(10.0) == pytest.approx(0.0, abs=1e-6)
+        # A far outlier scores high once variance is non-degenerate.
+        ewma.update(14.0)
+        assert ewma.zscore(20.0) > 2.0
+
+    def test_ewma_alpha_validated(self):
+        with pytest.raises(ValueError):
+            Ewma(alpha=0.0)
+
+    def test_window_prunes_prefix_and_quantiles(self):
+        window = SimWindow(window=10.0)
+        for i in range(20):
+            window.add(float(i), float(i))
+        assert len(window) == 11
+        assert window.values() == [float(i) for i in range(9, 20)]
+        assert window.quantile(0.99) == 19.0
+        assert window.quantile(0.0) == 9.0
+        assert window.mean() == pytest.approx(14.0)
+
+    def test_deterministic_across_two_seeded_runs(self):
+        from repro.sim.rng import RngStream
+
+        def run():
+            rng = RngStream(23, "slo-test")
+            tracker = SloTracker(
+                "job:x", SloPolicy(latency_p99_ceiling=1.5))
+            emitted = []
+            for i in range(200):
+                value = 1.0 + rng.random()
+                emitted.extend(tracker.observe(i * 0.1, "latency", value))
+            return json.dumps(emitted, sort_keys=True)
+
+        assert run() == run()
+
+
+class TestPolicy:
+    def test_default_job_policy_anchors_on_isolated_baseline(self):
+        policy = default_job_policy(2.0)
+        assert policy.goodput_floor == pytest.approx(0.3)
+        assert policy.latency_p99_ceiling == pytest.approx(2.5)
+        assert policy.admission_wait_budget == 30.0
+
+    def test_degenerate_baseline_keeps_wait_budget_only(self):
+        policy = default_job_policy(None)
+        assert policy.goodput_floor is None
+        assert policy.admission_wait_budget == 30.0
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(KeyError):
+            SloPolicy().limit("temperature")
+
+
+class TestTracker:
+    def test_breach_then_recover_emits_paired_events(self):
+        flight = FlightRecorder()
+        tracker = SloTracker(
+            "job:a", SloPolicy(retx_rate_ceiling=0.1), flight=flight,
+            alpha=1.0)  # alpha=1: the EWMA is the raw value
+        assert tracker.observe(0.0, "retx_rate", 0.01) == []
+        events = tracker.observe(1.0, "retx_rate", 0.5)
+        assert [e["kind"] for e in events] == ["slo-breach"]
+        assert tracker.breached("retx_rate")
+        # Still breaching: no duplicate event.
+        assert tracker.observe(2.0, "retx_rate", 0.4) == []
+        events = tracker.observe(5.0, "retx_rate", 0.0)
+        assert [e["kind"] for e in events] == ["slo-recover"]
+        assert events[0]["payload"]["breach_seconds"] == pytest.approx(4.0)
+        assert not tracker.breached()
+        assert [e["kind"] for e in flight.events()] == [
+            "slo-breach", "slo-recover"]
+
+    def test_goodput_floor_is_breach_when_below(self):
+        tracker = SloTracker(
+            "job:b", SloPolicy(goodput_floor=1.0), alpha=1.0)
+        assert tracker.observe(0.0, "goodput", 2.0) == []
+        events = tracker.observe(1.0, "goodput", 0.5)
+        assert events and events[0]["payload"]["ratio"] == pytest.approx(2.0)
+
+    def test_snapshot_reports_peaks_and_counts(self):
+        tracker = SloTracker(
+            "job:c", SloPolicy(latency_p99_ceiling=1.0), alpha=1.0)
+        tracker.observe(0.0, "latency", 3.0)
+        snap = tracker.snapshot()
+        assert snap["breached"]
+        state = snap["metrics"]["latency"]
+        assert state["breaches"] == 1
+        assert state["peak_ratio"] == pytest.approx(3.0)
+
+    def test_unlimited_metric_never_breaches(self):
+        tracker = SloTracker("job:d", SloPolicy())
+        assert tracker.observe(0.0, "latency", 99.0) == []
+        assert not tracker.breached()
+
+
+class TestBoard:
+    def test_requires_policy_on_first_touch(self):
+        board = SloBoard()
+        with pytest.raises(KeyError):
+            board.tracker("job:x")
+        board.tracker("job:x", SloPolicy(latency_p99_ceiling=1.0))
+        assert "job:x" in board
+        assert board.entities() == ["job:x"]
+
+    def test_breached_entities_in_registration_order(self):
+        board = SloBoard()
+        for name in ("job:b", "job:a"):
+            board.tracker(name, SloPolicy(latency_p99_ceiling=1.0))
+        board.observe(0.0, "job:a", "latency", 5.0)
+        board.observe(0.0, "job:b", "latency", 5.0)
+        assert board.breached_entities() == ["job:b", "job:a"]
+        assert board.snapshot()["breached"] == 2
+
+
+def _fault_log():
+    """A hand-built flight log: fault at t=10, heal at t=20, one victim
+    breaching inside the window and recovering, one breach far outside."""
+    flight = FlightRecorder()
+    flight.record(10.0, "cluster", "link-fail", entity="link-0", duration=10.0)
+    flight.record(11.0, "cluster", "congestion-epoch", running=3)
+    flight.record(12.0, "slo", "slo-breach", entity="job:victim",
+                  severity="warn", metric="latency", ratio=1.8)
+    flight.record(18.0, "slo", "slo-recover", entity="job:victim",
+                  metric="latency", breach_seconds=6.0)
+    flight.record(20.0, "cluster", "link-heal", entity="link-0")
+    flight.record(90.0, "slo", "slo-breach", entity="job:later",
+                  severity="warn", metric="goodput", ratio=1.2)
+    return flight
+
+
+class TestIncidents:
+    def test_attribution_window_and_recovery(self):
+        incidents = build_incidents(_fault_log().events(), grace=5.0)
+        assert len(incidents) == 1
+        incident = incidents[0]
+        assert incident["fault"]["kind"] == "link-fail"
+        assert incident["fault"]["healed_t"] == 20.0
+        assert incident["fault"]["duration"] == pytest.approx(10.0)
+        assert incident["window"] == {"start": 10.0, "end": 25.0}
+        assert incident["congestion_epochs"] == 1
+        affected = incident["affected"]
+        assert [entry["entity"] for entry in affected] == ["job:victim"]
+        assert affected[0]["impact"] == pytest.approx(1.8)
+        assert affected[0]["metrics"] == ["latency"]
+        assert affected[0]["recovery_seconds"] == pytest.approx(8.0)
+
+    def test_job_completion_clears_impact(self):
+        flight = FlightRecorder()
+        flight.record(0.0, "net", "path-down", entity="p", severity="error")
+        flight.record(1.0, "slo", "slo-breach", entity="job:x",
+                      metric="goodput", ratio=1.5)
+        flight.record(4.0, "cluster", "job-complete", entity="job:x")
+        incidents = build_incidents(flight.events())
+        entry = incidents[0]["affected"][0]
+        assert entry["recovery_seconds"] == pytest.approx(4.0)
+
+    def test_unhealed_fault_window_runs_to_log_end(self):
+        flight = FlightRecorder()
+        flight.record(5.0, "cluster", "link-fail", entity="l")
+        flight.record(50.0, "slo", "slo-breach", entity="job:x",
+                      metric="latency", ratio=1.1)
+        incidents = build_incidents(flight.events(), grace=2.0)
+        assert incidents[0]["fault"]["healed_t"] is None
+        assert incidents[0]["window"]["end"] == 52.0
+        assert incidents[0]["affected"][0]["recovery_seconds"] is None
+
+    def test_empty_log_is_no_incidents(self):
+        assert build_incidents([]) == []
+
+    def test_merge_annotates_sources_in_order(self):
+        incidents = build_incidents(_fault_log().events())
+        merged = merge_incident_reports([
+            ("run/a", incidents), ("run/b", []), ("run/c", incidents),
+        ])
+        assert [entry["source"] for entry in merged] == ["run/a", "run/c"]
+        # Merging never mutates the inputs.
+        assert "source" not in incidents[0]
+
+
+class TestHealthDocument:
+    def test_document_shape(self):
+        flight = _fault_log()
+        board = SloBoard(flight=flight)
+        board.tracker(
+            "tenant:t", SloPolicy(latency_p99_ceiling=SLO_LATENCY_MULTIPLE))
+        document = build_health_document(
+            {"jobs_completed": 2}, [{"job": "a"}],
+            board=board, flight=flight)
+        assert document["generator"] == "repro.obs.slo"
+        assert document["fleet"]["jobs_completed"] == 2
+        assert document["jobs"] == [{"job": "a"}]
+        assert document["slo"]["entities"] == 1
+        assert len(document["incidents"]) == 1
+        assert document["flight"]["digest"] == flight.digest()
+        assert document["flight"]["recorded"] == flight.recorded
+        json.dumps(document)  # must be JSON-plain end to end
+
+    def test_document_without_instrumentation(self):
+        document = build_health_document({}, [])
+        assert document["slo"] == {}
+        assert document["incidents"] == []
+        assert document["flight"] == {}

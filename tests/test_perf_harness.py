@@ -98,9 +98,23 @@ class TestSuite:
     def test_kernel_registry_matches_issue_suite(self):
         assert set(KERNELS) == {
             "scheduler_churn", "scheduler_cancel", "packet_fig9",
-            "packet_fig11", "fluid_allreduce_512", "fleet_churn",
-            "runner_fanout",
+            "packet_fig11", "flight_overhead", "fluid_allreduce_512",
+            "fleet_churn", "runner_fanout",
         }
+
+    def test_flight_overhead_kernel_modes_do_identical_work(self):
+        # The overhead gate's correctness half: attaching a recorder to
+        # the lossy fig11 ring must not change the scheduler's work.
+        out = KERNELS["flight_overhead"].fn(smoke=True)
+        meta = out["meta"]
+        assert meta["disabled_events"] == meta["enabled_events"]
+        assert out["events"] == 2 * meta["disabled_events"]
+        assert meta["flight_recorded"] > 0
+        assert meta["flight_dropped"] == 0
+        # Deterministic: a second run does the same work.
+        again = KERNELS["flight_overhead"].fn(smoke=True)
+        assert again["events"] == out["events"]
+        assert again["meta"]["flight_recorded"] == meta["flight_recorded"]
 
     def test_runner_fanout_modes_agree_on_events(self, monkeypatch):
         # The fan-out kernel must do bit-identical work inline and pooled
@@ -223,3 +237,27 @@ class TestRegressionGate:
             "runner_fanout speedup %.2fx below the 2x acceptance gate"
             % ratios["runner_fanout"]
         )
+
+    def test_flight_overhead_gate_is_recorded_in_shipped_bench(self):
+        # PR 6 acceptance gate: the flight-recorder hooks may cost the
+        # disabled path at most 5%.  'pr6-flight-pre' predates the hooks;
+        # 'pr6-flight-post' carries them with flight=None on the fig11
+        # kernel, so the normalized packet_fig11 ratio bounds the
+        # disabled-path overhead.
+        data = load_bench("BENCH_perf.json")
+        pre = find_baseline(data, "full", label="pr6-flight-pre")
+        post = find_baseline(data, "full", label="pr6-flight-post")
+        if pre is None or post is None:
+            pytest.skip("bench history not recorded in this checkout")
+        ratios = dict((k, r) for k, r, _ in check_regression(post, pre))
+        assert ratios["packet_fig11"] >= 0.95, (
+            "disabled-path flight overhead %.1f%% exceeds the 5%% budget"
+            % (100.0 * (1.0 - ratios["packet_fig11"]))
+        )
+        overhead = post["kernels"]["flight_overhead"]
+        assert (overhead["meta"]["disabled_events"]
+                == overhead["meta"]["enabled_events"])
+        # Same-entry sanity: the off+on kernel's throughput tracks the
+        # plain fig11 kernel's (no per-packet recording cost).
+        fig11 = post["kernels"]["packet_fig11"]
+        assert overhead["events_per_sec"] >= 0.9 * fig11["events_per_sec"]

@@ -21,7 +21,7 @@ def _report(rows):
 class TestBuilders:
     def test_registry_names(self):
         assert list(SUITES) == [
-            "figures", "figures-smoke", "determinism", "perf",
+            "figures", "figures-smoke", "determinism", "health", "perf",
         ]
         for suite in SUITES.values():
             keys = [s.key for s in suite.build()]
