@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint simlint bench bench-smoke perf perf-smoke figures figures-smoke tour examples all clean
+.PHONY: install test lint simlint simlint-json simlint-sarif bench bench-smoke perf perf-smoke figures figures-smoke tour examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -20,11 +20,23 @@ lint:
 		$(PYTHON) -m compileall -q src tests benchmarks examples; \
 	fi
 
-# Determinism & layering linter (README "Determinism guarantees &
-# simlint").  Pure-stdlib ast, so unlike ruff it needs no fallback and
-# always runs, even in the dependency-frozen container.
+# Determinism & layering linter (README "Static analysis: simlint").
+# Pure-stdlib ast, so unlike ruff it needs no fallback and always runs,
+# even in the dependency-frozen container.  Whole-program since v2: the
+# per-file rules plus call-graph taint propagation (D-taskpure-deep,
+# D-sim-pure) and the export audit (L-api-drift), behind an incremental
+# cache (.simlint_cache.json) so warm runs re-parse nothing.
 simlint:
-	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.lint src tests benchmarks
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.lint
+
+simlint-json:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.lint --format=json
+
+# CI uploads this as a workflow artifact; any SARIF 2.1.0 consumer
+# (GitHub code scanning, IDE viewers) can ingest it.
+simlint-sarif:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.lint --format=sarif \
+		--output simlint.sarif
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

@@ -32,10 +32,13 @@ PVDMA_BLOCK_BYTES = 2 * MiB
 #: Device-register direct mappings use 4 KiB pages (Section 5).
 DOORBELL_PAGE_BYTES = 4 * KiB
 
+# Several anchors below are not consumed by any model yet: they are
+# retained as the machine-readable record of the paper's numbers and
+# carry explicit L-api-drift waivers instead of being deleted.
 #: Cost of one IOMMU map/pin call.  Dominated by hypervisor/IOMMU
 #: interaction; calibrated so that full-pin of 1.6 TB in 2 MiB blocks
 #: reproduces the paper's 390 s (390 s / (1.6 TB / 2 MiB) ~= 465 us).
-IOMMU_PIN_CALL_SECONDS = PIN_SECONDS_PER_BYTE * PVDMA_BLOCK_BYTES
+IOMMU_PIN_CALL_SECONDS = PIN_SECONDS_PER_BYTE * PVDMA_BLOCK_BYTES  # simlint: ok L-api-drift
 
 #: Figure 6 sweep points for container memory sizes.
 FIG6_MEMORY_POINTS_BYTES = (16 * GB, 160 * GB, int(1.6e12))
@@ -50,8 +53,8 @@ STARTUP_SPEEDUP_MIN = 15.0
 
 #: "each VF claims 63 virtual queues of 5000 MTU messages each, consuming
 #: 2.4 GB of memory in total."
-VF_QUEUE_COUNT = 63
-VF_QUEUE_MTU_BYTES = 5000
+VF_QUEUE_COUNT = 63  # simlint: ok L-api-drift
+VF_QUEUE_MTU_BYTES = 5000  # simlint: ok L-api-drift
 VF_MEMORY_BYTES = int(2.4 * 1e9)
 
 #: "each PCIe switch can only accommodate 32 BDFs" on the problem server.
@@ -62,7 +65,7 @@ SERVER_GPUS = 8
 SERVER_RNICS = 4
 SERVER_PCIE_SWITCHES = 4
 RNIC_PORTS = 2
-RNIC_PORT_GBPS = 200.0
+RNIC_PORT_GBPS = 200.0  # simlint: ok L-api-drift
 RNIC_PORT_RATE = Gbps(RNIC_PORT_GBPS)
 RNIC_TOTAL_RATE = Gbps(RNIC_PORT_GBPS * RNIC_PORTS)
 
@@ -87,8 +90,8 @@ GDR_RC_ROUTED_RATE = Gbps(141.0)
 #: covers the working set; ATC-miss regime drops to ~170 Gbps; when IOTLB
 #: also thrashes (>32 MB messages) it drops to ~150 Gbps.
 CX6_GDR_PEAK_RATE = Gbps(190.0)
-CX6_GDR_ATC_MISS_RATE = Gbps(170.0)
-CX6_GDR_IOTLB_MISS_RATE = Gbps(150.0)
+CX6_GDR_ATC_MISS_RATE = Gbps(170.0)  # simlint: ok L-api-drift
+CX6_GDR_IOTLB_MISS_RATE = Gbps(150.0)  # simlint: ok L-api-drift
 
 #: GDR page size used in the Figure 8 worst-case experiment.
 GDR_PAGE_BYTES = 4 * KiB
@@ -147,24 +150,24 @@ FIG12_PATH_COUNTS = (4, 8, 16, 32, 64, 128, 256)
 
 #: AllReduce bus bandwidth target per server: "fully utilize the RNIC's
 #: bandwidth (50 GB/s)" (Figure 10a).
-ALLREDUCE_BUS_BANDWIDTH_TARGET_BYTES = 50 * GB
+ALLREDUCE_BUS_BANDWIDTH_TARGET_BYTES = 50 * GB  # simlint: ok L-api-drift
 
 #: Abstract headline: switch queue length reduced by ~90%.
-QUEUE_LENGTH_REDUCTION_TARGET = 0.90
+QUEUE_LENGTH_REDUCTION_TARGET = 0.90  # simlint: ok L-api-drift
 
 # ---------------------------------------------------------------------------
 # End-to-end training (Section 8.2, Figures 15-16, Table 1)
 # ---------------------------------------------------------------------------
 
 #: Figure 16a: reranked placement, Stellar beats CX7 SOTA by 0.72% average.
-FIG16_RERANKED_MEAN_GAIN = 0.0072
+FIG16_RERANKED_MEAN_GAIN = 0.0072  # simlint: ok L-api-drift
 
 #: Figure 16b: random placement, ~6% average and up to 14% max gain.
-FIG16_RANDOM_MEAN_GAIN = 0.06
+FIG16_RANDOM_MEAN_GAIN = 0.06  # simlint: ok L-api-drift
 FIG16_RANDOM_MAX_GAIN = 0.14
 
 #: Abstract headline: average training speed improved by 14% (max).
-TRAINING_SPEEDUP_MAX = 0.14
+TRAINING_SPEEDUP_MAX = 0.14  # simlint: ok L-api-drift
 
 # ---------------------------------------------------------------------------
 # Address-translation micro-costs (used by the GDR cost models)

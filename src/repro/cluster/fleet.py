@@ -58,7 +58,7 @@ CONNECTION_STRIDE = 4096
 
 #: Floor on measured per-GPU bandwidth — max-min fairness never starves a
 #: flow completely, and iteration times must stay finite.
-MIN_DP_BANDWIDTH = 1e7
+_MIN_DP_BANDWIDTH = 1e7
 
 
 def quantile(values, q):
@@ -541,7 +541,7 @@ class FleetSimulation:
     def _per_gpu_bandwidth(self, job, task):
         per_host_gpus = max(1.0, job.spec.gpus / len(job.unique_hosts()))
         per_gpu = task.bus_bandwidth_bytes() * self.topology.rails / per_host_gpus
-        return max(per_gpu * self.failure_penalty(job), MIN_DP_BANDWIDTH)
+        return max(per_gpu * self.failure_penalty(job), _MIN_DP_BANDWIDTH)
 
     def _iteration_seconds(self, job, dp_bandwidth):
         breakdown = self.trainer.train(
@@ -568,7 +568,7 @@ class FleetSimulation:
         per_host_gpus = max(1.0, job.spec.gpus / len(job.unique_hosts()))
         per_gpu = max(
             task.bus_bandwidth_bytes() * self.topology.rails / per_host_gpus,
-            MIN_DP_BANDWIDTH,
+            _MIN_DP_BANDWIDTH,
         )
         return self._iteration_seconds(job, per_gpu)
 

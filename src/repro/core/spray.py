@@ -253,7 +253,9 @@ class FlowletSelector(PathSelector):
 
 
 @PathSelector.register("path_aware")
-class PathAwareSelector(PathSelector):
+# Wired through the selector registry: consumers instantiate it via
+# make_selector("path_aware"), never by importing the class name.
+class PathAwareSelector(PathSelector):  # simlint: ok L-api-drift
     """A path-aware sprayer in the SMaRTT-REPS / STrack family (Section 9).
 
     Recently-successful paths are cached and reused; congested paths are

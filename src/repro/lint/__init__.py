@@ -3,11 +3,26 @@
 Static enforcement of the contracts :mod:`repro.sim` promises at
 runtime: one sanctioned randomness source, no wall-clock reads in
 simulation code, an explicit import DAG, and plain-data ``snapshot()``
-exports.  See :mod:`repro.lint.rules` for the rule catalogue and the
-``# simlint: ok <rule>`` waiver syntax; :class:`repro.sim.SimSanitizer`
+exports.  See :mod:`repro.lint.rules` for the per-file rule catalogue
+and the ``# simlint: ok <rule>`` waiver syntax.
+
+Since v2 the linter is whole-program: :mod:`repro.lint.callgraph`
+indexes every module and builds a conservative static call graph,
+:mod:`repro.lint.purity` propagates determinism taint over it to a
+fixed point (``D-taskpure-deep``, ``D-sim-pure``, ``L-api-drift``), and
+:mod:`repro.lint.engine` drives both layers behind an incremental
+per-file cache keyed on source digests.  :mod:`repro.lint.report`
+renders text, JSON, and SARIF 2.1.0.  :class:`repro.sim.SimSanitizer`
 is the runtime half of the same contract.
 """
 
+from repro.lint.engine import (
+    DEFAULT_CACHE_PATH,
+    LintReport,
+    lint_project,
+    lint_sources,
+)
+from repro.lint.report import render, sarif_document
 from repro.lint.rules import (
     RULES,
     Violation,
@@ -21,13 +36,19 @@ from repro.lint.rules import (
 )
 
 __all__ = [
+    "DEFAULT_CACHE_PATH",
+    "LintReport",
     "RULES",
     "Violation",
     "iter_python_files",
     "layer_violation",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "lint_source",
+    "lint_sources",
     "module_name_for",
     "parse_waivers",
+    "render",
+    "sarif_document",
 ]

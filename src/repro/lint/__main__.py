@@ -1,25 +1,64 @@
 """``python -m repro.lint [paths...]`` — run simlint and report violations.
 
 Exit status 0 when the tree is clean, 1 when any rule fires (CI gates on
-this), 2 on usage errors.  With no paths, lints the repo's default
-trio: ``src tests benchmarks``.
+this), 2 on usage errors.  With no paths, lints the repo's default trio
+``src tests benchmarks`` and feeds ``examples`` to the ``L-api-drift``
+reference pool.  ``--format`` selects ``text`` (default), ``json``, or
+``sarif`` (2.1.0, for CI annotation); ``--list-rules`` prints the full
+rule catalogue straight from :data:`repro.lint.rules.RULES` — per-file
+and whole-program rules alike — in the same three formats.
+
+The incremental cache (``--cache``, default ``.simlint_cache.json``) is
+keyed on per-file source digests plus the lint package's own source
+closure; a warm run on an unchanged tree re-parses nothing.  Disable it
+with ``--no-cache``, or rebuild it from scratch with ``--refresh``.
 """
 
 import argparse
+import json
 import os
 import sys
 
-from repro.lint import RULES, iter_python_files, lint_paths
-
+from repro.lint.engine import DEFAULT_CACHE_PATH, lint_project
+from repro.lint.report import render
+from repro.lint.rules import RULES
 
 DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+#: Reference-only paths: parsed for the names they use (L-api-drift),
+#: never linted themselves.
+DEFAULT_REFERENCE_PATHS = ("examples",)
+
+
+def _emit(text, output):
+    if output is None:
+        sys.stdout.write(text)
+        return
+    with open(output, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def _list_rules(fmt, output):
+    if fmt == "text":
+        width = max(len(rule) for rule in RULES)
+        lines = [
+            "%-*s  %s" % (width, rule, RULES[rule])
+            for rule in sorted(RULES)
+        ]
+        lines.append("%d rules" % len(RULES))
+        _emit("\n".join(lines) + "\n", output)
+    else:
+        # json and sarif callers both want the machine catalogue.
+        payload = {"rules": {rule: RULES[rule] for rule in sorted(RULES)}}
+        _emit(json.dumps(payload, indent=2, sort_keys=True) + "\n", output)
+    return 0
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="simlint: determinism & layering linter for the "
-                    "Stellar reproduction",
+        description="simlint: whole-program determinism & layering linter "
+                    "for the Stellar reproduction",
     )
     parser.add_argument(
         "paths", nargs="*",
@@ -28,15 +67,41 @@ def main(argv=None):
     )
     parser.add_argument(
         "--list-rules", action="store_true",
-        help="print the rule catalogue and exit",
+        help="print the rule catalogue (honours --format) and exit 0",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    parser.add_argument(
+        "--no-deep", action="store_true",
+        help="per-file rules only; skip the call-graph purity analysis",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the incremental lint cache",
+    )
+    parser.add_argument(
+        "--refresh", action="store_true",
+        help="ignore the existing cache but write a fresh one",
+    )
+    parser.add_argument(
+        "--cache", metavar="PATH", default=DEFAULT_CACHE_PATH,
+        help="incremental cache location (default: %s)" % DEFAULT_CACHE_PATH,
+    )
+    parser.add_argument(
+        "--refs", metavar="PATH", action="append", default=None,
+        help="extra reference-only paths for L-api-drift (default: %s)"
+             % " ".join(DEFAULT_REFERENCE_PATHS),
     )
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        width = max(len(rule) for rule in RULES)
-        for rule in sorted(RULES):
-            print("%-*s  %s" % (width, rule, RULES[rule]))
-        return 0
+        return _list_rules(args.format, args.output)
 
     paths = args.paths or [p for p in DEFAULT_PATHS if os.path.exists(p)]
     missing = [p for p in paths if not os.path.exists(p)]
@@ -44,20 +109,27 @@ def main(argv=None):
         parser.error("no such path: %s" % ", ".join(missing))
     if not paths:
         parser.error("nothing to lint (run from the repo root or pass paths)")
+    reference_paths = args.refs if args.refs is not None else [
+        p for p in DEFAULT_REFERENCE_PATHS if os.path.exists(p)
+    ]
+    missing_refs = [p for p in reference_paths if not os.path.exists(p)]
+    if missing_refs:
+        parser.error("no such path: %s" % ", ".join(missing_refs))
 
-    file_count = sum(1 for _ in iter_python_files(paths))
-    violations = lint_paths(paths)
-    for violation in violations:
-        print("%s:%d:%d: %s %s" % (
-            violation.path, violation.line, violation.col,
-            violation.rule, violation.message,
-        ))
-    if violations:
-        print("simlint: %d violation(s) in %d file(s)"
-              % (len(violations), file_count))
-        return 1
-    print("simlint: clean (%d files)" % file_count)
-    return 0
+    if args.refresh:
+        try:
+            os.remove(args.cache)
+        except OSError:
+            pass
+    report = lint_project(
+        paths,
+        deep=not args.no_deep,
+        cache_path=args.cache,
+        use_cache=not args.no_cache,
+        reference_paths=reference_paths,
+    )
+    _emit(render(report, args.format), args.output)
+    return 0 if report.clean else 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,772 @@
+"""Whole-program module index and conservative static call graph.
+
+The per-file rules in :mod:`repro.lint.rules` stop at a module boundary:
+a ``@task`` callable that calls a helper which calls ``time.time()`` two
+modules away sails straight through ``D-taskpure``.  This module builds
+the cross-file half of simlint: every linted file is reduced to a
+JSON-plain **summary** (functions, raw call sites, taint sites, classes,
+imports, public names, referenced names), and a :class:`ProjectIndex`
+resolves the raw call sites into a conservative call graph that
+:mod:`repro.lint.purity` runs its fixed-point taint propagation over.
+
+Resolution is deliberately *under*-approximate — an edge exists only
+when the target is statically knowable:
+
+* bare-name calls to module-level functions and ``from``-imported names;
+* dotted calls through ``import a.b [as c]`` aliases;
+* ``self.method()`` within a class, walking statically-known bases;
+* ``self.attr.method()`` / ``var.method()`` when the attribute or local
+  was assigned ``ClassName(...)`` in the same class or function;
+* ``ClassName(...)`` construction (an edge to ``__init__``);
+* ``functools.partial(fn, ...)`` and the three ``EventScheduler``
+  registration verbs (``schedule``/``schedule_call``/``schedule_at``),
+  whose callback argument becomes an edge *and* a sim-purity root.
+
+Anything else (callables in containers, parameters of unknown type,
+``getattr``) resolves to nothing — so the deep rules can miss taints,
+but a reported taint chain is always a real static path.  Summaries are
+plain dicts on purpose: the incremental cache in
+:mod:`repro.lint.engine` persists them per file, keyed on the source
+digest, so a warm run rebuilds the graph without re-parsing anything.
+"""
+
+import ast
+import os
+
+from repro.lint.rules import (
+    RANDOM_MODULES,
+    WALLCLOCK_CALLS,
+    WALLCLOCK_IMPORTS,
+    dotted_name,
+    module_name_for,
+)
+
+#: Bump when the summary shape changes — invalidates cached summaries.
+SUMMARY_SCHEMA = "simlint-summary-v1"
+
+#: Scheduler registration verbs whose second argument is a callback.
+SCHEDULE_VERBS = frozenset({"schedule", "schedule_call", "schedule_at"})
+
+#: Mutating method names that turn a module-level receiver into a
+#: MUTATES-GLOBAL taint site.
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear", "add",
+    "discard", "update", "setdefault", "popitem", "appendleft",
+})
+
+
+def deep_module_name(path):
+    """Dotted module name for the call graph, never ``None``.
+
+    ``repro.*`` files use the real package name; everything else (tests,
+    benchmarks, fixtures) derives one from the relative path, so
+    ``tests/runner_task_fixtures.py`` is addressable as
+    ``tests.runner_task_fixtures`` and cross-file imports inside the
+    test tree resolve too.
+    """
+    module = module_name_for(path)
+    if module is not None:
+        return module
+    parts = list(os.path.normpath(path).split(os.sep))
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part not in ("", ".", ".."))
+
+
+def _resolve_relative(module, node):
+    """Absolute dotted module for an ``ImportFrom`` (handles relative)."""
+    if node.level == 0:
+        return node.module
+    base = module.split(".")
+    base = base[:len(base) - node.level] if len(base) >= node.level else []
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else node.module
+
+
+def _collect_imports(module, tree):
+    """``alias -> ["mod", dotted]`` or ``["from", module, name]``."""
+    imports = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = ["mod", alias.name]
+                else:
+                    root = alias.name.split(".", 1)[0]
+                    imports.setdefault(root, ["mod", root])
+        elif isinstance(node, ast.ImportFrom):
+            target = _resolve_relative(module, node)
+            if target is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports[alias.asname or alias.name] = [
+                    "from", target, alias.name,
+                ]
+    return imports
+
+
+def _module_level_names(tree):
+    """All names bound at module level (defs, classes, assignments)."""
+    names = set()
+
+    def add_target(target):
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                add_target(element)
+        elif isinstance(target, ast.Starred):
+            add_target(target.value)
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                add_target(target)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            add_target(node.target)
+    return names
+
+
+def _walk_shallow(node):
+    """Yield descendants of ``node`` without entering nested defs/lambdas.
+
+    Nested functions and lambdas become their own graph nodes (with an
+    implicit parent edge), so the enclosing function's taints and calls
+    must not double-count their bodies.
+    """
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+class _FunctionExtractor:
+    """Reduce one function body to raw calls, callbacks, and taint sites."""
+
+    def __init__(self, summary_builder, fn_node, qualname, cls):
+        self.builder = summary_builder
+        self.fn = fn_node
+        self.qualname = qualname
+        self.cls = cls
+        self.calls = []
+        self.callbacks = []
+        self.taints = []
+        self.local_types = {}
+        self.children = []
+        self._bound = self._bound_names()
+
+    def _bound_names(self):
+        fn = self.fn
+        args = fn.args
+        bound = {
+            arg.arg for arg in (
+                list(getattr(args, "posonlyargs", []))
+                + list(args.args) + list(args.kwonlyargs)
+            )
+        }
+        for vararg in (args.vararg, args.kwarg):
+            if vararg is not None:
+                bound.add(vararg.arg)
+        for sub in _walk_shallow(fn):
+            if isinstance(sub, ast.Name) and isinstance(
+                sub.ctx, (ast.Store, ast.Del)
+            ):
+                bound.add(sub.id)
+            elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                bound.add(sub.name)
+            elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                for alias in sub.names:
+                    bound.add((alias.asname or alias.name).split(".", 1)[0])
+        return bound
+
+    # -- raw call references ---------------------------------------------
+
+    def _callable_ref(self, node):
+        """Normalize an expression naming a callable, or ``None``."""
+        if isinstance(node, ast.Name):
+            return {"k": "name", "n": node.id}
+        if isinstance(node, ast.Attribute):
+            dotted = dotted_name(node)
+            if dotted is None:
+                return None
+            parts = dotted.split(".")
+            if parts[0] == "self" and self.cls is not None:
+                if len(parts) == 2:
+                    return {"k": "self", "n": parts[1]}
+                if len(parts) == 3:
+                    return {"k": "selfattr", "a": parts[1], "n": parts[2]}
+                return None
+            if len(parts) == 2 and parts[0] in self.local_types:
+                return {
+                    "k": "vattr", "t": self.local_types[parts[0]],
+                    "n": parts[1],
+                }
+            return {"k": "dotted", "n": dotted}
+        return None
+
+    @staticmethod
+    def _is_partial(func):
+        if isinstance(func, ast.Name):
+            return func.id == "partial"
+        if isinstance(func, ast.Attribute):
+            return func.attr == "partial"
+        return False
+
+    def _record_callback(self, node, line):
+        """An expression registered as a scheduler callback."""
+        if isinstance(node, ast.Call) and self._is_partial(node.func):
+            if node.args:
+                self._record_callback(node.args[0], line)
+            return
+        if isinstance(node, ast.Lambda):
+            # The lambda body already became a child node; mark it.
+            for child in self.children:
+                if child.get("lambda_line") == node.lineno and \
+                        child.get("lambda_col") == node.col_offset:
+                    child["is_callback"] = True
+            return
+        ref = self._callable_ref(node)
+        if ref is not None:
+            ref["line"] = line
+            self.callbacks.append(ref)
+
+    def _record_call(self, node):
+        func = node.func
+        if self._is_partial(func) and node.args:
+            ref = self._callable_ref(node.args[0])
+            if ref is not None:
+                ref["line"] = node.lineno
+                self.calls.append(ref)
+            return
+        if isinstance(func, ast.Attribute) and func.attr in SCHEDULE_VERBS:
+            if len(node.args) >= 2:
+                self._record_callback(node.args[1], node.lineno)
+        ref = self._callable_ref(func)
+        if ref is not None:
+            ref["line"] = node.lineno
+            self.calls.append(ref)
+
+    # -- taint sites ------------------------------------------------------
+
+    def _taint(self, kind, detail, node):
+        self.taints.append({
+            "kind": kind, "detail": detail, "line": node.lineno,
+        })
+
+    def _check_attribute_taints(self, node):
+        dotted = dotted_name(node)
+        if dotted is None:
+            return
+        root = dotted.split(".", 1)[0]
+        if (
+            root in RANDOM_MODULES
+            or dotted.startswith(("np.random.", "numpy.random."))
+            or dotted in ("np.random", "numpy.random", "os.urandom")
+        ):
+            self._taint("rng", dotted, node)
+        elif dotted in WALLCLOCK_CALLS:
+            self._taint("wallclock", dotted, node)
+
+    def _check_name_call_taints(self, node):
+        """Bare calls whose name was ``from``-imported from time/random."""
+        func = node.func
+        if not isinstance(func, ast.Name):
+            return
+        target = self.builder.imports.get(func.id)
+        if target is None or target[0] != "from":
+            return
+        _, module, name = target
+        if module == "time" and name in WALLCLOCK_IMPORTS:
+            self._taint("wallclock", "time.%s" % name, node)
+        elif module.split(".", 1)[0] in RANDOM_MODULES:
+            self._taint("rng", "%s.%s" % (module, name), node)
+
+    def _check_global_mutation(self, node):
+        module_names = self.builder.module_names
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            self._taint(
+                "global", "%s %s" % (
+                    type(node).__name__.lower(), ", ".join(node.names),
+                ), node,
+            )
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                base = target
+                seen_container = False
+                while isinstance(base, (ast.Subscript, ast.Attribute)):
+                    seen_container = True
+                    base = base.value
+                if (
+                    seen_container and isinstance(base, ast.Name)
+                    and base.id in module_names
+                    and base.id not in self._bound
+                ):
+                    self._taint("global", "mutation of %s" % base.id, target)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATOR_METHODS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module_names
+                and func.value.id not in self._bound
+            ):
+                self._taint(
+                    "global", "%s.%s(...)" % (func.value.id, func.attr),
+                    node,
+                )
+
+    # -- local type inference ---------------------------------------------
+
+    def _note_assignment(self, node):
+        """``x = ClassName(...)`` and ``self.attr = ClassName(...)``."""
+        if not isinstance(node.value, ast.Call):
+            return
+        ref = self._callable_ref(node.value.func)
+        if ref is None or ref["k"] not in ("name", "dotted"):
+            return
+        type_name = ref["n"]
+        leaf = type_name.rsplit(".", 1)[-1]
+        if not leaf[:1].isupper():  # heuristic: classes are CapWords
+            return
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self.local_types[target.id] = type_name
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and self.cls is not None
+            ):
+                self.builder.class_attr_types.setdefault(
+                    self.cls, {},
+                ).setdefault(target.attr, type_name)
+
+    # -- driver -----------------------------------------------------------
+
+    def extract(self):
+        # Three passes over the shallow body: assignments first (so
+        # `x = C(); x.m()` resolves regardless of statement order), then
+        # nested defs/lambdas (so callback marking finds the child), then
+        # calls and taint sites.
+        for sub in _walk_shallow(self.fn):
+            if isinstance(sub, ast.Assign):
+                self._note_assignment(sub)
+        for sub in _walk_shallow(self.fn):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.children.append(self.builder.add_function(
+                    sub, "%s.<locals>.%s" % (self.qualname, sub.name),
+                    self.cls,
+                ))
+            elif isinstance(sub, ast.Lambda):
+                child = self.builder.add_lambda(sub, self.qualname, self.cls)
+                self.children.append(child)
+        for sub in _walk_shallow(self.fn):
+            if isinstance(sub, ast.Call):
+                self._record_call(sub)
+                self._check_name_call_taints(sub)
+                self._check_global_mutation(sub)
+            elif isinstance(sub, ast.Attribute):
+                self._check_attribute_taints(sub)
+            elif isinstance(sub, (ast.Global, ast.Nonlocal, ast.Assign,
+                                  ast.AugAssign)):
+                self._check_global_mutation(sub)
+        return self
+
+
+class _SummaryBuilder:
+    """One pass over a parsed module -> the JSON-plain file summary."""
+
+    def __init__(self, path, module, tree, waivers):
+        self.path = path
+        self.module = module
+        self.tree = tree
+        self.waivers = waivers
+        self.imports = _collect_imports(module, tree)
+        self.module_names = _module_level_names(tree)
+        self.functions = []
+        self.classes = {}
+        self.class_attr_types = {}
+
+    @staticmethod
+    def _is_task_decorator(decorator):
+        if isinstance(decorator, ast.Call):
+            decorator = decorator.func
+        if isinstance(decorator, ast.Name):
+            return decorator.id == "task"
+        if isinstance(decorator, ast.Attribute):
+            return decorator.attr == "task"
+        return False
+
+    def add_function(self, fn, qualname, cls):
+        extractor = _FunctionExtractor(self, fn, qualname, cls).extract()
+        waive_lines = sorted({fn.lineno} | {
+            d.lineno for d in fn.decorator_list
+        })
+        record = {
+            "qualname": qualname,
+            "cls": cls,
+            "line": fn.lineno,
+            "waive_lines": waive_lines,
+            "is_task": any(
+                self._is_task_decorator(d) for d in fn.decorator_list
+            ),
+            "is_callback": False,
+            "calls": extractor.calls,
+            "callbacks": extractor.callbacks,
+            "taints": extractor.taints,
+            "children": [child["qualname"] for child in extractor.children],
+        }
+        self.functions.append(record)
+        return record
+
+    def add_lambda(self, node, parent_qualname, cls):
+        qualname = "%s.<locals>.<lambda>@%d:%d" % (
+            parent_qualname, node.lineno, node.col_offset,
+        )
+        extractor = _FunctionExtractor(self, node, qualname, cls).extract()
+        record = {
+            "qualname": qualname,
+            "cls": cls,
+            "line": node.lineno,
+            "waive_lines": [node.lineno],
+            "is_task": False,
+            "is_callback": False,
+            "lambda_line": node.lineno,
+            "lambda_col": node.col_offset,
+            "calls": extractor.calls,
+            "callbacks": extractor.callbacks,
+            "taints": extractor.taints,
+            "children": [child["qualname"] for child in extractor.children],
+        }
+        self.functions.append(record)
+        return record
+
+    def _add_class(self, node):
+        bases = []
+        for base in node.bases:
+            dotted = dotted_name(base)
+            if dotted is not None:
+                bases.append(dotted)
+        methods = []
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.append(stmt.name)
+                self.add_function(
+                    stmt, "%s.%s" % (node.name, stmt.name), node.name,
+                )
+        self.classes[node.name] = {
+            "bases": bases,
+            "methods": methods,
+            "line": node.lineno,
+        }
+
+    def _public_names(self):
+        """Module-level public definitions -> def line."""
+        public = {}
+
+        def add_target(target, line):
+            if isinstance(target, ast.Name):
+                if not target.id.startswith("_"):
+                    public.setdefault(target.id, line)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    add_target(element, line)
+
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                if not node.name.startswith("_"):
+                    public.setdefault(node.name, node.lineno)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    add_target(target, node.lineno)
+            elif isinstance(node, ast.AnnAssign):
+                add_target(node.target, node.lineno)
+        public.pop("main", None)  # CLI entry convention
+        return public
+
+    def _referenced_names(self):
+        """Every identifier this file mentions (the L-api-drift pool).
+
+        Name loads, attribute names, imported names, and identifier
+        tokens inside string constants — the last so dotted-path
+        references like ``"repro.runner.tasks:startup_point"`` count as
+        usage of ``startup_point``.
+        """
+        import re as _re
+
+        refs = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                refs.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                refs.add(node.attr)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    refs.add(alias.name.rsplit(".", 1)[-1])
+                    if alias.asname:
+                        refs.add(alias.asname)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                if len(node.value) < 4096:
+                    refs.update(
+                        _re.findall(r"[A-Za-z_][A-Za-z0-9_]*", node.value)
+                    )
+        return sorted(refs)
+
+    def build(self):
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.add_function(node, node.name, None)
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(node)
+        for cls, attrs in self.class_attr_types.items():
+            if cls in self.classes:
+                self.classes[cls]["attrs"] = attrs
+        return {
+            "schema": SUMMARY_SCHEMA,
+            "path": self.path,
+            "module": self.module,
+            "real_module": module_name_for(self.path),
+            "imports": self.imports,
+            "functions": self.functions,
+            "classes": self.classes,
+            "public": self._public_names(),
+            "refs": self._referenced_names(),
+            "waivers": {
+                str(line): sorted(rules)
+                for line, rules in self.waivers.items()
+            },
+        }
+
+
+def summarize_tree(path, tree, waivers, module=None):
+    """Reduce a parsed module to its JSON-plain call-graph summary."""
+    if module is None:
+        module = deep_module_name(path)
+    return _SummaryBuilder(path, module, tree, waivers).build()
+
+
+class ProjectIndex:
+    """All file summaries, resolved into a call graph.
+
+    ``nodes`` maps ``"module:qualname"`` ids to node dicts carrying the
+    summary record plus a resolved ``edges`` list; ``tasks`` and
+    ``sim_roots`` are the entry-point sets the deep rules start from.
+    """
+
+    def __init__(self, summaries):
+        self.modules = {}
+        self.nodes = {}
+        self.stats = {"resolved_calls": 0, "unresolved_calls": 0}
+        for summary in summaries:
+            self.modules[summary["module"]] = summary
+            for record in summary["functions"]:
+                node_id = "%s:%s" % (summary["module"], record["qualname"])
+                self.nodes[node_id] = {
+                    "id": node_id,
+                    "module": summary["module"],
+                    "path": summary["path"],
+                    "record": record,
+                    "edges": [],
+                }
+        self.tasks = []
+        self.sim_roots = []
+        self._link()
+
+    # -- reference resolution --------------------------------------------
+
+    def _function_id(self, module, qualname):
+        node_id = "%s:%s" % (module, qualname)
+        return node_id if node_id in self.nodes else None
+
+    def _lookup_method(self, module, cls, method, depth=0):
+        if depth > 8:
+            return None
+        summary = self.modules.get(module)
+        if summary is None:
+            return None
+        klass = summary["classes"].get(cls)
+        if klass is None:
+            return None
+        if method in klass["methods"]:
+            return self._function_id(module, "%s.%s" % (cls, method))
+        for base in klass["bases"]:
+            target = self._resolve_class_ref(module, base)
+            if target is not None:
+                found = self._lookup_method(
+                    target[0], target[1], method, depth + 1,
+                )
+                if found is not None:
+                    return found
+        return None
+
+    def _resolve_class_ref(self, module, dotted):
+        """``(module, classname)`` for a raw class reference, or None."""
+        summary = self.modules.get(module)
+        if summary is None:
+            return None
+        parts = dotted.split(".")
+        if len(parts) == 1:
+            if dotted in summary["classes"]:
+                return (module, dotted)
+            target = summary["imports"].get(dotted)
+            if target is not None and target[0] == "from":
+                owner = self.modules.get(target[1])
+                if owner is not None and target[2] in owner["classes"]:
+                    return (target[1], target[2])
+            return None
+        absolute = self._expand_alias(summary, parts)
+        if absolute is None:
+            return None
+        for split in range(len(absolute) - 1, 0, -1):
+            owner_name = ".".join(absolute[:split])
+            owner = self.modules.get(owner_name)
+            if owner is not None and len(absolute) - split == 1:
+                if absolute[-1] in owner["classes"]:
+                    return (owner_name, absolute[-1])
+        return None
+
+    @staticmethod
+    def _expand_alias(summary, parts):
+        """Rewrite the leading segment through the import table."""
+        target = summary["imports"].get(parts[0])
+        if target is None:
+            return parts
+        if target[0] == "mod":
+            return target[1].split(".") + parts[1:]
+        # from m import f: f.g.h -> m.f + g.h (f may be a submodule)
+        return target[1].split(".") + [target[2]] + parts[1:]
+
+    def _resolve_dotted(self, summary, dotted):
+        parts = self._expand_alias(summary, dotted.split("."))
+        if parts is None or len(parts) < 2:
+            return None
+        for split in range(len(parts) - 1, 0, -1):
+            owner_name = ".".join(parts[:split])
+            owner = self.modules.get(owner_name)
+            if owner is None:
+                continue
+            rest = parts[split:]
+            if len(rest) == 1:
+                return self._callable_in_module(owner_name, rest[0])
+            if len(rest) == 2 and rest[0] in owner["classes"]:
+                return self._lookup_method(owner_name, rest[0], rest[1])
+            return None
+        return None
+
+    def _callable_in_module(self, module, name):
+        """A top-level function or class (-> __init__) in ``module``."""
+        node_id = self._function_id(module, name)
+        if node_id is not None:
+            return node_id
+        summary = self.modules.get(module)
+        if summary is not None and name in summary["classes"]:
+            return self._lookup_method(module, name, "__init__")
+        return None
+
+    def resolve_ref(self, summary, cls, ref):
+        """Resolve one raw call reference to a node id, or ``None``."""
+        kind = ref["k"]
+        module = summary["module"]
+        if kind == "name":
+            name = ref["n"]
+            local = self._callable_in_module(module, name)
+            if local is not None:
+                return local
+            target = summary["imports"].get(name)
+            if target is None:
+                return None
+            if target[0] == "from":
+                found = self._callable_in_module(target[1], target[2])
+                if found is not None:
+                    return found
+                # `from a import b` where a.b is itself a module: not
+                # callable, nothing to link.
+            return None
+        if kind == "self":
+            if cls is None:
+                return None
+            return self._lookup_method(module, cls, ref["n"])
+        if kind == "selfattr":
+            if cls is None:
+                return None
+            summary_cls = summary["classes"].get(cls, {})
+            attr_type = summary_cls.get("attrs", {}).get(ref["a"])
+            if attr_type is None:
+                return None
+            target = self._resolve_class_ref(module, attr_type)
+            if target is None:
+                return None
+            return self._lookup_method(target[0], target[1], ref["n"])
+        if kind == "vattr":
+            target = self._resolve_class_ref(module, ref["t"])
+            if target is None:
+                return None
+            return self._lookup_method(target[0], target[1], ref["n"])
+        if kind == "dotted":
+            return self._resolve_dotted(summary, ref["n"])
+        return None
+
+    # -- graph construction ----------------------------------------------
+
+    def _link(self):
+        for node in self.nodes.values():
+            summary = self.modules[node["module"]]
+            record = node["record"]
+            cls = record["cls"]
+            edges = []
+            for ref in record["calls"]:
+                target = self.resolve_ref(summary, cls, ref)
+                if target is not None:
+                    edges.append(target)
+                    self.stats["resolved_calls"] += 1
+                else:
+                    self.stats["unresolved_calls"] += 1
+            for ref in record["callbacks"]:
+                target = self.resolve_ref(summary, cls, ref)
+                if target is not None:
+                    edges.append(target)
+                    if target not in self.sim_roots:
+                        self.sim_roots.append(target)
+            for child in record["children"]:
+                child_id = self._function_id(node["module"], child)
+                if child_id is not None:
+                    edges.append(child_id)
+            node["edges"] = sorted(set(edges))
+            if record["is_task"]:
+                self.tasks.append(node["id"])
+            if record.get("is_callback"):
+                if node["id"] not in self.sim_roots:
+                    self.sim_roots.append(node["id"])
+        self.tasks.sort()
+        self.sim_roots.sort()
+        self.stats["functions"] = len(self.nodes)
+        self.stats["edges"] = sum(
+            len(node["edges"]) for node in self.nodes.values()
+        )
+
+    def reverse_edges(self):
+        """``callee id -> sorted list of caller ids``."""
+        reverse = {}
+        for node in self.nodes.values():
+            for target in node["edges"]:
+                reverse.setdefault(target, set()).add(node["id"])
+        return {
+            callee: sorted(callers) for callee, callers in reverse.items()
+        }

@@ -1,0 +1,253 @@
+"""The whole-program simlint driver: per-file rules + deep analysis + cache.
+
+One :func:`lint_project` call does everything ``python -m repro.lint``
+needs: walk the paths, lint each file with the per-file rules
+(:mod:`repro.lint.rules`), summarize it for the call graph
+(:mod:`repro.lint.callgraph`), resolve the graph and run the transitive
+rules (:mod:`repro.lint.purity`), and fold in reference-only paths
+(examples) so ``L-api-drift`` sees every consumer.
+
+**Incremental cache.**  Parsing ~150 files dominates a warm run, so the
+engine persists one JSON entry per file — source digest, serialized
+per-file violations, and the call-graph summary — keyed on the same
+per-file SHA-256 the runner's result cache uses
+(:func:`repro.runner.fingerprint.file_digest`).  A warm run on an
+unchanged tree re-parses nothing: per-file violations replay from the
+cache and the deep analysis rebuilds from cached summaries (the
+cross-file fixed point is always recomputed — it is cheap, and caching
+it would be wrong the moment any*other* file changes).  The whole cache
+is invalidated when the lint package's own source closure changes
+(``closure_digest("repro.lint")``), so rule edits never replay stale
+results.  A corrupt or unwritable cache degrades to a cold run, never
+to an error.
+"""
+
+import ast
+import json
+import os
+import tempfile
+
+from repro.lint.callgraph import ProjectIndex, summarize_tree
+from repro.lint.purity import api_drift_violations, deep_violations
+from repro.lint.rules import (
+    RULES,
+    Violation,
+    iter_python_files,
+    lint_tree,
+    parse_waivers,
+)
+from repro.runner.fingerprint import closure_digest, file_digest
+
+#: Bump when the cache entry shape or lint semantics change.
+LINT_CACHE_SCHEMA = "simlint-cache-v1"
+
+#: Default on-disk location (gitignored), relative to the invocation cwd.
+DEFAULT_CACHE_PATH = ".simlint_cache.json"
+
+
+class LintReport:
+    """Everything one lint run produced: violations + run statistics."""
+
+    __slots__ = ("violations", "stats")
+
+    def __init__(self, violations, stats):
+        self.violations = sorted(violations, key=Violation.sort_key)
+        self.stats = stats
+
+    @property
+    def clean(self):
+        return not self.violations
+
+    def to_plain(self):
+        """JSON-plain dict (the ``--format=json`` payload)."""
+        return {
+            "clean": self.clean,
+            "stats": dict(self.stats),
+            "violations": [
+                {
+                    "path": v.path, "line": v.line, "col": v.col,
+                    "rule": v.rule, "message": v.message,
+                }
+                for v in self.violations
+            ],
+        }
+
+
+def _serialize_violations(violations):
+    return [
+        [v.path, v.line, v.col, v.rule, v.message] for v in violations
+    ]
+
+
+def _deserialize_violations(rows):
+    return [Violation(*row) for row in rows]
+
+
+def _load_cache(path, lint_digest):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            cache = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(cache, dict):
+        return None
+    if cache.get("schema") != LINT_CACHE_SCHEMA:
+        return None
+    if cache.get("lint_digest") != lint_digest:
+        return None
+    files = cache.get("files")
+    return files if isinstance(files, dict) else None
+
+
+def _save_cache(path, lint_digest, entries):
+    payload = {
+        "schema": LINT_CACHE_SCHEMA,
+        "lint_digest": lint_digest,
+        "files": entries,
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    try:
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=directory,
+            prefix=".simlint_cache.", suffix=".tmp", delete=False,
+        )
+        with handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(handle.name, path)
+    except OSError:
+        pass  # unwritable cache degrades to cold runs, never to failure
+
+
+class _Run:
+    """Shared state for one lint invocation (disk- or memory-backed)."""
+
+    def __init__(self, deep=True):
+        self.deep = deep
+        self.summaries = []
+        self.extra_refs = []
+        self.violations = []
+        self.stats = {
+            "files": 0, "parsed": 0, "cache_hits": 0, "deep": bool(deep),
+        }
+
+    def process_source(self, path, source, refs_only=False):
+        """Parse + lint + summarize one file (a cache miss or no cache)."""
+        self.stats["parsed"] += 1
+        tree = ast.parse(source, filename=path)
+        waivers = parse_waivers(source)
+        file_violations = []
+        if not refs_only:
+            file_violations = lint_tree(
+                tree, source, path=path, waivers=waivers,
+            )
+        summary = summarize_tree(path, tree, waivers)
+        return file_violations, summary
+
+    def admit(self, path, file_violations, summary, refs_only=False):
+        if refs_only:
+            self.extra_refs.append((path, summary["refs"]))
+            return
+        self.stats["files"] += 1
+        self.violations.extend(file_violations)
+        self.summaries.append(summary)
+
+    def finish(self):
+        if self.deep:
+            index = ProjectIndex(self.summaries)
+            self.stats.update(index.stats)
+            deep_found = deep_violations(index)
+            drift_found = api_drift_violations(
+                self.summaries, extra_refs=self.extra_refs,
+            )
+            self.stats["deep_violations"] = len(deep_found) + len(drift_found)
+            self.violations.extend(deep_found)
+            self.violations.extend(drift_found)
+        report = LintReport(self.violations, self.stats)
+        for violation in report.violations:
+            # Orphaned rule ids are a bug in the linter itself; fail loud.
+            assert violation.rule in RULES, violation.rule
+        return report
+
+
+def lint_sources(files, deep=True, reference_sources=None):
+    """Lint an in-memory ``{path: source}`` tree (tests and fixtures).
+
+    ``reference_sources`` maps extra paths to sources that only feed the
+    ``L-api-drift`` usage pool, mirroring ``reference_paths`` on
+    :func:`lint_project`.
+    """
+    run = _Run(deep=deep)
+    for path in sorted(files):
+        file_violations, summary = run.process_source(path, files[path])
+        run.admit(path, file_violations, summary)
+    for path in sorted(reference_sources or {}):
+        _, summary = run.process_source(
+            path, reference_sources[path], refs_only=True,
+        )
+        run.admit(path, None, summary, refs_only=True)
+    return run.finish()
+
+
+def lint_project(paths, deep=True, cache_path=DEFAULT_CACHE_PATH,
+                 use_cache=True, reference_paths=()):
+    """Lint a source tree from disk, incrementally.
+
+    ``paths`` are linted in full; ``reference_paths`` (e.g. ``examples``)
+    are parsed only for the names they reference.  With ``use_cache``,
+    unchanged files (by source digest) are replayed from ``cache_path``
+    without re-parsing; the report's ``stats`` expose ``parsed`` and
+    ``cache_hits`` so callers can assert incrementality.
+    """
+    run = _Run(deep=deep)
+    memo = {}
+    lint_digest = closure_digest("repro.lint", memo=memo)
+    cached_files = None
+    if use_cache and cache_path:
+        cached_files = _load_cache(cache_path, lint_digest)
+    entries = {}
+
+    def process(path, refs_only):
+        digest = file_digest(path, memo=memo)
+        entry = (cached_files or {}).get(path)
+        if (
+            entry is not None
+            and entry.get("digest") == digest
+            and (not refs_only or "summary" in entry)
+            and (refs_only or entry.get("refs_only") is False)
+        ):
+            run.stats["cache_hits"] += 1
+            run.admit(
+                path,
+                _deserialize_violations(entry.get("violations") or []),
+                entry["summary"], refs_only=refs_only,
+            )
+            entries[path] = entry
+            return
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        file_violations, summary = run.process_source(
+            path, source, refs_only=refs_only,
+        )
+        run.admit(path, file_violations, summary, refs_only=refs_only)
+        entries[path] = {
+            "digest": digest,
+            "refs_only": refs_only,
+            "violations": _serialize_violations(file_violations or []),
+            "summary": summary,
+        }
+
+    seen = set()
+    for path in iter_python_files(paths):
+        if path in seen:
+            continue
+        seen.add(path)
+        process(path, refs_only=False)
+    for path in iter_python_files(reference_paths):
+        if path in seen:
+            continue
+        seen.add(path)
+        process(path, refs_only=True)
+
+    if use_cache and cache_path:
+        _save_cache(cache_path, lint_digest, entries)
+    return run.finish()

@@ -1,0 +1,122 @@
+"""simlint output formats: text, JSON, and SARIF 2.1.0.
+
+The text format is the human one (``path:line:col: rule message``); JSON
+is the full :class:`repro.lint.engine.LintReport` payload for scripting;
+SARIF 2.1.0 is the CI-annotation contract — GitHub code scanning, VS
+Code SARIF viewers, and any other standard consumer can ingest the
+report uploaded as a workflow artifact.  Only the stable subset of SARIF
+is emitted (tool driver + rule catalogue + results with physical
+locations), and a test pins that shape against the 2.1.0 schema
+requirements so the contract cannot drift silently.
+"""
+
+import json
+
+from repro.lint.rules import RULES
+
+#: The SARIF version this module emits (and the test pins).
+SARIF_VERSION = "2.1.0"
+
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _report_text(report):
+    """The classic CLI listing, one line per violation plus a summary."""
+    lines = [
+        "%s:%d:%d: %s %s" % (v.path, v.line, v.col, v.rule, v.message)
+        for v in report.violations
+    ]
+    stats = report.stats
+    counts = "%d file(s), %d parsed, %d cached" % (
+        stats.get("files", 0), stats.get("parsed", 0),
+        stats.get("cache_hits", 0),
+    )
+    if report.clean:
+        lines.append("simlint: clean (%s)" % counts)
+    else:
+        lines.append(
+            "simlint: %d violation(s) in %s"
+            % (len(report.violations), counts)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _report_json(report):
+    """The machine-readable report (``--format=json``)."""
+    return json.dumps(report.to_plain(), indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_rules():
+    """The rule catalogue in tool.driver order (sorted by id)."""
+    return [
+        {
+            "id": rule,
+            "shortDescription": {"text": RULES[rule]},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in sorted(RULES)
+    ]
+
+
+def sarif_document(report):
+    """The report as a SARIF 2.1.0 dict (``--format=sarif``)."""
+    rules = _sarif_rules()
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results = []
+    for violation in report.violations:
+        results.append({
+            "ruleId": violation.rule,
+            "ruleIndex": rule_index[violation.rule],
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": violation.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(violation.line, 1),
+                        "startColumn": violation.col + 1,
+                    },
+                },
+            }],
+        })
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "simlint",
+                    "informationUri":
+                        "https://example.invalid/stellar-repro/simlint",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+            "properties": {"stats": dict(report.stats)},
+        }],
+    }
+
+
+def _report_sarif(report):
+    return json.dumps(sarif_document(report), indent=2, sort_keys=True) + "\n"
+
+
+_FORMATTERS = {
+    "text": _report_text,
+    "json": _report_json,
+    "sarif": _report_sarif,
+}
+
+
+def render(report, fmt):
+    """Render ``report`` in ``fmt`` (``text``/``json``/``sarif``)."""
+    try:
+        formatter = _FORMATTERS[fmt]
+    except KeyError:
+        raise ValueError("unknown simlint format: %r" % fmt)
+    return formatter(report)

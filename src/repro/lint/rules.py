@@ -63,6 +63,18 @@ RULES = {
         "mutable default); runner tasks must be pure — pool workers and "
         "sequential runs must compute bit-identical results"
     ),
+    "D-taskpure-deep": (
+        "@task callable transitively reaches a determinism taint through "
+        "the static call graph (a helper that reads the wall clock, draws "
+        "ambient RNG, or mutates module state, any number of hops away); "
+        "the per-file D-taskpure audit cannot see past the first call"
+    ),
+    "D-sim-pure": (
+        "callback registered on the EventScheduler (schedule/schedule_call/"
+        "schedule_at) transitively reaches a wall-clock or ambient-RNG "
+        "read; everything the event loop runs must be a pure function of "
+        "seeded simulation state"
+    ),
     "L-layer": (
         "import breaks the layer DAG (sim/obs import no domain layer, "
         "memory/pcie never import virt/training, nothing imports legacy, "
@@ -71,6 +83,11 @@ RULES = {
     "L-private": (
         "cross-module private-attribute access x._attr; use the public "
         "snapshot()/accessor surface instead of reaching into internals"
+    ),
+    "L-api-drift": (
+        "public symbol defined in repro.* but never referenced from any "
+        "other module, test, benchmark, CLI, or example; demote it to a "
+        "_private name, delete it, or wire it to an entry point"
     ),
     "A-snapshot-pair": (
         "class defines register_metrics without a public snapshot(); the "
@@ -88,7 +105,7 @@ RULES = {
 }
 
 #: repro subpackages that model the paper's stack (the "domain" layers).
-DOMAIN_LAYERS = frozenset({
+_DOMAIN_LAYERS = frozenset({
     "core", "memory", "pcie", "rnic", "net", "virt", "training",
     "collectives", "workloads", "analysis", "legacy", "calibration",
     "cluster", "perf", "runner",
@@ -96,7 +113,7 @@ DOMAIN_LAYERS = frozenset({
 
 #: Infrastructure layers every domain layer may depend on — never the
 #: reverse.
-INFRA_LAYERS = frozenset({"sim", "obs"})
+_INFRA_LAYERS = frozenset({"sim", "obs"})
 
 #: The passive observability plane: events flow *into* these modules via
 #: record()/observe() hooks, never via imports.  They may not import the
@@ -134,7 +151,7 @@ RANDOM_MODULES = frozenset({"random", "secrets"})
 #: Receiver names whose ``.record(...)`` calls A-flight-plain treats as
 #: flight-recorder appends.  Matching is by the last dotted segment, so
 #: ``self.flight.record(...)`` and ``sim.flight.record(...)`` both count.
-FLIGHT_RECEIVERS = frozenset({"flight", "recorder", "flight_recorder"})
+_FLIGHT_RECEIVERS = frozenset({"flight", "recorder", "flight_recorder"})
 
 _WAIVER_RE = re.compile(r"#\s*simlint:\s*ok\b([^#\n]*)")
 
@@ -203,11 +220,28 @@ def parse_waivers(source):
     return waivers
 
 
-def _waived(waivers, node, rule):
+def waiver_lines_for(node):
+    """Source lines where a waiver comment suppresses rules on ``node``.
+
+    The node's own first and last line, plus — for decorated defs — each
+    decorator line, so ``@task  # simlint: ok D-taskpure`` reads
+    naturally next to the contract it relaxes.
+    """
     lines = {getattr(node, "lineno", 0)}
     end = getattr(node, "end_lineno", None)
     if end is not None:
         lines.add(end)
+    for decorator in getattr(node, "decorator_list", []):
+        lines.add(getattr(decorator, "lineno", 0))
+    return lines
+
+
+def rule_waived_at(waivers, lines, rule):
+    """True when any of ``lines`` carries a waiver covering ``rule``.
+
+    A waiver covers a rule when it names it exactly, names its family
+    letter (``D``/``L``/``A``), or is a bare ``# simlint: ok`` (``*``).
+    """
     family = rule.split("-", 1)[0]
     for line in lines:
         waived = waivers.get(line)
@@ -216,7 +250,11 @@ def _waived(waivers, node, rule):
     return False
 
 
-def _dotted_name(node):
+def _waived(waivers, node, rule):
+    return rule_waived_at(waivers, waiver_lines_for(node), rule)
+
+
+def dotted_name(node):
     """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
     parts = []
     while isinstance(node, ast.Attribute):
@@ -333,7 +371,7 @@ def layer_violation(importer_module, imported_module):
         return None
     if dst == "legacy" and src != "legacy":
         return "nothing imports repro.legacy (import of %s)" % imported_module
-    if src in INFRA_LAYERS and dst in DOMAIN_LAYERS:
+    if src in _INFRA_LAYERS and dst in _DOMAIN_LAYERS:
         return "repro.%s must not import domain layer repro.%s" % (src, dst)
     if importer_module in _OBS_PLANE or any(
         importer_module.startswith(plane + ".") for plane in _OBS_PLANE
@@ -366,6 +404,7 @@ class _Checker(ast.NodeVisitor):
         self.private_defs = private_defs
         self.mutable_globals = mutable_globals
         self.violations = []
+        self._stmt_stack = []
         self._in_rng_module = module == "repro.sim.rng"
         self._wallclock_ok = module is not None and any(
             module == pkg or module.startswith(pkg + ".")
@@ -374,8 +413,27 @@ class _Checker(ast.NodeVisitor):
 
     # -- plumbing --------------------------------------------------------
 
-    def _report(self, node, rule, message):
+    def visit(self, node):
+        # Track the enclosing statement so a waiver on its first or
+        # closing line covers expression-level findings inside it (the
+        # "closing line of a multi-line statement" contract).
+        if isinstance(node, ast.stmt):
+            self._stmt_stack.append(node)
+            try:
+                super().visit(node)
+            finally:
+                self._stmt_stack.pop()
+        else:
+            super().visit(node)
+
+    def _report(self, node, rule, message, owner=None):
         if _waived(self.waivers, node, rule):
+            return
+        if owner is not None and _waived(self.waivers, owner, rule):
+            return
+        if self._stmt_stack and rule_waived_at(
+            self.waivers, waiver_lines_for(self._stmt_stack[-1]), rule,
+        ):
             return
         self.violations.append(Violation(
             self.path, getattr(node, "lineno", 0),
@@ -447,7 +505,7 @@ class _Checker(ast.NodeVisitor):
     # -- expression-level determinism rules ------------------------------
 
     def visit_Attribute(self, node):
-        dotted = _dotted_name(node)
+        dotted = dotted_name(node)
         if dotted is not None:
             root = dotted.split(".", 1)[0]
             if not self._in_rng_module and (
@@ -554,11 +612,11 @@ class _Checker(ast.NodeVisitor):
         func = node.func
         if not (isinstance(func, ast.Attribute) and func.attr == "record"):
             return
-        dotted = _dotted_name(func.value)
+        dotted = dotted_name(func.value)
         if dotted is None:
             return
         leaf = dotted.rsplit(".", 1)[-1]
-        if leaf not in FLIGHT_RECEIVERS and not leaf.endswith("flight"):
+        if leaf not in _FLIGHT_RECEIVERS and not leaf.endswith("flight"):
             return
         values = list(node.args) + [kw.value for kw in node.keywords]
         for value in values:
@@ -610,6 +668,7 @@ class _Checker(ast.NodeVisitor):
                     default, "D-taskpure",
                     "task %s has a mutable default argument (shared across "
                     "calls); default to None and build inside" % fn.name,
+                    owner=fn,
                 )
         bound = {
             arg.arg for arg in (
@@ -637,6 +696,7 @@ class _Checker(ast.NodeVisitor):
                     sub, "D-taskpure",
                     "task %s uses %s; tasks must be pure functions of "
                     "their kwargs" % (fn.name, type(sub).__name__.lower()),
+                    owner=fn,
                 )
             elif isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
                 if sub.id in self.mutable_globals and sub.id not in bound:
@@ -644,6 +704,7 @@ class _Checker(ast.NodeVisitor):
                         sub, "D-taskpure",
                         "task %s captures module-level mutable %r; pass it "
                         "through kwargs instead" % (fn.name, sub.id),
+                        owner=fn,
                     )
             elif isinstance(sub, ast.Call):
                 func = sub.func
@@ -655,9 +716,9 @@ class _Checker(ast.NodeVisitor):
                         sub, "D-taskpure",
                         "task %s reads the process-default metrics registry; "
                         "build a fresh MetricsRegistry inside the task"
-                        % fn.name,
+                        % fn.name, owner=fn,
                     )
-                dotted = _dotted_name(func) if isinstance(
+                dotted = dotted_name(func) if isinstance(
                     func, ast.Attribute
                 ) else None
                 if dotted is not None:
@@ -669,6 +730,7 @@ class _Checker(ast.NodeVisitor):
                             sub, "D-taskpure",
                             "task %s draws ambient randomness (%s); thread "
                             "a seed through kwargs" % (fn.name, dotted),
+                            owner=fn,
                         )
 
     # -- A-rules ---------------------------------------------------------
@@ -749,17 +811,29 @@ class _Checker(ast.NodeVisitor):
         return False
 
 
-def lint_source(source, path="<string>", module=None):
-    """Lint one source string; returns a list of :class:`Violation`."""
+def lint_tree(tree, source, path="<string>", module=None, waivers=None):
+    """Apply every per-file rule to an already-parsed module.
+
+    Split out of :func:`lint_source` so the whole-program engine
+    (:mod:`repro.lint.engine`) can parse each file exactly once and feed
+    the same tree to both the per-file rules and the call-graph summary.
+    """
     if module is None:
         module = module_name_for(path)
-    tree = ast.parse(source, filename=path)
+    if waivers is None:
+        waivers = parse_waivers(source)
     checker = _Checker(
-        path, module, parse_waivers(source), _collect_private_defs(tree),
+        path, module, waivers, _collect_private_defs(tree),
         mutable_globals=_collect_mutable_globals(tree),
     )
     checker.visit(tree)
     return sorted(checker.violations, key=Violation.sort_key)
+
+
+def lint_source(source, path="<string>", module=None):
+    """Lint one source string; returns a list of :class:`Violation`."""
+    tree = ast.parse(source, filename=path)
+    return lint_tree(tree, source, path=path, module=module)
 
 
 def lint_file(path):

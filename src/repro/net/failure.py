@@ -84,4 +84,4 @@ __all__ = [
 ]
 
 # Re-export the RTO the recovery story depends on, for discoverability.
-RECOVERY_RTO_SECONDS = calibration.SPRAY_RTO_SECONDS
+_RECOVERY_RTO_SECONDS = calibration.SPRAY_RTO_SECONDS

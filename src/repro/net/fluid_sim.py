@@ -25,10 +25,10 @@ from repro.net.ecmp import flow_entropy
 from repro.sim.rng import RngStream
 
 #: Selector draws per step used to estimate feedback-driven weights.
-FEEDBACK_SAMPLE_DRAWS = 192
+_FEEDBACK_SAMPLE_DRAWS = 192
 
 #: Utilization above which a path is considered congested (ECN proxy).
-CONGESTION_UTILIZATION = 0.95
+_CONGESTION_UTILIZATION = 0.95
 
 #: Analytic-weight algorithms: the per-packet distribution over path ids
 #: is uniform, so bucket weights follow directly from the hash map.
@@ -147,9 +147,9 @@ class FluidSimulation:
             return {p: share for p in range(flow.path_count)}
         draws = collections.Counter(
             flow.selector.next_path(now=self.now)
-            for _ in range(FEEDBACK_SAMPLE_DRAWS)
+            for _ in range(_FEEDBACK_SAMPLE_DRAWS)
         )
-        return {p: n / FEEDBACK_SAMPLE_DRAWS for p, n in draws.items()}
+        return {p: n / _FEEDBACK_SAMPLE_DRAWS for p, n in draws.items()}
 
     def _flow_link_weights(self, flow, path_probs):
         """Aggregate path probabilities into per-link weight sums."""

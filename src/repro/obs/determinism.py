@@ -68,7 +68,9 @@ def snapshot_digest(snapshot):
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-class ProbeFingerprint:
+# Result type: consumers receive instances from run_probe() and
+# duck-type them; the class name is intentionally not re-exported.
+class ProbeFingerprint:  # simlint: ok L-api-drift
     """Everything one probe run pins down for the determinism diff."""
 
     __slots__ = ("seed", "metrics", "metrics_digest", "trace_digest",
@@ -228,7 +230,9 @@ def fleet_fingerprint(seed=17, scenario="churn"):
     )
 
 
-class FleetDeterminismReport:
+# Result type returned by the fleet determinism check; consumers
+# duck-type the instance rather than importing the class.
+class FleetDeterminismReport:  # simlint: ok L-api-drift
     """Outcome of the multi-seed fleet determinism check."""
 
     __slots__ = ("reports", "cross_seed_distinct")

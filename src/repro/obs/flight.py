@@ -29,11 +29,11 @@ import json
 from collections import deque
 
 #: Recognized severities, mildest first (anything else is rejected).
-SEVERITIES = ("info", "warn", "error")
+_SEVERITIES = ("info", "warn", "error")
 
 #: Default ring capacity: large enough for a full churn run's rare
 #: events, small enough to keep an always-on recorder bounded.
-DEFAULT_CAPACITY = 4096
+_DEFAULT_CAPACITY = 4096
 
 
 class FlightEvent:
@@ -76,7 +76,7 @@ class FlightRecorder:
     recorder from its components.
     """
 
-    def __init__(self, capacity=DEFAULT_CAPACITY, enabled=True):
+    def __init__(self, capacity=_DEFAULT_CAPACITY, enabled=True):
         if capacity < 1:
             raise ValueError("flight capacity must be positive: %r" % capacity)
         self.capacity = capacity
@@ -84,7 +84,7 @@ class FlightRecorder:
         self._events = deque(maxlen=capacity)
         self.recorded = 0
         self.dropped = 0
-        self._severity_counts = {name: 0 for name in SEVERITIES}
+        self._severity_counts = {name: 0 for name in _SEVERITIES}
 
     # -- recording -------------------------------------------------------
 
@@ -99,7 +99,7 @@ class FlightRecorder:
         if severity not in self._severity_counts:
             raise ValueError(
                 "unknown severity %r (have %s)"
-                % (severity, ", ".join(SEVERITIES))
+                % (severity, ", ".join(_SEVERITIES))
             )
         events = self._events
         if len(events) == self.capacity:

@@ -24,7 +24,9 @@ class MetricError(ValueError):
     """Invalid instrument registration or use."""
 
 
-class Instrument:
+# Public base of Counter/Gauge/Histogram: the shared value()/name
+# contract, referenced by type only through its subclasses.
+class Instrument:  # simlint: ok L-api-drift
     """Base: a named scalar readable via :meth:`value`."""
 
     __slots__ = ("name", "description")

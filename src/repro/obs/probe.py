@@ -24,10 +24,12 @@ from repro.sim.units import GiB, KiB, MiB
 
 
 #: Default sim-time sampling cadence for the probe (Figure 9 style).
-DEFAULT_SAMPLE_INTERVAL = 100e-6
+_DEFAULT_SAMPLE_INTERVAL = 100e-6
 
 
-class ProbeResult:
+# Result type returned by run_probe(); consumers duck-type the
+# instance rather than importing the class.
+class ProbeResult:  # simlint: ok L-api-drift
     """Everything a probe run produced, ready for reporting or export."""
 
     def __init__(self, host, containers, sim, flow_results, registry, tracer,
@@ -71,7 +73,7 @@ class ProbeResult:
 
 
 def run_probe(registry=None, tracer=None, seed=17,
-              sample_interval=DEFAULT_SAMPLE_INTERVAL, max_samples=512,
+              sample_interval=_DEFAULT_SAMPLE_INTERVAL, max_samples=512,
               message_bytes=1 * MiB, flow_count=4, loss_rate=0.005,
               fleet=True, flight=None):
     """Run the canned full-stack telemetry workload; returns ProbeResult.

@@ -23,31 +23,31 @@ never imports upward into the domain layers.
 import math
 
 #: Default sim-time window for the p99 reducer (seconds).
-DEFAULT_WINDOW_SECONDS = 20.0
+_DEFAULT_WINDOW_SECONDS = 20.0
 
 #: Default EWMA weight for new observations.
-DEFAULT_EWMA_ALPHA = 0.4
+_DEFAULT_EWMA_ALPHA = 0.4
 
 #: Default job policy shape, relative to a job's isolated baseline
 #: (:func:`default_job_policy`): goodput may sag to 60% of isolated,
 #: p99 per-iteration latency may stretch to 1.25x isolated, queue wait
 #: is budgeted at 30 simulated seconds.
-SLO_GOODPUT_FRACTION = 0.6
+_SLO_GOODPUT_FRACTION = 0.6
 SLO_LATENCY_MULTIPLE = 1.25
-SLO_WAIT_BUDGET_SECONDS = 30.0
+_SLO_WAIT_BUDGET_SECONDS = 30.0
 
 #: Flight-event kinds this module emits / correlates on.
-KIND_BREACH = "slo-breach"
-KIND_RECOVER = "slo-recover"
+_KIND_BREACH = "slo-breach"
+_KIND_RECOVER = "slo-recover"
 
 #: Fault kinds that open an incident window, and the kinds that close it.
-FAULT_KINDS = ("link-fail", "path-down", "loss-inject")
-HEAL_KINDS = ("link-heal", "path-up")
+_FAULT_KINDS = ("link-fail", "path-down", "loss-inject")
+_HEAL_KINDS = ("link-heal", "path-up")
 
 #: Event kinds that end an entity's impact even without an explicit SLO
 #: recovery (a job that finishes while degraded has, operationally,
 #: stopped being impacted).
-ENTITY_CLEAR_KINDS = (KIND_RECOVER, "job-complete")
+_ENTITY_CLEAR_KINDS = (_KIND_RECOVER, "job-complete")
 
 
 class Ewma:
@@ -59,7 +59,7 @@ class Ewma:
 
     __slots__ = ("alpha", "mean", "var", "count")
 
-    def __init__(self, alpha=DEFAULT_EWMA_ALPHA):
+    def __init__(self, alpha=_DEFAULT_EWMA_ALPHA):
         if not 0.0 < alpha <= 1.0:
             raise ValueError("EWMA alpha must be in (0, 1]: %r" % alpha)
         self.alpha = alpha
@@ -94,7 +94,7 @@ class SimWindow:
 
     __slots__ = ("window", "samples")
 
-    def __init__(self, window=DEFAULT_WINDOW_SECONDS):
+    def __init__(self, window=_DEFAULT_WINDOW_SECONDS):
         if window <= 0:
             raise ValueError("window must be positive: %r" % window)
         self.window = window
@@ -181,9 +181,9 @@ class SloPolicy:
 
 
 def default_job_policy(iso_iter_seconds,
-                       goodput_fraction=SLO_GOODPUT_FRACTION,
+                       goodput_fraction=_SLO_GOODPUT_FRACTION,
                        latency_multiple=SLO_LATENCY_MULTIPLE,
-                       wait_budget=SLO_WAIT_BUDGET_SECONDS):
+                       wait_budget=_SLO_WAIT_BUDGET_SECONDS):
     """A job policy anchored on its isolated per-iteration baseline."""
     if iso_iter_seconds is None or iso_iter_seconds <= 0:
         return SloPolicy(admission_wait_budget=wait_budget)
@@ -220,7 +220,7 @@ class SloTracker:
     """
 
     def __init__(self, entity, policy, flight=None,
-                 window=DEFAULT_WINDOW_SECONDS, alpha=DEFAULT_EWMA_ALPHA):
+                 window=_DEFAULT_WINDOW_SECONDS, alpha=_DEFAULT_EWMA_ALPHA):
         self.entity = entity
         self.policy = policy
         self.flight = flight
@@ -264,7 +264,7 @@ class SloTracker:
                 state.breach_start = t
                 state.breach_count += 1
                 emitted.append(self._emit(
-                    t, KIND_BREACH, "warn",
+                    t, _KIND_BREACH, "warn",
                     metric=metric, value=round(stat, 9),
                     limit=round(limit, 9), ratio=round(ratio, 6),
                     zscore=round(zscore, 6),
@@ -274,7 +274,7 @@ class SloTracker:
             state.breach_seconds += seconds
             state.breach_start = None
             emitted.append(self._emit(
-                t, KIND_RECOVER, "info",
+                t, _KIND_RECOVER, "info",
                 metric=metric, value=round(stat, 9),
                 limit=round(limit, 9), breach_seconds=round(seconds, 9),
             ))
@@ -328,8 +328,8 @@ class SloTracker:
 class SloBoard:
     """All of a run's trackers, keyed by entity, sharing one recorder."""
 
-    def __init__(self, flight=None, window=DEFAULT_WINDOW_SECONDS,
-                 alpha=DEFAULT_EWMA_ALPHA):
+    def __init__(self, flight=None, window=_DEFAULT_WINDOW_SECONDS,
+                 alpha=_DEFAULT_EWMA_ALPHA):
         self.flight = flight
         self.window = window
         self.alpha = alpha
@@ -389,9 +389,9 @@ def build_incidents(events, grace=5.0):
     """Correlate faults with the SLO breaches inside their windows.
 
     ``events`` is a flight-event dict list (``FlightRecorder.events()``),
-    assumed time-ordered.  Each fault event (:data:`FAULT_KINDS`) opens
+    assumed time-ordered.  Each fault event (:data:`_FAULT_KINDS`) opens
     an incident window ``[fault.t, heal.t + grace]`` (end of log when it
-    never heals); every :data:`KIND_BREACH` inside the window joins the
+    never heals); every :data:`_KIND_BREACH` inside the window joins the
     incident's affected set with its impact magnitude (peak
     breach-to-limit ratio) and recovery time (first clearing event —
     SLO recovery or job completion — after the first breach).
@@ -401,12 +401,12 @@ def build_incidents(events, grace=5.0):
     last_t = events[-1]["t"]
     incidents = []
     for index, event in enumerate(events):
-        if event["kind"] not in FAULT_KINDS:
+        if event["kind"] not in _FAULT_KINDS:
             continue
         fault_t = event["t"]
         healed_t = None
         for later in events[index + 1:]:
-            if later["kind"] in HEAL_KINDS and later["entity"] == event["entity"]:
+            if later["kind"] in _HEAL_KINDS and later["entity"] == event["entity"]:
                 healed_t = later["t"]
                 break
         window_end = (healed_t if healed_t is not None else last_t) + grace
@@ -419,7 +419,7 @@ def build_incidents(events, grace=5.0):
                 break
             if later["kind"] == "congestion-epoch":
                 epochs += 1
-            if later["kind"] != KIND_BREACH:
+            if later["kind"] != _KIND_BREACH:
                 continue
             entity = later["entity"]
             payload = later.get("payload", {})
@@ -446,7 +446,7 @@ def build_incidents(events, grace=5.0):
             for later in events:
                 if (later["t"] > entry["first_breach_t"]
                         and later["entity"] == entity
-                        and later["kind"] in ENTITY_CLEAR_KINDS):
+                        and later["kind"] in _ENTITY_CLEAR_KINDS):
                     entry["recovered_t"] = later["t"]
                     entry["recovery_seconds"] = later["t"] - fault_t
                     break

@@ -15,14 +15,14 @@ import json
 
 
 #: Phase codes from the Chrome trace-event spec.
-PH_COMPLETE = "X"
-PH_INSTANT = "i"
-PH_BEGIN = "B"
-PH_END = "E"
-PH_ASYNC_BEGIN = "b"
-PH_ASYNC_END = "e"
-PH_COUNTER = "C"
-PH_METADATA = "M"
+_PH_COMPLETE = "X"
+_PH_INSTANT = "i"
+_PH_BEGIN = "B"
+_PH_END = "E"
+_PH_ASYNC_BEGIN = "b"
+_PH_ASYNC_END = "e"
+_PH_COUNTER = "C"
+_PH_METADATA = "M"
 
 
 class TraceEvent:
@@ -97,19 +97,19 @@ class Tracer:
             raise ValueError("span %r ends (%g) before it starts (%g)"
                              % (name, end, start))
         self.events.append(TraceEvent(
-            name, cat, PH_COMPLETE, self._us(start), self.track(track),
+            name, cat, _PH_COMPLETE, self._us(start), self.track(track),
             dur=self._us(end - start), args=args,
         ))
 
     def instant(self, name, ts, track="sim", cat="sim", args=None):
         self.events.append(TraceEvent(
-            name, cat, PH_INSTANT, self._us(ts), self.track(track), args=args,
+            name, cat, _PH_INSTANT, self._us(ts), self.track(track), args=args,
         ))
 
     def counter(self, name, ts, values, track="counters"):
         """A counter sample; ``values`` is ``{series: number}``."""
         self.events.append(TraceEvent(
-            name, "counter", PH_COUNTER, self._us(ts), self.track(track),
+            name, "counter", _PH_COUNTER, self._us(ts), self.track(track),
             args=dict(values),
         ))
 
@@ -117,7 +117,7 @@ class Tracer:
         """Open a nested synchronous span; close with :meth:`end`."""
         tid = self.track(track)
         self._open_spans.setdefault(tid, []).append(name)
-        self.events.append(TraceEvent(name, cat, PH_BEGIN, self._us(ts), tid,
+        self.events.append(TraceEvent(name, cat, _PH_BEGIN, self._us(ts), tid,
                                       args=args))
 
     def end(self, ts, track="sim", cat="sim"):
@@ -126,18 +126,18 @@ class Tracer:
         if not stack:
             raise ValueError("end() with no open span on track %r" % track)
         name = stack.pop()
-        self.events.append(TraceEvent(name, cat, PH_END, self._us(ts), tid))
+        self.events.append(TraceEvent(name, cat, _PH_END, self._us(ts), tid))
 
     def async_begin(self, name, id, ts, track="sim", cat="async", args=None):
         """Open a span that may outlive the emitting callback (a flow)."""
         self.events.append(TraceEvent(
-            name, cat, PH_ASYNC_BEGIN, self._us(ts), self.track(track),
+            name, cat, _PH_ASYNC_BEGIN, self._us(ts), self.track(track),
             args=args, id=str(id),
         ))
 
     def async_end(self, name, id, ts, track="sim", cat="async", args=None):
         self.events.append(TraceEvent(
-            name, cat, PH_ASYNC_END, self._us(ts), self.track(track),
+            name, cat, _PH_ASYNC_END, self._us(ts), self.track(track),
             args=args, id=str(id),
         ))
 
@@ -157,7 +157,7 @@ class Tracer:
             entry[0] += 1
             entry[1] += wall_seconds
         self.events.append(TraceEvent(
-            name, "callback", PH_COMPLETE, self._us(ts),
+            name, "callback", _PH_COMPLETE, self._us(ts),
             self.track("scheduler"), dur=0.0,
             args={"wall_us": wall_seconds * 1e6},
         ))
@@ -177,12 +177,12 @@ class Tracer:
         — timestamps are monotone on every track by construction.
         """
         records = [
-            TraceEvent("process_name", "__metadata", PH_METADATA, 0, 0,
+            TraceEvent("process_name", "__metadata", _PH_METADATA, 0, 0,
                        args={"name": self.process_name}).to_dict()
         ]
         for name, tid in sorted(self._tracks.items(), key=lambda kv: kv[1]):
             records.append(TraceEvent(
-                "thread_name", "__metadata", PH_METADATA, 0, tid,
+                "thread_name", "__metadata", _PH_METADATA, 0, tid,
                 args={"name": name},
             ).to_dict())
         records.extend(

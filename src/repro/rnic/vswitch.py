@@ -16,7 +16,7 @@ import enum
 
 #: Per-rule match cost in the hardware TCAM/hash pipeline.  The absolute
 #: value only matters relative to rule position.
-RULE_LOOKUP_SECONDS = 5e-9
+_RULE_LOOKUP_SECONDS = 5e-9
 
 
 class TrafficClass(enum.Enum):
@@ -104,7 +104,7 @@ class VSwitch:
         for position, rule in enumerate(self.rules):
             if rule.matches(header):
                 rule.hit_count += 1
-                return LookupResult(rule, position, (position + 1) * RULE_LOOKUP_SECONDS)
+                return LookupResult(rule, position, (position + 1) * _RULE_LOOKUP_SECONDS)
         self.miss_count += 1
         raise SteeringError("no steering rule matches header %r" % (header,))
 

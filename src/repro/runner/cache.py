@@ -16,19 +16,21 @@ import json
 import os
 
 #: Bump to orphan every previously written entry.
-CACHE_SCHEMA = 1
+_CACHE_SCHEMA = 1
 
 #: Default cache root (relative to the working directory) and the
 #: environment override honoured by :func:`default_cache_dir`.
-DEFAULT_CACHE_DIR = ".repro_cache"
+_DEFAULT_CACHE_DIR = ".repro_cache"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 
 def default_cache_dir():
-    return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+    return os.environ.get(CACHE_DIR_ENV) or _DEFAULT_CACHE_DIR
 
 
-class CacheStats:
+# Result type exposed as ResultCache.stats; consumers read the
+# counters off the instance rather than importing the class.
+class CacheStats:  # simlint: ok L-api-drift
     """Hit/miss/store counters for one runner invocation."""
 
     __slots__ = ("hits", "misses", "stores", "evictions")
@@ -76,7 +78,7 @@ class ResultCache:
             return False, None
         if (
             not isinstance(document, dict)
-            or document.get("schema") != CACHE_SCHEMA
+            or document.get("schema") != _CACHE_SCHEMA
             or document.get("digest") != digest
             or "result" not in document
         ):
@@ -89,7 +91,7 @@ class ResultCache:
     def store(self, digest, result, spec=None):
         """Atomically persist ``result`` under ``digest``."""
         path = self.path_for(digest)
-        document = {"schema": CACHE_SCHEMA, "digest": digest, "result": result}
+        document = {"schema": _CACHE_SCHEMA, "digest": digest, "result": result}
         if spec is not None:
             document["spec"] = spec.to_json()
         temp = path + ".tmp.%d" % os.getpid()

@@ -19,7 +19,37 @@ import importlib.util
 
 #: Bump when the execution contract changes (result normalization, the
 #: worker protocol, ...) — invalidates every previously cached result.
-FINGERPRINT_SCHEMA = "repro-runner-v1"
+_FINGERPRINT_SCHEMA = "repro-runner-v1"
+
+
+def source_digest(data):
+    """SHA-256 hex digest of one file's source bytes.
+
+    The per-file half of :func:`closure_digest`, exposed on its own so
+    other content-addressed caches (simlint's incremental lint cache)
+    key on the exact same notion of "this file changed": source bytes,
+    not mtimes or bytecode.
+    """
+    return hashlib.sha256(data).hexdigest()
+
+
+def file_digest(path, memo=None):
+    """:func:`source_digest` of the file at ``path``.
+
+    ``memo`` (optional dict, shared with :func:`module_closure`) caches
+    digests under ``("digest", path)`` so a tree walk that fingerprints
+    and lints the same files reads each one once.
+    """
+    key = ("digest", path)
+    if memo is not None:
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+    with open(path, "rb") as handle:
+        digest = source_digest(handle.read())
+    if memo is not None:
+        memo[key] = digest
+    return digest
 
 
 def _spec_origin(module_name):
@@ -112,7 +142,7 @@ def closure_digest(module_name, memo=None):
         memo = {}
     closure = module_closure(module_name, memo=memo)
     digest = hashlib.sha256()
-    digest.update(FINGERPRINT_SCHEMA.encode("utf-8"))
+    digest.update(_FINGERPRINT_SCHEMA.encode("utf-8"))
     for name in sorted(closure):
         source = memo.get(("source", name))
         if source is None:

@@ -121,7 +121,7 @@ class RunReport:
         )
 
 
-def execute_spec_isolated(key, fn_path, kwargs, seed):
+def _execute_spec_isolated(key, fn_path, kwargs, seed):
     """Run one task body under a fresh process-default registry.
 
     Returns ``(value, seconds, telemetry)``.  Shared by the pool workers
@@ -148,7 +148,7 @@ def _worker_init(path_entries):
 
 def _worker_run(payload):
     index, key, fn_path, kwargs, seed = payload
-    value, seconds, telemetry = execute_spec_isolated(key, fn_path, kwargs, seed)
+    value, seconds, telemetry = _execute_spec_isolated(key, fn_path, kwargs, seed)
     return index, value, seconds, telemetry
 
 
@@ -214,7 +214,7 @@ def run_tasks(specs, workers=None, cache=None, refresh=False):
                     )
         else:
             for index, spec, digest in pending:
-                value, seconds, telemetry = execute_spec_isolated(
+                value, seconds, telemetry = _execute_spec_isolated(
                     spec.key, spec.fn, spec.kwargs, spec.seed,
                 )
                 slots[index] = TaskResult(

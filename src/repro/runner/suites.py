@@ -70,7 +70,7 @@ def build_figures(trim=False):
     return specs
 
 
-def build_figures_smoke():
+def _build_figures_smoke():
     return build_figures(trim=True)
 
 
@@ -123,7 +123,7 @@ def check_determinism(report):
     return problems
 
 
-def build_health():
+def _build_health():
     """Fleet health cells: one seeded health document per (scenario, seed).
 
     Two seeds of the smoke scenario keep the suite CI-fast; the churn
@@ -219,11 +219,11 @@ SUITES = OrderedDict((suite.name, suite) for suite in [
     Suite("figures", "full figure sweeps (Fig 6/8/13/14 + fleet runs)",
           build_figures),
     Suite("figures-smoke", "trimmed figure sweeps (CI-sized)",
-          build_figures_smoke),
+          _build_figures_smoke),
     Suite("determinism", "multi-seed probe + fleet determinism cells",
           build_determinism, check_determinism),
     Suite("health", "fleet health documents + merged incident reports",
-          build_health, check_health),
+          _build_health, check_health),
     Suite("perf", "perf-kernel repeat pairs (event-count determinism)",
           build_perf, check_perf),
 ])

@@ -21,7 +21,7 @@ from repro.training.models import Framework
 BYTES_PER_ELEMENT = 2
 
 #: Megatron and ZeRO-1 reduce gradients in fp32.
-GRAD_BYTES = 4
+_GRAD_BYTES = 4
 
 
 def ring_factor(n):
@@ -79,7 +79,7 @@ def comm_volumes(model, strategy, framework):
         dp_bytes = 3.0 * ring_factor(strategy.dp) / 2.0 * param_bytes
     else:
         shard = model.parameters / (strategy.tp * strategy.pp)
-        dp_bytes = ring_factor(strategy.dp) * shard * GRAD_BYTES
+        dp_bytes = ring_factor(strategy.dp) * shard * _GRAD_BYTES
 
     # -- pipeline parallelism --------------------------------------------
     pp_bytes = 0.0

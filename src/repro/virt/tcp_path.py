@@ -28,11 +28,11 @@ class TcpDatapath(enum.Enum):
 TCP_BASELINE_RATE = Gbps(180.0)
 
 #: Kernel DMA chunk size for TCP (pages per translation).
-TCP_DMA_PAGE_BYTES = 4096
+_TCP_DMA_PAGE_BYTES = 4096
 
 #: Concurrent kernel DMA mappings in flight; IOVA translation walks are
 #: amortized over this window, like the RNIC's ATS pipeline.
-TCP_DMA_PIPELINE_DEPTH = 16
+_TCP_DMA_PIPELINE_DEPTH = 16
 
 
 def tcp_throughput(datapath, iommu=None, bytes_in_flight=64 * 1024 * 1024):
@@ -51,11 +51,11 @@ def tcp_throughput(datapath, iommu=None, bytes_in_flight=64 * 1024 * 1024):
             iommu.create_domain(domain)
             iommu.map(domain, 0x0, 0x4000_0000, bytes_in_flight, pin=False)
         # Charge the per-page IOVA translation against the transfer time.
-        pages = bytes_in_flight // TCP_DMA_PAGE_BYTES
+        pages = bytes_in_flight // _TCP_DMA_PAGE_BYTES
         translation = sum(
-            iommu.rc_translate(domain, page * TCP_DMA_PAGE_BYTES).latency
+            iommu.rc_translate(domain, page * _TCP_DMA_PAGE_BYTES).latency
             for page in range(pages)
-        ) / TCP_DMA_PIPELINE_DEPTH
+        ) / _TCP_DMA_PIPELINE_DEPTH
         wire_time = bytes_in_flight * 8.0 / rate
         rate = bytes_in_flight * 8.0 / (wire_time + translation)
     return rate

@@ -36,7 +36,7 @@ from repro.virt.hypervisor import MemoryMode
 CHURN_SEED = 17
 
 #: Arrival horizon in simulated seconds; the run itself drains fully.
-CHURN_HORIZON = 240.0
+_CHURN_HORIZON = 240.0
 
 #: Mid-run uplink failure window (simulated seconds).  Timed to land on
 #: peak contention, when the failure-sensitive 4-QP legacy tenant is
@@ -100,7 +100,7 @@ def churn_tenants():
 
 def build_churn_fleet(seed=CHURN_SEED, tracer=None, registry=None,
                       policy=PlacementPolicy.SPREAD, tenants=None,
-                      horizon=CHURN_HORIZON, failure=True, flight=None):
+                      horizon=_CHURN_HORIZON, failure=True, flight=None):
     """Assemble (but do not run) the 16-host / 3-tenant churn scenario.
 
     ``SPREAD`` placement is the scenario default: it scatters rings
@@ -133,7 +133,7 @@ def build_churn_fleet(seed=CHURN_SEED, tracer=None, registry=None,
 
 def run_churn(seed=CHURN_SEED, tracer=None, registry=None,
               policy=PlacementPolicy.SPREAD, tenants=None,
-              horizon=CHURN_HORIZON, failure=True, flight=None):
+              horizon=_CHURN_HORIZON, failure=True, flight=None):
     """Run the churn scenario to drain; returns ``(fleet, result)``."""
     fleet = build_churn_fleet(
         seed=seed, tracer=tracer, registry=registry, policy=policy,

@@ -403,7 +403,8 @@ class TestHarness:
     def test_every_rule_has_description(self):
         assert set(RULES) == {
             "D-random", "D-wallclock", "D-set-iter", "D-id-key",
-            "D-taskpure", "L-layer", "L-private", "A-snapshot-pair",
+            "D-taskpure", "D-taskpure-deep", "D-sim-pure",
+            "L-layer", "L-private", "L-api-drift", "A-snapshot-pair",
             "A-snapshot-plain", "A-flight-plain",
         }
         assert all(RULES.values())

@@ -1,0 +1,210 @@
+"""Incremental lint cache + ``python -m repro.lint`` CLI contract tests.
+
+The acceptance bar for the cache: a warm run over an unchanged tree
+re-parses *zero* files (``stats["parsed"] == 0``), and touching one file
+re-parses exactly that file.  The cache is keyed on per-file source
+digests plus the lint package's own source closure, so rule edits can
+never replay stale results."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.lint import DEFAULT_CACHE_PATH, lint_project
+from repro.lint.engine import LINT_CACHE_SCHEMA
+from repro.runner.fingerprint import file_digest, source_digest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _write_tree(root):
+    files = {
+        "alpha.py": "def alpha():\n    return 1\n",
+        "beta.py": "def beta():\n    return 2\n",
+        "gamma.py": "import random\n",  # one deliberate violation
+    }
+    for name, source in files.items():
+        (root / name).write_text(source)
+    return sorted(files)
+
+
+class TestIncrementalCache:
+    def test_warm_run_reparses_nothing(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        names = _write_tree(tree)
+        cache = str(tmp_path / "cache.json")
+
+        cold = lint_project([str(tree)], cache_path=cache)
+        assert cold.stats["parsed"] == len(names)
+        assert cold.stats["cache_hits"] == 0
+        assert [v.rule for v in cold.violations] == ["D-random"]
+
+        warm = lint_project([str(tree)], cache_path=cache)
+        assert warm.stats["parsed"] == 0
+        assert warm.stats["cache_hits"] == len(names)
+        # Replayed violations are identical to the cold run's.
+        assert [repr(v) for v in warm.violations] == \
+            [repr(v) for v in cold.violations]
+        # The deep stats still come from a freshly resolved graph.
+        assert warm.stats["functions"] == cold.stats["functions"]
+
+    def test_touching_one_file_reparses_only_it(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        names = _write_tree(tree)
+        cache = str(tmp_path / "cache.json")
+        lint_project([str(tree)], cache_path=cache)
+
+        (tree / "beta.py").write_text("def beta():\n    return 3\n")
+        touched = lint_project([str(tree)], cache_path=cache)
+        assert touched.stats["parsed"] == 1
+        assert touched.stats["cache_hits"] == len(names) - 1
+
+    def test_corrupt_cache_degrades_to_a_cold_run(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        names = _write_tree(tree)
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        report = lint_project([str(tree)], cache_path=str(cache))
+        assert report.stats["parsed"] == len(names)
+        # And the bad cache was replaced by a valid one.
+        payload = json.loads(cache.read_text())
+        assert payload["schema"] == LINT_CACHE_SCHEMA
+        assert sorted(
+            os.path.basename(p) for p in payload["files"]
+        ) == names
+
+    def test_foreign_schema_cache_is_ignored(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        names = _write_tree(tree)
+        cache = tmp_path / "cache.json"
+        cache.write_text(json.dumps({
+            "schema": "something-else", "lint_digest": "x", "files": {},
+        }))
+        report = lint_project([str(tree)], cache_path=str(cache))
+        assert report.stats["parsed"] == len(names)
+
+    def test_no_cache_mode_writes_nothing(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        _write_tree(tree)
+        cache = tmp_path / "cache.json"
+        report = lint_project(
+            [str(tree)], cache_path=str(cache), use_cache=False,
+        )
+        assert report.stats["cache_hits"] == 0
+        assert not cache.exists()
+
+    def test_reference_paths_are_cached_too(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        names = _write_tree(tree)
+        refs = tmp_path / "refs"
+        refs.mkdir()
+        (refs / "demo.py").write_text("import random\nprint(alpha)\n")
+        cache = str(tmp_path / "cache.json")
+
+        cold = lint_project(
+            [str(tree)], cache_path=cache, reference_paths=[str(refs)],
+        )
+        # The reference file is parsed but not linted: gamma.py's
+        # D-random is the only finding, not demo.py's.
+        assert cold.stats["parsed"] == len(names) + 1
+        assert {v.path for v in cold.violations} == \
+            {os.path.join(str(tree), "gamma.py")}
+
+        warm = lint_project(
+            [str(tree)], cache_path=cache, reference_paths=[str(refs)],
+        )
+        assert warm.stats["parsed"] == 0
+        assert warm.stats["cache_hits"] == len(names) + 1
+
+
+class TestFingerprintHelpers:
+    def test_source_digest_is_sha256_of_bytes(self):
+        import hashlib
+        data = b"def f():\n    return 1\n"
+        assert source_digest(data) == hashlib.sha256(data).hexdigest()
+
+    def test_file_digest_memoizes(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("x = 1\n")
+        memo = {}
+        first = file_digest(str(path), memo=memo)
+        path.write_text("x = 2\n")
+        assert file_digest(str(path), memo=memo) == first  # memo hit
+        assert file_digest(str(path)) != first  # fresh read sees the edit
+
+
+@pytest.mark.slow
+class TestCli:
+    def _run(self, args, cwd):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.lint"] + args,
+            env=env, cwd=cwd, capture_output=True, text=True, timeout=120,
+        )
+
+    def test_list_rules_json(self, tmp_path):
+        result = self._run(["--list-rules", "--format=json"], str(tmp_path))
+        assert result.returncode == 0, result.stderr
+        payload = json.loads(result.stdout)
+        assert "D-taskpure-deep" in payload["rules"]
+        assert "L-api-drift" in payload["rules"]
+
+    def test_list_rules_text_has_counts(self, tmp_path):
+        result = self._run(["--list-rules"], str(tmp_path))
+        assert result.returncode == 0
+        assert "D-sim-pure" in result.stdout
+        assert result.stdout.rstrip().endswith("rules")
+
+    def test_sarif_output_and_exit_code(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        result = self._run(
+            [str(dirty), "--format=sarif", "--no-cache"], str(tmp_path),
+        )
+        assert result.returncode == 1
+        doc = json.loads(result.stdout)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "D-random"
+
+    def test_output_file_and_clean_exit(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("_x = 1\n")
+        out = tmp_path / "report.sarif"
+        result = self._run(
+            [str(clean), "--format=sarif", "--output", str(out),
+             "--no-cache"],
+            str(tmp_path),
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert json.loads(out.read_text())["runs"][0]["results"] == []
+
+    def test_missing_path_is_a_usage_error(self, tmp_path):
+        result = self._run(["no/such/dir"], str(tmp_path))
+        assert result.returncode == 2
+        assert "no such path" in result.stderr
+
+    def test_default_cache_location_is_cwd_relative(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("_x = 1\n")
+        result = self._run([str(target)], str(tmp_path))
+        assert result.returncode == 0
+        assert (tmp_path / DEFAULT_CACHE_PATH).exists()
+
+    def test_refresh_rebuilds_the_cache(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("_x = 1\n")
+        self._run([str(target)], str(tmp_path))
+        result = self._run([str(target), "--refresh"], str(tmp_path))
+        assert result.returncode == 0
+        assert "1 parsed, 0 cached" in result.stdout
