@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint simlint simlint-json simlint-sarif bench bench-smoke perf perf-smoke figures figures-smoke tour examples all clean
+.PHONY: install test lint simlint simlint-json simlint-sarif bench bench-smoke perf perf-smoke figures figures-smoke traces traces-smoke tour examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -78,6 +78,21 @@ figures:
 # invariant the runner must preserve).
 figures-smoke:
 	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro run figures-smoke \
+		--workers 2 --no-cache --check-sequential
+
+# Trace-driven workloads (repro.traces): replay every bundled trace
+# twice through the pooled runner (repeat pairs diffed by the suite
+# check) plus one record→replay round trip.
+traces:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro run --suite traces \
+		$(RUN_ARGS)
+
+# CI-sized trace pass: shape/DAG-validate the bundled library, then
+# replay the smallest bundled trace pooled-vs-sequential (same
+# determinism invariant as figures-smoke).
+traces-smoke:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro trace validate
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro run --suite traces-smoke \
 		--workers 2 --no-cache --check-sequential
 
 tour:

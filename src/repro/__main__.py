@@ -238,6 +238,12 @@ def main(argv=None):
         from repro.runner.__main__ import main as runner_main
 
         return runner_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # Trace-driven workloads (repro.traces):
+        # ``python -m repro trace {validate,replay,record} ...``.
+        from repro.traces.cli import main as trace_main
+
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Quick tour of the Stellar reproduction (%s)" % __version__,

@@ -44,6 +44,7 @@ from repro.obs.slo import (
 from repro.sim.engine import EventScheduler
 from repro.sim.rng import RngStream
 from repro.sim.units import GB
+from repro.training.comms import comm_volumes
 from repro.training.models import MODELS
 from repro.training.trainer import (
     CostModelConfig,
@@ -158,6 +159,7 @@ class FleetSimulation:
         congestion_dt=0.005,
         congestion_seconds=0.03,
         flight=None,
+        trace_recorder=None,
     ):
         self.topology = topology
         self.seed = seed
@@ -166,6 +168,10 @@ class FleetSimulation:
         #: are passive observers: attaching them cannot perturb the run
         #: (repro.obs.determinism asserts exactly that).
         self.flight = flight
+        #: Optional duck-typed TraceRecorder (repro.traces): passive like
+        #: the flight recorder — it only receives on_iteration_block()
+        #: callbacks, so attaching one cannot perturb the run either.
+        self.trace_recorder = trace_recorder
         self.slo = SloBoard(flight=flight)
         self.engine = EventScheduler(tracer=tracer)
         if hosts is None:
@@ -361,6 +367,11 @@ class FleetSimulation:
             )
         for slot, container in enumerate(job.containers):
             job.hosts[slot].touch(container, job.touch_pages[container.name])
+        if self.trace_recorder is not None:
+            self.trace_recorder.on_iteration_block(
+                now, job.spec.name, job.spec.strategy.dp, block,
+                seconds, job.dp_seconds or 0.0, self._dp_volume(job),
+            )
         job.iterations_done += block
         if job.done:
             self.engine.schedule(block * seconds, partial(self._on_complete, job))
@@ -543,8 +554,14 @@ class FleetSimulation:
         per_gpu = task.bus_bandwidth_bytes() * self.topology.rails / per_host_gpus
         return max(per_gpu * self.failure_penalty(job), _MIN_DP_BANDWIDTH)
 
-    def _iteration_seconds(self, job, dp_bandwidth):
-        breakdown = self.trainer.train(
+    def _dp_volume(self, job):
+        """Per-rank DP-allreduce bytes for the trace recorder hook."""
+        return int(comm_volumes(
+            MODELS[job.spec.model], job.spec.strategy, job.spec.framework
+        ).dp)
+
+    def _iteration_breakdown(self, job, dp_bandwidth):
+        return self.trainer.train(
             MODELS[job.spec.model],
             job.spec.strategy,
             framework=job.spec.framework,
@@ -552,15 +569,21 @@ class FleetSimulation:
             secure_container=True,
             dp_bandwidth=dp_bandwidth,
         )
-        return breakdown.total
 
     def _isolated_iter_seconds(self, job):
-        """The job alone on a clean fabric — the slowdown baseline."""
+        """The job alone on a clean fabric — the slowdown baseline.
+
+        Also stashes the baseline's DP-allreduce share on the job
+        (``iso_dp_seconds``), which the trace recorder hook reads for
+        single-host jobs that never enter a congestion epoch.
+        """
         if len(job.unique_hosts()) < 2:
             # Single-host ring: NVLink-assisted DP, no fabric traffic.
-            return self._iteration_seconds(
+            breakdown = self._iteration_breakdown(
                 job, CostModelConfig().intra_server_dp_bandwidth
             )
+            job.iso_dp_seconds = breakdown.dp
+            return breakdown.total
         sim = FluidSimulation(self.topology, dt=self.congestion_dt,
                               seed=self.seed)
         task = self._launch_ring(job, sim)
@@ -570,7 +593,9 @@ class FleetSimulation:
             task.bus_bandwidth_bytes() * self.topology.rails / per_host_gpus,
             _MIN_DP_BANDWIDTH,
         )
-        return self._iteration_seconds(job, per_gpu)
+        breakdown = self._iteration_breakdown(job, per_gpu)
+        job.iso_dp_seconds = breakdown.dp
+        return breakdown.total
 
     def _recompute_rates(self):
         """One congestion epoch: reprice every running job's iteration.
@@ -600,7 +625,7 @@ class FleetSimulation:
             cached = self._epoch_cache.get(epoch_key)
             if cached is not None:
                 for job in multi:
-                    job.iter_seconds = cached[job.index]
+                    job.iter_seconds, job.dp_seconds = cached[job.index]
             else:
                 contended = ContendedTopology(
                     self.topology, self._background_rates(running)
@@ -612,15 +637,19 @@ class FleetSimulation:
                     tasks.append((job, self._launch_ring(job, sim)))
                 sim.run(duration=self.congestion_seconds)
                 for job, task in tasks:
-                    job.iter_seconds = self._iteration_seconds(
+                    breakdown = self._iteration_breakdown(
                         job, self._per_gpu_bandwidth(job, task)
                     )
+                    job.iter_seconds = breakdown.total
+                    job.dp_seconds = breakdown.dp
                 self._epoch_cache[epoch_key] = {
-                    job.index: job.iter_seconds for job in multi
+                    job.index: (job.iter_seconds, job.dp_seconds)
+                    for job in multi
                 }
         for job in running:
             if len(job.unique_hosts()) < 2:
                 job.iter_seconds = job.iso_iter_seconds
+                job.dp_seconds = job.iso_dp_seconds
         if self.tracer is not None:
             self.tracer.counter("fleet", self.engine.now, {
                 "running": self._running,

@@ -112,6 +112,8 @@ class Job:
         self.slowdown_samples = []   # iter_seconds / isolated iter_seconds
         self.iter_seconds = None     # current contended estimate
         self.iso_iter_seconds = None # measured alone on a clean fabric
+        self.dp_seconds = None       # DP-allreduce share of iter_seconds
+        self.iso_dp_seconds = None   # DP share of the isolated baseline
         self.abort_event = None
 
     @property

@@ -78,7 +78,8 @@ RULES = {
     "L-layer": (
         "import breaks the layer DAG (sim/obs import no domain layer, "
         "memory/pcie never import virt/training, nothing imports legacy, "
-        "only workloads imports the cluster layer)"
+        "only workloads imports the cluster layer, traces is imported "
+        "only by workloads/runner/perf and never imports the obs probe)"
     ),
     "L-private": (
         "cross-module private-attribute access x._attr; use the public "
@@ -108,7 +109,7 @@ RULES = {
 _DOMAIN_LAYERS = frozenset({
     "core", "memory", "pcie", "rnic", "net", "virt", "training",
     "collectives", "workloads", "analysis", "legacy", "calibration",
-    "cluster", "perf", "runner",
+    "cluster", "perf", "runner", "traces",
 })
 
 #: Infrastructure layers every domain layer may depend on — never the
@@ -390,6 +391,26 @@ def layer_violation(importer_module, imported_module):
     # legacy, covered above); below it only workloads may drive a fleet.
     if dst == "cluster" and src is not None and src not in ("cluster", "workloads"):
         return "repro.%s must not import the cluster layer (only workloads may)" % src
+    # traces sits beside workloads: it builds on sim/net/training/
+    # collectives and the passive obs surface, and is consumed only by
+    # the drivers (workloads tooling, runner tasks, perf kernels).  The
+    # fleet's trace recorder arrives via a duck-typed ctor hook, never an
+    # import — same inversion as the flight recorder.
+    if dst == "traces" and src is not None and src not in (
+        "traces", "workloads", "runner", "perf", "__main__"
+    ):
+        return (
+            "repro.%s must not import the traces layer (recorders attach "
+            "via duck-typed hooks; only workloads/runner/perf replay)" % src
+        )
+    if src == "traces" and (
+        imported_module == "repro.obs.probe"
+        or imported_module.startswith("repro.obs.probe.")
+    ):
+        return (
+            "%s must not import repro.obs.probe; traces feed the obs "
+            "plane via record() hooks, not imports" % importer_module
+        )
     return None
 
 

@@ -94,6 +94,8 @@ KERNELS = OrderedDict(
         KernelSpec("runner_fanout", _kernels.runner_fanout_kernel, 2,
                    "N fig11 rings via repro.runner pool (repeat 2 is "
                    "warm-cache)"),
+        KernelSpec("trace_replay", _kernels.trace_replay_kernel, 2,
+                   "bundled MoE trace replayed on its 8-host ring"),
     ]
 )
 

@@ -331,3 +331,45 @@ def fleet_churn_kernel(smoke=False):
             "sim_seconds": round(fleet.engine.now, 3),
         },
     }
+
+
+def trace_replay_kernel(smoke=False):
+    """Trace-DAG replay: the bundled MoE trace on its 8-host ring.
+
+    End to end through ``repro.traces``: host bring-up (8 StellarHosts,
+    one RunD container per rank), DAG execution over the EventScheduler,
+    and fluid pricing of every unique collective shape (4 uneven
+    alltoalls + 4 allreduces per pass).  Events count scheduler
+    dispatches plus fluid solver flow-steps, which is where the time
+    goes.  Smoke replays a 2-iteration trace built by the same builder —
+    smaller workload, identical shape.
+    """
+    from repro.traces.builders import build_moe_trace
+    from repro.traces.library import load_bundled
+    from repro.traces.replay import TraceReplayer
+
+    if smoke:
+        replays = 2
+        trace = build_moe_trace(iterations=2)
+    else:
+        replays = 8
+        trace = load_bundled("moe_training")
+    events = 0
+    makespans = set()
+    for _ in range(replays):
+        replayer = TraceReplayer(trace, seed=17)
+        result = replayer.run()
+        events += replayer.scheduler.events_executed + replayer.pricing_events
+        makespans.add(round(result.makespan, 12))
+    # Same trace, same seed: every replay must land on the same makespan.
+    assert len(makespans) == 1, makespans
+    return {
+        "events": events,
+        "meta": {
+            "trace": trace.name,
+            "ops": len(trace.ops),
+            "ranks": trace.ranks,
+            "replays": replays,
+            "makespan": makespans.pop(),
+        },
+    }

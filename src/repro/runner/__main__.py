@@ -27,9 +27,14 @@ def build_parser():
                     "result caching.",
     )
     parser.add_argument(
-        "suite", nargs="?", default="figures-smoke",
+        "suite", nargs="?", default=None,
         choices=sorted(SUITES),
-        help="task suite to run (default: %(default)s)",
+        help="task suite to run (default: figures-smoke)",
+    )
+    parser.add_argument(
+        "--suite", dest="suite_opt", default=None, metavar="NAME",
+        choices=sorted(SUITES),
+        help="task suite to run (same as the positional form)",
     )
     parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -101,6 +106,11 @@ def main(argv=None):
             print("%-16s %s" % (name, suite.description))
         return 0
 
+    if args.suite and args.suite_opt and args.suite != args.suite_opt:
+        print("conflicting suites: %r and --suite %r"
+              % (args.suite, args.suite_opt), file=sys.stderr)
+        return 2
+    args.suite = args.suite_opt or args.suite or "figures-smoke"
     suite = SUITES[args.suite]
     specs = suite.build()
     workers = args.workers if args.workers is not None else default_workers()

@@ -16,8 +16,9 @@ what simlint's ``D-taskpure`` rule keys on.
 import hashlib
 import importlib
 import json
+import os
 
-from repro.runner.fingerprint import closure_digest
+from repro.runner.fingerprint import closure_digest, file_digest
 
 
 class TaskError(ValueError):
@@ -89,16 +90,20 @@ def normalize_result(value):
 
 
 class TaskSpec:
-    """One pure unit of work: callable path + kwargs + seed.
+    """One pure unit of work: callable path + kwargs + seed + data files.
 
     ``key`` is the stable merge key results are ordered by; it must be
     unique within a batch.  ``kwargs`` must be JSON-plain (they enter the
     digest via canonical JSON and cross the process boundary by pickle).
+    ``data_files`` declares file inputs the task reads (e.g. a trace
+    file): their *content* digests enter the cache identity, closing the
+    blind spot where the source-closure digest alone would serve stale
+    cached results after a data file changes.
     """
 
-    __slots__ = ("key", "fn", "kwargs", "seed")
+    __slots__ = ("key", "fn", "kwargs", "seed", "data_files")
 
-    def __init__(self, key, fn, kwargs=None, seed=None):
+    def __init__(self, key, fn, kwargs=None, seed=None, data_files=None):
         if not key or not isinstance(key, str):
             raise TaskError("task key must be a non-empty string: %r" % key)
         if not isinstance(fn, str) or ":" not in fn:
@@ -107,6 +112,12 @@ class TaskSpec:
         self.fn = fn
         self.kwargs = dict(kwargs or {})
         self.seed = seed
+        self.data_files = tuple(data_files or ())
+        for path in self.data_files:
+            if not isinstance(path, str):
+                raise TaskError(
+                    "data_files for %r must be path strings: %r" % (key, path)
+                )
         try:
             canonical_json(self.kwargs)
         except (TypeError, ValueError) as exc:
@@ -120,14 +131,35 @@ class TaskSpec:
 
     def spec_payload(self):
         """The argument half of the cache identity (JSON-plain)."""
-        return {"fn": self.fn, "kwargs": self.kwargs, "seed": self.seed}
+        payload = {"fn": self.fn, "kwargs": self.kwargs, "seed": self.seed}
+        if self.data_files:
+            payload["data_files"] = list(self.data_files)
+        return payload
+
+    def data_digests(self, memo=None):
+        """Content digest of every declared data file, in declared order.
+
+        Paths are digested by *content*, not name — editing a trace file
+        in place invalidates exactly the cached results that read it.  A
+        missing file is an error at digest time, before any pool work.
+        """
+        digests = []
+        for path in self.data_files:
+            if not os.path.isfile(path):
+                raise TaskError(
+                    "data file for %r not found: %s" % (self.key, path)
+                )
+            digests.append(file_digest(path, memo=memo))
+        return digests
 
     def digest(self, memo=None):
-        """Content address: SHA-256 over code closure + canonical spec."""
+        """Content address: SHA-256 over code closure + data files +
+        canonical spec."""
         code = closure_digest(self.module, memo=memo)
+        parts = [code] + self.data_digests(memo=memo)
         payload = canonical_json(self.spec_payload())
         return hashlib.sha256(
-            (code + "\x00" + payload).encode("utf-8")
+            ("\x00".join(parts) + "\x00" + payload).encode("utf-8")
         ).hexdigest()
 
     # -- execution -------------------------------------------------------

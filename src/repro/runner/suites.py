@@ -18,8 +18,9 @@ from repro.runner.spec import TaskSpec
 _TASKS = "repro.runner.tasks"
 
 
-def _spec(key, fn, kwargs=None, seed=None):
-    return TaskSpec(key, "%s:%s" % (_TASKS, fn), kwargs, seed=seed)
+def _spec(key, fn, kwargs=None, seed=None, data_files=None):
+    return TaskSpec(key, "%s:%s" % (_TASKS, fn), kwargs, seed=seed,
+                    data_files=data_files)
 
 
 # -- builders ------------------------------------------------------------
@@ -203,6 +204,72 @@ def check_perf(report):
     return problems
 
 
+def build_traces(trim=False):
+    """Replay cells over the bundled trace library.
+
+    Every bundled trace replays twice at fluid fidelity (repeat pairs the
+    check diffs for determinism), the smallest also at packet fidelity,
+    plus one record→replay round-trip cell.  Each replay spec declares
+    its trace file as a ``data_files`` input, so regenerating a bundled
+    trace invalidates exactly the cached cells that read it.  ``trim``
+    keeps only the smallest trace's cells (the CI smoke suite).
+    """
+    from repro.traces.library import BUNDLED, bundled_path, smallest_bundled
+
+    smallest = smallest_bundled()
+    names = (smallest,) if trim else BUNDLED
+    specs = []
+    for name in names:
+        for run in (0, 1):
+            specs.append(_spec(
+                "traces/%s/fluid/run%d" % (name, run),
+                "trace_replay",
+                {"trace": name, "fidelity": "fluid", "run": run},
+                seed=17, data_files=[bundled_path(name)],
+            ))
+    specs.append(_spec(
+        "traces/%s/packet/run0" % smallest,
+        "trace_replay",
+        {"trace": smallest, "fidelity": "packet", "run": 0},
+        seed=17, data_files=[bundled_path(smallest)],
+    ))
+    if not trim:
+        specs.append(_spec(
+            "traces/roundtrip/smoke", "trace_roundtrip",
+            {"scenario": "smoke"}, seed=17,
+        ))
+    return specs
+
+
+def _build_traces_smoke():
+    return build_traces(trim=True)
+
+
+def check_traces(report):
+    """Repeat pairs must replay identically, op for op."""
+    problems = []
+    by_cell = {}
+    for key, value in report.rows():
+        if "/fluid/" in key or "/packet/" in key:
+            prefix, _, _ = key.rpartition("/")  # strip the runN leg
+            scrubbed = dict(value)
+            scrubbed.pop("run", None)
+            by_cell.setdefault(prefix, []).append((key, scrubbed))
+        elif key.startswith("traces/roundtrip/"):
+            if not value.get("collective_sequence"):
+                problems.append(
+                    "%s: round trip recorded no collectives" % key
+                )
+    for prefix, cells in sorted(by_cell.items()):
+        rows = [value for _, value in cells]
+        if any(row != rows[0] for row in rows[1:]):
+            problems.append("%s: repeat replays disagree" % prefix)
+        for key, value in cells:
+            if value["ops"] != sum(value["kind_counts"].values()):
+                problems.append("%s: op counts inconsistent" % key)
+    return problems
+
+
 class Suite:
     """A named spec batch plus its post-merge consistency check."""
 
@@ -226,4 +293,8 @@ SUITES = OrderedDict((suite.name, suite) for suite in [
           _build_health, check_health),
     Suite("perf", "perf-kernel repeat pairs (event-count determinism)",
           build_perf, check_perf),
+    Suite("traces", "bundled trace replays + record/replay round trip",
+          build_traces, check_traces),
+    Suite("traces-smoke", "smallest bundled trace replay (CI-sized)",
+          _build_traces_smoke, check_traces),
 ])

@@ -248,3 +248,56 @@ def fig11_ring(seed=17, servers=8, window=0.002, loss=0.03):
         "rtos": sum(r.rtos for r in results),
         "delivered_bytes": sum(r.bytes_acked for r in results),
     }
+
+
+# -- Trace-driven workloads (repro.traces) ------------------------------
+
+
+@task
+def trace_replay(trace="checkpoint_burst", fidelity="fluid", run=0, seed=17):
+    """Replay one bundled trace; returns the JSON-plain replay row.
+
+    The spec that builds this task declares the trace file under
+    ``data_files``, so the result cache keys off the file *content* —
+    regenerating or hand-editing a bundled trace invalidates exactly the
+    cells that read it.  ``run`` keeps repeat cells distinct so the
+    suite check can assert replay determinism across the pool.
+    """
+    from repro.traces.library import load_bundled
+    from repro.traces.replay import replay_trace
+
+    result = replay_trace(load_bundled(trace), fidelity=fidelity, seed=seed)
+    row = result.to_row()
+    row["run"] = run
+    return row
+
+
+@task
+def trace_roundtrip(scenario="smoke", job=None, seed=17):
+    """Record a fleet run, replay one job's trace, return both digests.
+
+    The recorded trace digest is a pure function of the seeded fleet
+    run, and the replay row is a pure function of the trace — the suite
+    check (and the round-trip determinism tests) assert both stay
+    bit-identical across repeats and across the pool boundary.
+    """
+    from repro.traces.record import TraceRecorder
+    from repro.traces.replay import replay_trace
+    from repro.workloads.fleet_bench import run_fleet_smoke
+
+    if scenario != "smoke":
+        raise ValueError("unknown roundtrip scenario %r" % scenario)
+    recorder = TraceRecorder()
+    run_fleet_smoke(seed=seed, trace_recorder=recorder)
+    job = job or recorder.job_names()[0]
+    trace = recorder.trace(job)
+    replay = replay_trace(trace, fidelity="recorded", seed=seed)
+    return {
+        "job": job,
+        "trace_digest": trace.digest(),
+        "ops": len(trace.ops),
+        "collective_sequence": replay.op_sequence(kinds=(
+            "allreduce", "allgather", "reducescatter", "alltoall",
+        )),
+        "replay": replay.to_row(),
+    }

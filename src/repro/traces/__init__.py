@@ -1,0 +1,32 @@
+"""Trace-driven workloads: schema, record/replay, and a bundled library.
+
+See EXPERIMENTS.md "Trace-driven workloads" for the schema reference and
+the record -> replay walkthrough.
+"""
+
+from repro.traces.record import TraceRecorder, record_training
+from repro.traces.replay import ReplayResult, TraceReplayer, replay_trace
+from repro.traces.schema import (
+    SCHEMA_VERSION,
+    Trace,
+    TraceError,
+    TraceOp,
+    load_trace,
+    topological_order,
+    validate_trace,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Trace",
+    "TraceError",
+    "TraceOp",
+    "TraceRecorder",
+    "TraceReplayer",
+    "ReplayResult",
+    "load_trace",
+    "record_training",
+    "replay_trace",
+    "topological_order",
+    "validate_trace",
+]

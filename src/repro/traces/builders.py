@@ -1,0 +1,146 @@
+"""Deterministic builders for the bundled trace library.
+
+Each builder is a pure function of its arguments (randomness comes only
+from a seeded :class:`~repro.sim.rng.RngStream`), so regenerating a
+bundled trace always reproduces the checked-in file byte for byte — the
+library test asserts exactly that, and the runner's data-file digests
+(:mod:`repro.runner.spec`) key the result cache off the same bytes.
+
+Three scenario shapes the synthetic generators never covered:
+
+* **MoE training** — per-iteration expert dispatch as an *uneven*
+  alltoall (seeded per-rank skew weights, the hot-expert pathology),
+  framed by compute spans and a gradient allreduce.
+* **RAG inference pipeline** — a frontend fanning requests to retriever
+  and generator ranks as short P2P send/recv bursts with real
+  dependency chains (response waits on retrieval, generation on both).
+* **Checkpoint-to-storage burst** — every trainer rank flushing its
+  shard to one storage rank at once: the classic incast.
+"""
+
+from repro.sim.rng import RngStream
+from repro.traces.schema import Trace, TraceOp
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+def build_moe_trace(seed=17, ranks=8, iterations=4,
+                    dispatch_bytes=2 * MiB, grad_bytes=8 * MiB):
+    """MoE training: compute -> uneven expert alltoall -> compute ->
+    gradient allreduce, per iteration."""
+    rng = RngStream(seed, "traces", "moe")
+    trace = Trace("moe_training", ranks,
+                  meta={"seed": seed, "scenario": "moe",
+                        "iterations": iterations})
+    group = list(range(ranks))
+    previous = []
+    for it in range(iterations):
+        forward = []
+        for rank in group:
+            forward.append(trace.add(TraceOp(
+                "it%02d-fwd%d" % (it, rank), "compute", rank=rank,
+                seconds=round(0.0015 + 0.0005 * rng.random(), 9),
+                deps=list(previous),
+            )))
+        # Hot experts: per-sender skew in [0.5, 2.5), redrawn each
+        # iteration (expert routing shifts as the gate trains).
+        skew = [round(0.5 + 2.0 * rng.random(), 6) for _ in group]
+        dispatch = trace.add(TraceOp(
+            "it%02d-a2a" % it, "alltoall", ranks=group,
+            size_bytes=dispatch_bytes, deps=[op.id for op in forward],
+            meta={"skew": skew},
+        ))
+        expert = []
+        for rank in group:
+            expert.append(trace.add(TraceOp(
+                "it%02d-exp%d" % (it, rank), "compute", rank=rank,
+                seconds=round(0.001 + 0.001 * skew[rank] / 2.5, 9),
+                deps=[dispatch.id],
+            )))
+        gradients = trace.add(TraceOp(
+            "it%02d-ar" % it, "allreduce", ranks=group,
+            size_bytes=grad_bytes, deps=[op.id for op in expert],
+        ))
+        previous = [gradients.id]
+    return trace
+
+
+def build_rag_trace(seed=17, requests=6, retrievers=2, generators=3,
+                    query_bytes=32 * KiB, prompt_bytes=256 * KiB,
+                    response_bytes=64 * KiB):
+    """RAG inference: frontend -> retriever -> generator -> frontend,
+    one short P2P burst chain per request (requests overlap freely)."""
+    rng = RngStream(seed, "traces", "rag")
+    ranks = 1 + retrievers + generators
+    trace = Trace("rag_pipeline", ranks,
+                  meta={"seed": seed, "scenario": "rag",
+                        "requests": requests})
+    frontend = 0
+    for req in range(requests):
+        retriever = 1 + req % retrievers
+        generator = 1 + retrievers + req % generators
+        embed = trace.add(TraceOp(
+            "q%02d-embed" % req, "compute", rank=frontend,
+            seconds=round(0.0002 + 0.0001 * rng.random(), 9),
+        ))
+        ask = trace.add(TraceOp(
+            "q%02d-ask" % req, "send", rank=frontend, peer=retriever,
+            size_bytes=query_bytes, deps=[embed.id],
+        ))
+        lookup = trace.add(TraceOp(
+            "q%02d-lookup" % req, "compute", rank=retriever,
+            seconds=round(0.0008 + 0.0006 * rng.random(), 9),
+            deps=[ask.id],
+        ))
+        context = trace.add(TraceOp(
+            "q%02d-ctx" % req, "send", rank=retriever, peer=generator,
+            size_bytes=prompt_bytes, deps=[lookup.id],
+        ))
+        got_ctx = trace.add(TraceOp(
+            "q%02d-gotctx" % req, "recv", rank=generator, peer=retriever,
+            deps=[context.id],
+        ))
+        generate = trace.add(TraceOp(
+            "q%02d-gen" % req, "compute", rank=generator,
+            seconds=round(0.004 + 0.002 * rng.random(), 9),
+            deps=[got_ctx.id],
+        ))
+        answer = trace.add(TraceOp(
+            "q%02d-answer" % req, "send", rank=generator, peer=frontend,
+            size_bytes=response_bytes, deps=[generate.id],
+        ))
+        trace.add(TraceOp(
+            "q%02d-done" % req, "recv", rank=frontend, peer=generator,
+            deps=[answer.id],
+        ))
+    return trace
+
+
+def build_checkpoint_trace(seed=17, trainers=6, shard_bytes=24 * MiB):
+    """Checkpoint burst: every trainer flushes its shard to one storage
+    rank at the same instant — the incast the fabric has to absorb."""
+    rng = RngStream(seed, "traces", "checkpoint")
+    storage = trainers
+    trace = Trace("checkpoint_burst", trainers + 1,
+                  meta={"seed": seed, "scenario": "checkpoint",
+                        "trainers": trainers})
+    recvs = []
+    for rank in range(trainers):
+        serialize = trace.add(TraceOp(
+            "t%d-ser" % rank, "compute", rank=rank,
+            seconds=round(0.0005 + 0.0004 * rng.random(), 9),
+        ))
+        flush = trace.add(TraceOp(
+            "t%d-flush" % rank, "send", rank=rank, peer=storage,
+            size_bytes=shard_bytes, deps=[serialize.id],
+        ))
+        recvs.append(trace.add(TraceOp(
+            "t%d-land" % rank, "recv", rank=storage, peer=rank,
+            deps=[flush.id],
+        )))
+    trace.add(TraceOp(
+        "fsync", "compute", rank=storage, seconds=0.002,
+        deps=[op.id for op in recvs],
+    ))
+    return trace

@@ -1,0 +1,179 @@
+"""``python -m repro trace {validate,replay,record}``.
+
+* ``validate`` — load + shape/DAG-check trace files (or, with no paths,
+  every bundled trace); exit 1 on the first invalid file.
+* ``replay`` — replay a trace file or bundled trace name at a chosen
+  fidelity, printing the per-kind op table and makespan; ``--json``
+  writes the full replay row.
+* ``record`` — run a seeded scenario (fleet smoke/churn or a single
+  trainer) with the recorder attached and write each recorded job's
+  trace as JSONL.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.analysis import Table
+from repro.traces.library import BUNDLED, bundled_path, load_bundled
+from repro.traces.record import TraceRecorder, record_training
+from repro.traces.replay import replay_trace
+from repro.traces.schema import TraceError, load_trace, validate_trace
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Trace-driven workloads: validate, replay, record.",
+    )
+    commands = parser.add_subparsers(dest="command", metavar="COMMAND")
+    commands.required = True
+
+    validate = commands.add_parser(
+        "validate", help="shape/DAG-check trace files (default: bundled)",
+    )
+    validate.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="trace files; with none, every bundled trace is checked",
+    )
+
+    replay = commands.add_parser(
+        "replay", help="replay a trace through the simulated stack",
+    )
+    replay.add_argument(
+        "trace", metavar="TRACE",
+        help="a trace file path or a bundled name (%s)" % ", ".join(BUNDLED),
+    )
+    replay.add_argument(
+        "--fidelity", choices=("fluid", "packet", "recorded"),
+        default="fluid", help="op pricing model (default: %(default)s)",
+    )
+    replay.add_argument(
+        "--seed", type=int, default=17, help="replay seed (default: 17)",
+    )
+    replay.add_argument(
+        "--no-hosts", action="store_true",
+        help="skip StellarHost bring-up (no container boot delay)",
+    )
+    replay.add_argument(
+        "--json", metavar="PATH", help="write the replay row as JSON",
+    )
+
+    record = commands.add_parser(
+        "record", help="record traces from a seeded run",
+    )
+    record.add_argument(
+        "--scenario", choices=("smoke", "churn", "trainer"),
+        default="smoke",
+        help="what to record: the 2-host fleet smoke, the 16-host churn "
+             "scenario, or a single analytic trainer (default: %(default)s)",
+    )
+    record.add_argument(
+        "--seed", type=int, default=17, help="scenario seed (default: 17)",
+    )
+    record.add_argument(
+        "--model", default="Llama-13B",
+        help="trainer scenario: model name (default: %(default)s)",
+    )
+    record.add_argument(
+        "--out-dir", default=".", metavar="DIR",
+        help="directory for the recorded .jsonl files (default: .)",
+    )
+    return parser
+
+
+def _resolve(name_or_path):
+    if name_or_path in BUNDLED:
+        return load_bundled(name_or_path)
+    return load_trace(name_or_path)
+
+
+def _cmd_validate(args):
+    paths = args.paths or [bundled_path(name) for name in BUNDLED]
+    status = 0
+    for path in paths:
+        try:
+            trace = load_trace(path, validate=False)
+        except TraceError as exc:
+            print("INVALID %s: %s" % (path, exc), file=sys.stderr)
+            status = 1
+            continue
+        problems = validate_trace(trace)
+        if problems:
+            for problem in problems:
+                print("INVALID %s: %s" % (path, problem), file=sys.stderr)
+            status = 1
+        else:
+            print("ok %s: %r digest=%s"
+                  % (path, trace, trace.digest()[:12]))
+    return status
+
+
+def _cmd_replay(args):
+    trace = _resolve(args.trace)
+    result = replay_trace(
+        trace, fidelity=args.fidelity, seed=args.seed,
+        boot_hosts=not args.no_hosts,
+    )
+    table = Table(
+        "trace replay: %s (%s, seed %d)"
+        % (trace.name, args.fidelity, args.seed),
+        ["op kind", "count"],
+    )
+    for kind, count in result.kind_counts.items():
+        table.add_row(kind, count)
+    table.print()
+    print("  makespan %.6fs over %d ranks (+%.3fs host bring-up), "
+          "%d scheduler events"
+          % (result.makespan, trace.ranks, result.setup_seconds,
+             result.events_executed))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_row(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("  replay row -> %s" % args.json)
+    return 0
+
+
+def _cmd_record(args):
+    traces = []
+    if args.scenario == "trainer":
+        from repro.training.models import ParallelStrategy
+
+        traces.append(record_training(
+            args.model, ParallelStrategy(tp=4, pp=1, dp=4),
+        ))
+    else:
+        from repro.workloads.fleet_bench import run_churn, run_fleet_smoke
+
+        recorder = TraceRecorder()
+        if args.scenario == "smoke":
+            run_fleet_smoke(seed=args.seed, trace_recorder=recorder)
+        else:
+            run_churn(seed=args.seed, trace_recorder=recorder)
+        traces.extend(recorder.traces())
+    for trace in traces:
+        path = os.path.join(args.out_dir, "%s.jsonl" % trace.name)
+        trace.dump(path)
+        print("recorded %r (%d ops, %d ranks) -> %s"
+              % (trace.name, len(trace), trace.ranks, path))
+    return 0
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    handler = {
+        "validate": _cmd_validate,
+        "replay": _cmd_replay,
+        "record": _cmd_record,
+    }[args.command]
+    try:
+        return handler(args)
+    except TraceError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,7 +100,8 @@ def churn_tenants():
 
 def build_churn_fleet(seed=CHURN_SEED, tracer=None, registry=None,
                       policy=PlacementPolicy.SPREAD, tenants=None,
-                      horizon=_CHURN_HORIZON, failure=True, flight=None):
+                      horizon=_CHURN_HORIZON, failure=True, flight=None,
+                      trace_recorder=None):
     """Assemble (but do not run) the 16-host / 3-tenant churn scenario.
 
     ``SPREAD`` placement is the scenario default: it scatters rings
@@ -114,6 +115,7 @@ def build_churn_fleet(seed=CHURN_SEED, tracer=None, registry=None,
         seed=seed,
         tracer=tracer,
         flight=flight,
+        trace_recorder=trace_recorder,
         host_config=dict(
             gpus=4, rnics=2, dram_bytes=64 * GiB, gpu_hbm_bytes=2 * GiB,
             atc_capacity=512,
@@ -133,11 +135,13 @@ def build_churn_fleet(seed=CHURN_SEED, tracer=None, registry=None,
 
 def run_churn(seed=CHURN_SEED, tracer=None, registry=None,
               policy=PlacementPolicy.SPREAD, tenants=None,
-              horizon=_CHURN_HORIZON, failure=True, flight=None):
+              horizon=_CHURN_HORIZON, failure=True, flight=None,
+              trace_recorder=None):
     """Run the churn scenario to drain; returns ``(fleet, result)``."""
     fleet = build_churn_fleet(
         seed=seed, tracer=tracer, registry=registry, policy=policy,
         tenants=tenants, horizon=horizon, failure=failure, flight=flight,
+        trace_recorder=trace_recorder,
     )
     result = fleet.run()
     return fleet, result
@@ -169,7 +173,8 @@ def smoke_specs():
     ]
 
 
-def run_fleet_smoke(seed=CHURN_SEED, tracer=None, registry=None, flight=None):
+def run_fleet_smoke(seed=CHURN_SEED, tracer=None, registry=None, flight=None,
+                    trace_recorder=None):
     """A seconds-fast 2-segment fleet exercising every churn code path.
 
     Two hosts, three fixed jobs (PVDMA/Stellar, FULL_PIN/CX7, and one
@@ -186,6 +191,7 @@ def run_fleet_smoke(seed=CHURN_SEED, tracer=None, registry=None, flight=None):
         seed=seed,
         tracer=tracer,
         flight=flight,
+        trace_recorder=trace_recorder,
         host_config=dict(
             gpus=2, rnics=1, dram_bytes=8 * GiB, gpu_hbm_bytes=1 * GiB,
             atc_capacity=256,

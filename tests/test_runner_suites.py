@@ -22,6 +22,7 @@ class TestBuilders:
     def test_registry_names(self):
         assert list(SUITES) == [
             "figures", "figures-smoke", "determinism", "health", "perf",
+            "traces", "traces-smoke",
         ]
         for suite in SUITES.values():
             keys = [s.key for s in suite.build()]

@@ -1,0 +1,127 @@
+"""Bundled trace library, the traces suite, and data-file cache inputs."""
+
+import os
+
+import pytest
+
+from repro.runner import RunReport, TaskResult
+from repro.runner.spec import TaskError, TaskSpec
+from repro.runner.suites import build_traces, check_traces
+from repro.traces.library import (
+    BUILDERS,
+    BUNDLED,
+    bundled_dir,
+    bundled_path,
+    load_bundled,
+    smallest_bundled,
+    write_bundled,
+)
+from repro.traces.schema import TraceError, validate_trace
+
+
+class TestBundledLibrary:
+    def test_bundled_traces_are_valid(self):
+        for name in BUNDLED:
+            trace = load_bundled(name)
+            assert validate_trace(trace) == []
+            assert trace.name == name
+
+    def test_checked_in_files_match_their_builders(self, tmp_path):
+        # The library is generated, not hand-edited: rebuilding from the
+        # seeded builders must reproduce the checked-in bytes exactly.
+        written = write_bundled(str(tmp_path))
+        assert sorted(written) == sorted(
+            os.path.join(str(tmp_path), "%s.jsonl" % name)
+            for name in BUNDLED
+        )
+        for name in BUNDLED:
+            fresh = os.path.join(str(tmp_path), "%s.jsonl" % name)
+            with open(fresh, "rb") as fh:
+                rebuilt = fh.read()
+            with open(bundled_path(name), "rb") as fh:
+                checked_in = fh.read()
+            assert rebuilt == checked_in, name
+
+    def test_builders_cover_the_issue_scenarios(self):
+        assert set(BUILDERS) == {
+            "moe_training", "rag_pipeline", "checkpoint_burst",
+        }
+        moe = BUILDERS["moe_training"]()
+        skews = [op.meta["skew"] for op in moe.ops
+                 if op.kind == "alltoall"]
+        assert skews and all(len(s) == moe.ranks for s in skews)
+        # Uneven expert routing: the skew weights genuinely differ.
+        assert any(len(set(s)) > 1 for s in skews)
+
+    def test_smallest_bundled_is_smallest(self):
+        smallest = smallest_bundled()
+        sizes = {name: len(load_bundled(name)) for name in BUNDLED}
+        assert sizes[smallest] == min(sizes.values())
+
+    def test_unknown_bundle_name_raises(self):
+        with pytest.raises(TraceError):
+            bundled_path("imaginary")
+        assert bundled_dir() == os.path.dirname(bundled_path(BUNDLED[0]))
+
+
+def _report(rows):
+    results = {}
+    for key, value in rows:
+        results[key] = TaskResult(key, value, "0" * 64, False, 0.0, {})
+    return RunReport(results, workers=0, cache_stats=None, wall_seconds=0.0)
+
+
+class TestTracesSuite:
+    def test_suite_shape(self):
+        full = build_traces()
+        smoke = build_traces(trim=True)
+        full_keys = [s.key for s in full]
+        assert "traces/roundtrip/smoke" in full_keys
+        assert len(smoke) < len(full)
+        # Every replay cell declares its trace file as a data input.
+        for spec in full:
+            if "/fluid/" in spec.key or "/packet/" in spec.key:
+                assert spec.data_files and \
+                    os.path.isfile(spec.data_files[0])
+
+    def test_check_flags_disagreeing_repeats(self):
+        row = {"ops": 2, "kind_counts": {"compute": 2}, "run": 0}
+        other = dict(row, ops=3, kind_counts={"compute": 3}, run=1)
+        ok = _report([("traces/x/fluid/run0", row),
+                      ("traces/x/fluid/run1", dict(row, run=1))])
+        assert check_traces(ok) == []
+        bad = _report([("traces/x/fluid/run0", row),
+                       ("traces/x/fluid/run1", other)])
+        assert any("disagree" in p for p in check_traces(bad))
+
+    def test_check_flags_empty_roundtrip(self):
+        report = _report([
+            ("traces/roundtrip/smoke", {"collective_sequence": []}),
+        ])
+        assert any("no collectives" in p for p in check_traces(report))
+
+
+class TestDataFileDigests:
+    def test_digest_tracks_data_file_content(self, tmp_path):
+        path = tmp_path / "input.jsonl"
+        path.write_text("one\n")
+        spec = TaskSpec("k", "repro.runner.tasks:trace_replay",
+                        data_files=[str(path)])
+        before = spec.digest()
+        path.write_text("two\n")
+        assert spec.digest() != before
+
+    def test_digest_unchanged_without_data_files(self):
+        # Backward compatibility: specs with no data files must keep
+        # their pre-data_files digest (existing caches stay valid).
+        spec = TaskSpec("k", "repro.runner.tasks:trace_replay")
+        assert "data_files" not in spec.spec_payload()
+        assert spec.digest() == TaskSpec(
+            "k", "repro.runner.tasks:trace_replay", data_files=[]
+        ).digest()
+
+    def test_missing_data_file_is_a_task_error(self, tmp_path):
+        spec = TaskSpec("k", "repro.runner.tasks:trace_replay",
+                        data_files=[str(tmp_path / "gone.jsonl")])
+        with pytest.raises(TaskError):
+            spec.digest()

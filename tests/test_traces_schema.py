@@ -1,0 +1,163 @@
+"""Trace schema: shape validation, DAG checks, JSONL round-trips."""
+
+import json
+
+import pytest
+
+from repro.traces.schema import (
+    COLLECTIVE_KINDS,
+    COMPUTE,
+    OP_KINDS,
+    P2P_KINDS,
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    Trace,
+    TraceError,
+    TraceOp,
+    collective_wire_bytes,
+    load_trace,
+    topological_order,
+    validate_trace,
+)
+
+
+def tiny_trace():
+    """compute -> send -> recv -> allreduce over 2 ranks."""
+    trace = Trace("tiny", 2)
+    trace.add(TraceOp("c0", COMPUTE, rank=0, seconds=0.5))
+    trace.add(TraceOp("s0", "send", rank=0, peer=1, size_bytes=1024,
+                      deps=["c0"]))
+    trace.add(TraceOp("r0", "recv", rank=1, peer=0, size_bytes=1024,
+                      deps=["s0"]))
+    trace.add(TraceOp("ar", "allreduce", ranks=[0, 1], size_bytes=4096,
+                      deps=["r0"]))
+    return trace
+
+
+class TestKinds:
+    def test_kind_families_partition_op_kinds(self):
+        assert OP_KINDS == (COMPUTE,) + COLLECTIVE_KINDS + P2P_KINDS
+        assert len(set(OP_KINDS)) == len(OP_KINDS)
+
+    def test_collective_wire_bytes(self):
+        # Ring algorithms: allreduce moves 2(n-1)/n * S per rank, the
+        # one-phase collectives (n-1)/n * S.
+        assert collective_wire_bytes("allreduce", 1000, 4) == 1500
+        for kind in ("allgather", "reducescatter", "alltoall"):
+            assert collective_wire_bytes(kind, 1000, 4) == 750
+        assert collective_wire_bytes("allreduce", 1000, 1) == 0
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_everything(self):
+        trace = tiny_trace()
+        again = Trace.from_json(trace.to_json())
+        assert again.to_json() == trace.to_json()
+        assert again.digest() == trace.digest()
+
+    def test_jsonl_dump_and_load(self, tmp_path):
+        trace = tiny_trace()
+        path = str(tmp_path / "tiny.jsonl")
+        trace.dump(path)
+        with open(path) as fh:
+            header = json.loads(fh.readline())
+        assert header["schema"] == SCHEMA_NAME
+        assert header["version"] == SCHEMA_VERSION
+        loaded = load_trace(path)
+        assert loaded.digest() == trace.digest()
+        assert loaded.op_ids() == trace.op_ids()
+
+    def test_json_extension_writes_a_document(self, tmp_path):
+        trace = tiny_trace()
+        path = str(tmp_path / "tiny.json")
+        trace.dump(path)
+        with open(path) as fh:
+            document = json.load(fh)
+        assert document["ops"][0]["id"] == "c0"
+        assert load_trace(path).digest() == trace.digest()
+
+    def test_digest_tracks_content(self):
+        a, b = tiny_trace(), tiny_trace()
+        assert a.digest() == b.digest()
+        b.ops[-1].size_bytes += 1
+        assert a.digest() != b.digest()
+
+    def test_unknown_op_field_rejected(self):
+        with pytest.raises(TraceError):
+            TraceOp.from_dict({"id": "x", "kind": COMPUTE, "rank": 0,
+                               "flux": 1})
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "not-a-trace", "version": 1, '
+                        '"name": "x", "ranks": 1}\n')
+        with pytest.raises(TraceError):
+            load_trace(str(path))
+
+
+class TestValidation:
+    def test_valid_trace_has_no_problems(self):
+        assert validate_trace(tiny_trace()) == []
+
+    def _problems(self, mutate):
+        trace = tiny_trace()
+        mutate(trace)
+        problems = validate_trace(trace)
+        assert problems, "expected a validation problem"
+        return problems
+
+    def test_duplicate_id(self):
+        self._problems(lambda t: t.add(TraceOp("c0", COMPUTE, rank=0)))
+
+    def test_unknown_kind(self):
+        trace = tiny_trace()
+        trace.ops[0].kind = "teleport"
+        assert validate_trace(trace)
+
+    def test_rank_out_of_bounds(self):
+        self._problems(lambda t: t.add(TraceOp("c9", COMPUTE, rank=7)))
+
+    def test_collective_needs_two_distinct_ranks(self):
+        self._problems(lambda t: t.add(
+            TraceOp("ar2", "allreduce", ranks=[1, 1], size_bytes=8)))
+
+    def test_collective_needs_positive_size(self):
+        self._problems(lambda t: t.add(
+            TraceOp("ar3", "allreduce", ranks=[0, 1], size_bytes=0)))
+
+    def test_send_to_self_rejected(self):
+        self._problems(lambda t: t.add(
+            TraceOp("s9", "send", rank=1, peer=1, size_bytes=8)))
+
+    def test_recv_needs_matching_send_dep(self):
+        # A recv that only depends on a compute has no wire to wait on.
+        self._problems(lambda t: t.add(
+            TraceOp("r9", "recv", rank=0, peer=1, size_bytes=8,
+                    deps=["c0"])))
+
+    def test_unknown_and_self_deps(self):
+        self._problems(lambda t: t.add(
+            TraceOp("c9", COMPUTE, rank=0, deps=["ghost"])))
+        self._problems(lambda t: t.add(
+            TraceOp("c8", COMPUTE, rank=0, deps=["c8"])))
+
+    def test_cycle_detected(self):
+        trace = tiny_trace()
+        trace.ops[0].deps = ["ar"]  # c0 -> ar -> r0 -> s0 -> c0
+        assert any("cycle" in p for p in validate_trace(trace))
+
+
+class TestTopologicalOrder:
+    def test_respects_deps_with_file_order_tie_break(self):
+        trace = Trace("order", 2)
+        trace.add(TraceOp("b", COMPUTE, rank=0))
+        trace.add(TraceOp("a", COMPUTE, rank=1))
+        trace.add(TraceOp("join", COMPUTE, rank=0, deps=["a", "b"]))
+        ordered = [op.id for op in topological_order(trace)]
+        # Both roots are ready at once: file order (b before a) wins.
+        assert ordered == ["b", "a", "join"]
+
+    def test_cycle_yields_partial_order(self):
+        trace = tiny_trace()
+        trace.ops[0].deps = ["ar"]
+        assert len(topological_order(trace)) < len(trace.ops)
