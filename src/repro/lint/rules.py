@@ -45,6 +45,12 @@ RULES = {
         "ambient randomness (random/secrets/np.random/os.urandom) outside "
         "repro.sim.rng; draw from a seeded RngStream instead"
     ),
+    "D-nprandom": (
+        "numpy.random imported into repro.* (import numpy.random / from "
+        "numpy import random / from numpy.random import ...); the local "
+        "alias hides the ambient generator from the np.random attribute "
+        "check — draw from a seeded RngStream instead"
+    ),
     "D-wallclock": (
         "wall-clock read (time.time/perf_counter/datetime.now/...) outside "
         "repro.obs/repro.perf; simulations must only consume scheduler.now"
@@ -486,6 +492,15 @@ class _Checker(ast.NodeVisitor):
                 "import of %r outside repro.sim.rng; use a seeded RngStream"
                 % module,
             )
+        # Importing the numpy.random package (or anything inside it)
+        # rebinds the ambient generator under a local name, which the
+        # np.random.* attribute check (D-random) can no longer see.
+        if module == "numpy.random" or module.startswith("numpy.random."):
+            self._report(
+                node, "D-nprandom",
+                "import of %r binds the ambient numpy generator under a "
+                "local alias; draw from a seeded RngStream" % module,
+            )
 
     def visit_Import(self, node):
         for alias in node.names:
@@ -498,6 +513,14 @@ class _Checker(ast.NodeVisitor):
     def visit_ImportFrom(self, node):
         module = self._resolve_from(node)
         self._check_random_import(node, module)
+        if module == "numpy" and not self._in_rng_module:
+            for alias in node.names:
+                if alias.name == "random":
+                    self._report(
+                        node, "D-nprandom",
+                        "'from numpy import random' aliases the ambient "
+                        "generator; draw from a seeded RngStream",
+                    )
         if module == "time" and not self._wallclock_ok:
             clocks = sorted(
                 alias.name for alias in node.names

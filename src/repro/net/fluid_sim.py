@@ -12,6 +12,17 @@ distribution* interacts with link capacities.  Each step:
 3. flows advance and selectors receive per-path congestion feedback
    derived from bottleneck utilization — so BestRTT's herding and DWRR's
    weight collapse emerge from the same code paths production would run.
+
+The engine is struct-of-arrays: mutable flow state (transferred bytes,
+finish times, rate accumulators, activity) lives in numpy arrays owned
+by :class:`FluidSimulation`, and :class:`FluidFlow` objects are views
+into those arrays.  Per-flow link weights are kept as canonical sparse
+rows (sorted link-id / weight arrays) built once per static flow, so the
+flow x link incidence matrix is re-assembled only when the active
+membership changes, never per step.  The float semantics of the original
+scalar engine are preserved operation-for-operation (same accumulation
+order, same per-step arithmetic), which keeps every determinism digest
+bit-identical across the vectorization.
 """
 
 import collections
@@ -21,7 +32,7 @@ from scipy import sparse
 
 from repro import calibration
 from repro.core.spray import make_selector
-from repro.net.ecmp import flow_entropy
+from repro.net.ecmp import flow_entropy, hash_combine
 from repro.sim.rng import RngStream
 
 #: Selector draws per step used to estimate feedback-driven weights.
@@ -34,9 +45,35 @@ _CONGESTION_UTILIZATION = 0.95
 #: is uniform, so bucket weights follow directly from the hash map.
 _ANALYTIC = {"rr", "obs"}
 
+_MASK64 = (1 << 64) - 1
+_U64 = np.uint64
+# splitmix64 constants, pre-wrapped so the vector mixer below stays in
+# uint64 (numpy wraps on overflow exactly like the `& _MASK64` in
+# repro.net.ecmp.splitmix64 — the two produce identical streams).
+_SM_GAMMA = _U64(0x9E3779B97F4A7C15)
+_SM_MUL1 = _U64(0xBF58476D1CE4E5B9)
+_SM_MUL2 = _U64(0x94D049BB133111EB)
+_SM_S30 = _U64(30)
+_SM_S27 = _U64(27)
+_SM_S31 = _U64(31)
+
+
+def _splitmix64_vec(values):
+    """Vector splitmix64: bit-identical to ``ecmp.splitmix64`` per lane."""
+    v = values + _SM_GAMMA
+    v = (v ^ (v >> _SM_S30)) * _SM_MUL1
+    v = (v ^ (v >> _SM_S27)) * _SM_MUL2
+    return v ^ (v >> _SM_S31)
+
 
 class FluidFlow:
-    """One long-lived transfer between two servers on one rail."""
+    """One long-lived transfer between two servers on one rail.
+
+    Constructed standalone the flow owns its own scalars; once attached
+    to a :class:`FluidSimulation` (via ``add_flow``) the mutable state
+    moves into the simulation's arrays and the attributes below become
+    views — reading ``flow.transferred`` reads the array slot.
+    """
 
     def __init__(
         self,
@@ -64,16 +101,59 @@ class FluidFlow:
         self.start_time = start_time
         self.on_seconds = on_seconds
         self.off_seconds = off_seconds
-        self.transferred = 0.0
-        self.finish_time = None
+        #: Per-step achieved rates; only populated when the owning
+        #: simulation was built with ``record_history=True`` (figure
+        #: paths that plot the timeline) — mean_rate() never needs it.
         self.rate_history = []
         self.entropy = flow_entropy(src.node_id, dst.node_id, connection_id)
         rng = rng if rng is not None else RngStream(0, "fluid", flow_id)
         self.selector = make_selector(algorithm, path_count, rng=rng)
-        #: (weights, routes) memo for algorithms whose distribution is
-        #: static across steps (single/RR/OBS) — saves re-hashing 128
-        #: routes per flow per step.
-        self._static_plan = None
+        #: Static path distributions (single/RR/OBS) resolve to one
+        #: canonical sparse row (sorted link ids, weights), built lazily
+        #: at the flow's first active step.
+        self._static = algorithm in _ANALYTIC or algorithm == "single"
+        self._plan = None
+        #: Feedback flows: path_id -> link-id array (route order), so
+        #: re-sampled weights re-use resolved routes.
+        self._path_link_ids = {}
+        self._sim = None
+        self._idx = None
+        # Standalone state, authoritative until _attach() migrates it.
+        self._transferred = 0.0
+        self._finish_time = None
+        self._rate_sum = 0.0
+        self._rate_count = 0.0
+
+    # -- array-backed state views ---------------------------------------
+
+    @property
+    def transferred(self):
+        if self._sim is None:
+            return self._transferred
+        return float(self._sim._arr_transferred[self._idx])
+
+    @transferred.setter
+    def transferred(self, value):
+        if self._sim is None:
+            self._transferred = value
+        else:
+            self._sim._arr_transferred[self._idx] = value
+
+    @property
+    def finish_time(self):
+        if self._sim is None:
+            return self._finish_time
+        value = self._sim._arr_finish[self._idx]
+        return None if np.isnan(value) else float(value)
+
+    @finish_time.setter
+    def finish_time(self, value):
+        if self._sim is None:
+            self._finish_time = value
+        else:
+            self._sim._arr_finish[self._idx] = (
+                np.nan if value is None else value
+            )
 
     @property
     def done(self):
@@ -89,8 +169,13 @@ class FluidFlow:
 
     def mean_rate(self):
         """Average achieved rate over active steps, bits/second."""
-        rates = [r for r in self.rate_history if r is not None]
-        return sum(rates) / len(rates) if rates else 0.0
+        if self._sim is None:
+            count = self._rate_count
+            return self._rate_sum / count if count else 0.0
+        count = self._sim._arr_rate_count[self._idx]
+        if not count:
+            return 0.0
+        return float(self._sim._arr_rate_sum[self._idx] / count)
 
     def __repr__(self):
         return "FluidFlow(%r, %s x %d)" % (
@@ -101,30 +186,117 @@ class FluidFlow:
 
 
 class FluidSimulation:
-    """Max-min fluid allocation over the dual-plane topology."""
+    """Max-min fluid allocation over the dual-plane topology.
 
-    def __init__(self, topology, dt=0.01, seed=0):
+    ``record_history`` opts into per-step ``FluidFlow.rate_history``
+    lists (unbounded; figure-scale runs only).  ``plan_cache`` accepts a
+    dict shared across simulations on the same topology structure:
+    analytic flow plans are stored in LinkRef terms and re-priced
+    per-simulation, which is what lets fleet congestion epochs skip
+    re-deriving identical path distributions every repricing.
+    """
+
+    def __init__(self, topology, dt=0.01, seed=0, record_history=False,
+                 plan_cache=None):
         self.topology = topology
         self.dt = dt
         self.seed = seed
         self.now = 0.0
         self.flows = []
         self.steps_run = 0
+        self.record_history = record_history
+        self._plan_cache = plan_cache
         self._link_index = {}
         self._link_caps = []
+        self._links = []
+        self._caps_arr = np.zeros(0)
         self._rng = RngStream(seed, "fluid-sim")
-        #: (active flows, link count, rates, utilization) of the last
+        #: (active indices, link count, rates, utilization) of the last
         #: solve, reused while the inputs are provably unchanged —
         #: see step().
         self._solve_cache = None
+        # Struct-of-arrays flow state; _n live rows, doubling growth.
+        self._n = 0
+        self._arr_transferred = np.zeros(0)
+        self._arr_total = np.zeros(0)       # +inf = unbounded
+        self._arr_start = np.zeros(0)
+        self._arr_on = np.zeros(0)          # nan = always on
+        self._arr_period = np.zeros(0)      # on + off; nan = always on
+        self._arr_finish = np.zeros(0)      # nan = not finished
+        self._arr_rate_sum = np.zeros(0)
+        self._arr_rate_count = np.zeros(0)
+        self._arr_static = np.zeros(0, dtype=bool)
+        self._arr_has_plan = np.zeros(0, dtype=bool)
 
     def add_flow(self, *args, **kwargs):
         kwargs.setdefault(
             "rng", RngStream(self.seed, "fluid-flow", len(self.flows))
         )
         flow = FluidFlow(*args, **kwargs)
+        self._attach(flow)
         self.flows.append(flow)
         return flow
+
+    # -- flow state arrays ----------------------------------------------
+
+    def _ensure_capacity(self, count):
+        capacity = len(self._arr_transferred)
+        if count <= capacity:
+            return
+        new_cap = max(8, capacity * 2, count)
+        for name in (
+            "_arr_transferred", "_arr_total", "_arr_start", "_arr_on",
+            "_arr_period", "_arr_finish", "_arr_rate_sum",
+            "_arr_rate_count",
+        ):
+            old = getattr(self, name)
+            grown = np.zeros(new_cap)
+            grown[: len(old)] = old
+            setattr(self, name, grown)
+        for name in ("_arr_static", "_arr_has_plan"):
+            old = getattr(self, name)
+            grown = np.zeros(new_cap, dtype=bool)
+            grown[: len(old)] = old
+            setattr(self, name, grown)
+
+    def _attach(self, flow):
+        idx = self._n
+        self._ensure_capacity(idx + 1)
+        self._n = idx + 1
+        self._arr_transferred[idx] = flow._transferred
+        self._arr_total[idx] = (
+            np.inf if flow.total_bytes is None else flow.total_bytes
+        )
+        self._arr_start[idx] = flow.start_time
+        if flow.on_seconds is None:
+            self._arr_on[idx] = np.nan
+            self._arr_period[idx] = np.nan
+        else:
+            self._arr_on[idx] = flow.on_seconds
+            self._arr_period[idx] = flow.on_seconds + (flow.off_seconds or 0.0)
+        self._arr_finish[idx] = (
+            np.nan if flow._finish_time is None else flow._finish_time
+        )
+        self._arr_rate_sum[idx] = flow._rate_sum
+        self._arr_rate_count[idx] = flow._rate_count
+        self._arr_static[idx] = flow._static
+        self._arr_has_plan[idx] = False
+        flow._sim = self
+        flow._idx = idx
+
+    def _active_indices(self):
+        """Indices of flows active at ``self.now`` (vectorized)."""
+        n = self._n
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        now = self.now
+        started = self._arr_start[:n] <= now
+        not_done = self._arr_transferred[:n] < self._arr_total[:n]
+        always_on = np.isnan(self._arr_on[:n])
+        with np.errstate(invalid="ignore"):
+            phase = np.mod(now - self._arr_start[:n], self._arr_period[:n])
+            on_phase = always_on | (phase < self._arr_on[:n])
+        return np.flatnonzero(started & not_done & on_phase)
 
     # -- link table -----------------------------------------------------
 
@@ -134,7 +306,13 @@ class FluidSimulation:
             idx = len(self._link_caps)
             self._link_index[link] = idx
             self._link_caps.append(self.topology.link_rate(link))
+            self._links.append(link)
         return idx
+
+    def _caps_array(self):
+        if len(self._caps_arr) != len(self._link_caps):
+            self._caps_arr = np.asarray(self._link_caps, dtype=float)
+        return self._caps_arr
 
     # -- weights ---------------------------------------------------------
 
@@ -151,19 +329,122 @@ class FluidSimulation:
         )
         return {p: n / _FEEDBACK_SAMPLE_DRAWS for p, n in draws.items()}
 
-    def _flow_link_weights(self, flow, path_probs):
-        """Aggregate path probabilities into per-link weight sums."""
-        weights = collections.defaultdict(float)
-        routes = {}
-        for path_id, prob in path_probs.items():
+    def _path_ids(self, flow, path_id):
+        """Link-id array for one resolved path (route order), memoized."""
+        ids = flow._path_link_ids.get(path_id)
+        if ids is None:
             route = self.topology.route(
                 flow.src, flow.dst, flow.rail,
                 path_id=path_id, connection_id=flow.connection_id,
             )
-            routes[path_id] = route
-            for link in route:
-                weights[self._link_id(link)] += prob
-        return weights, routes
+            ids = np.array([self._link_id(link) for link in route],
+                           dtype=np.int64)
+            flow._path_link_ids[path_id] = ids
+        return ids
+
+    @staticmethod
+    def _accumulate_row(flat_ids, flat_vals):
+        """Canonical sparse row from (link id, weight) pairs in path order.
+
+        ``np.add.at`` applies the additions in array order, which is the
+        same accumulation order the scalar engine's ``dict[id] += w``
+        loop used — so repeated-sum floats (k additions of 1/P) come out
+        bit-identical, not merely close.
+        """
+        cols, inverse = np.unique(flat_ids, return_inverse=True)
+        vals = np.zeros(len(cols))
+        np.add.at(vals, inverse.ravel(), flat_vals)
+        return cols, vals
+
+    def _feedback_row(self, flow, probs):
+        """Sparse row for a feedback flow's freshly sampled distribution."""
+        ids_list = [self._path_ids(flow, p) for p in probs]
+        flat = np.concatenate(ids_list)
+        lens = [len(ids) for ids in ids_list]
+        vals = np.repeat(
+            np.fromiter(probs.values(), dtype=float, count=len(probs)), lens
+        )
+        return self._accumulate_row(flat, vals)
+
+    def _analytic_plan(self, flow):
+        """Vectorized uniform-spray plan: ECMP-hash all P paths at once.
+
+        Replicates ``topology.route`` link-for-link: plane alternates
+        with (path id + entropy), the agg switch comes from the same
+        splitmix64 chain ``EcmpHasher.bucket`` runs — but hashed as one
+        uint64 array instead of P Python calls, and resolved through the
+        <= planes x aggs distinct (plane, agg) pairs instead of P routes.
+        """
+        topo = self.topology
+        src, dst, rail = flow.src, flow.dst, flow.rail
+        if src == dst:
+            raise ValueError("route to self: %r" % (src,))
+        planes = topo.planes
+        aggs = topo.aggs_per_plane
+        count = flow.path_count
+        path = np.arange(count, dtype=np.int64)
+        plane = (path % planes + flow.entropy % planes) % planes
+        if src.segment == dst.segment:
+            codes, inverse = np.unique(plane, return_inverse=True)
+            table = np.empty((len(codes), 2), dtype=np.int64)
+            for u, code in enumerate(codes):
+                pl = int(code)
+                table[u, 0] = self._link_id(topo.host_up(src, rail, pl))
+                table[u, 1] = self._link_id(topo.host_down(dst, rail, pl))
+        else:
+            # hash_combine(entropy, p) == splitmix64(state ^ p) with the
+            # entropy already folded into ``state`` — one scalar round,
+            # then a vector round over all path ids.
+            state = _U64(hash_combine(flow.entropy))
+            hashed = _splitmix64_vec(state ^ path.astype(np.uint64))
+            bucket = (hashed % _U64(planes * aggs)).astype(np.int64)
+            agg = bucket % aggs
+            codes, inverse = np.unique(plane * aggs + agg, return_inverse=True)
+            table = np.empty((len(codes), 4), dtype=np.int64)
+            for u, code in enumerate(codes):
+                pl = int(code // aggs)
+                ag = int(code % aggs)
+                table[u, 0] = self._link_id(topo.host_up(src, rail, pl))
+                table[u, 1] = self._link_id(
+                    topo.tor_up(src.segment, rail, pl, ag))
+                table[u, 2] = self._link_id(
+                    topo.tor_down(dst.segment, rail, pl, ag))
+                table[u, 3] = self._link_id(topo.host_down(dst, rail, pl))
+        flat = table[inverse.ravel()].ravel()
+        share = np.full(len(flat), 1.0 / count)
+        return self._accumulate_row(flat, share)
+
+    def _build_static_plan(self, flow):
+        """Resolve a static flow's canonical row, via the shared cache."""
+        if flow.algorithm == "single":
+            # The selector draw (and its packets_sent side effect) must
+            # happen here, at the flow's first active step, exactly as
+            # the scalar engine did.
+            probs = self._flow_paths(flow)
+            path_id = next(iter(probs))
+            ids = self._path_ids(flow, path_id)
+            order = np.argsort(ids, kind="stable")
+            flow._plan = (ids[order], np.ones(len(ids))[order])
+            return
+        key = None
+        if self._plan_cache is not None:
+            key = (flow.algorithm, flow.path_count, flow.src.node_id,
+                   flow.dst.node_id, flow.rail, flow.connection_id)
+            hit = self._plan_cache.get(key)
+            if hit is not None:
+                refs, vals = hit
+                ids = np.fromiter(
+                    (self._link_id(ref) for ref in refs),
+                    dtype=np.int64, count=len(refs),
+                )
+                order = np.argsort(ids, kind="stable")
+                flow._plan = (ids[order], vals[order])
+                return
+        cols, vals = self._analytic_plan(flow)
+        flow._plan = (cols, vals)
+        if key is not None:
+            refs = tuple(self._links[c] for c in cols)
+            self._plan_cache[key] = (refs, vals.copy())
 
     # -- the max-min allocator ------------------------------------------
 
@@ -188,13 +469,22 @@ class FluidSimulation:
             (vals, (rows, cols)), shape=(flow_count, link_count)
         )
         caps = np.asarray(capacities, dtype=float)
+        return FluidSimulation._max_min_rates_csr(matrix, caps)
+
+    @staticmethod
+    def _max_min_rates_csr(matrix, caps):
+        """Progressive filling over a canonical flows x links CSR matrix."""
+        flow_count = matrix.shape[0]
+        if flow_count == 0:
+            return np.zeros(0)
+        transposed = matrix.T
         rates = np.zeros(flow_count)
         active = np.ones(flow_count, dtype=bool)
         for _ in range(flow_count + 1):
             if not active.any():
                 break
-            demand = matrix.T @ active.astype(float)
-            load = matrix.T @ rates
+            demand = transposed @ active.astype(float)
+            load = transposed @ rates
             headroom = caps - load
             constrained = demand > 1e-12
             if not constrained.any():
@@ -202,11 +492,15 @@ class FluidSimulation:
             delta = np.min(headroom[constrained] / demand[constrained])
             delta = max(delta, 0.0)
             rates[active] += delta
-            load = matrix.T @ rates
+            load = transposed @ rates
             saturated = (caps - load) <= caps * 1e-9 + 1.0
             if not saturated.any():
                 break
-            touching = (matrix[:, saturated].getnnz(axis=1) > 0) & active
+            # Positive weights make "touches any saturated link" the
+            # same predicate as "weight mass on saturated links > 0",
+            # which is one csr matvec instead of a column slice.
+            touching = (matrix @ saturated.astype(float)) > 0
+            touching &= active
             if not touching.any():
                 break
             active &= ~touching
@@ -227,74 +521,108 @@ class FluidSimulation:
         Any feedback-driven flow (its weights re-sample every step) or
         any membership change invalidates the cache.
         """
-        active_flows = [f for f in self.flows if f.active(self.now)]
-        weight_rows = []
-        route_maps = []
-        all_static = True
-        for flow in active_flows:
-            static = flow.algorithm in _ANALYTIC or flow.algorithm == "single"
-            if static and flow._static_plan is not None:
-                probs, weights, routes = flow._static_plan
-            else:
-                all_static = all_static and static
-                probs = self._flow_paths(flow)
-                weights, routes = self._flow_link_weights(flow, probs)
-                if static:
-                    flow._static_plan = (probs, weights, routes)
-            weight_rows.append(weights)
-            route_maps.append((probs, routes))
+        now = self.now
+        active_idx = self._active_indices()
+        all_static = bool(self._arr_static[active_idx].all())
+        # Resolve plans lazily, in flow order, for exactly the flows the
+        # scalar engine would have resolved this step (static flows at
+        # their first active step; feedback flows every step).
+        feedback_rows = None
+        missing = active_idx[~self._arr_has_plan[active_idx]]
+        if len(missing):
+            feedback_rows = {}
+            for i in missing:
+                flow = self.flows[i]
+                if flow._static:
+                    if flow._plan is None:
+                        self._build_static_plan(flow)
+                    self._arr_has_plan[i] = True
+                else:
+                    probs = self._flow_paths(flow)
+                    feedback_rows[i] = (probs, self._feedback_row(flow, probs))
+        link_count = len(self._link_caps)
         cache = self._solve_cache
         if (
             all_static
             and cache is not None
-            and cache[1] == len(self._link_caps)
-            and cache[0] == active_flows  # element-wise identity compare
+            and cache[1] == link_count
+            and np.array_equal(cache[0], active_idx)
         ):
             rates = cache[2]
             utilization = cache[3]
         else:
-            rates = self.max_min_rates(weight_rows, self._link_caps)
-            # Link utilization for feedback.
-            if len(self._link_caps):
-                loads = np.zeros(len(self._link_caps))
-                for f, weights in enumerate(weight_rows):
-                    for link, weight in weights.items():
-                        loads[link] += rates[f] * weight
-                caps = np.asarray(self._link_caps)
-                utilization = np.divide(loads, caps, out=np.zeros_like(loads),
-                                        where=caps > 0)
+            if len(active_idx):
+                rows = [
+                    feedback_rows[i][1]
+                    if feedback_rows is not None and i in feedback_rows
+                    else self.flows[i]._plan
+                    for i in active_idx
+                ]
+                lens = np.fromiter(
+                    (len(cols) for cols, _ in rows),
+                    dtype=np.int64, count=len(rows),
+                )
+                indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+                np.cumsum(lens, out=indptr[1:])
+                indices = (
+                    np.concatenate([cols for cols, _ in rows])
+                    if len(rows) else np.zeros(0, dtype=np.int64)
+                )
+                data = (
+                    np.concatenate([vals for _, vals in rows])
+                    if len(rows) else np.zeros(0)
+                )
+                matrix = sparse.csr_matrix(
+                    (data, indices, indptr),
+                    shape=(len(active_idx), link_count),
+                )
+                caps = self._caps_array()
+                rates = self._max_min_rates_csr(matrix, caps)
+                if link_count:
+                    loads = matrix.T @ rates
+                    utilization = np.divide(
+                        loads, caps, out=np.zeros_like(loads),
+                        where=caps > 0,
+                    )
+                else:
+                    utilization = np.zeros(0)
             else:
-                utilization = np.zeros(0)
+                rates = np.zeros(0)
+                utilization = np.zeros(link_count, dtype=float)
             self._solve_cache = (
-                (list(active_flows), len(self._link_caps), rates, utilization)
+                (active_idx.copy(), link_count, rates, utilization)
                 if all_static else None
             )
-        for flow in self.flows:
-            flow.rate_history.append(None)
-        feed_back = not all_static
-        for f, flow in enumerate(active_flows):
-            rate = float(rates[f])
-            flow.rate_history[-1] = rate
-            flow.transferred += rate / 8.0 * self.dt
-            if flow.done and flow.finish_time is None:
-                flow.finish_time = self.now + self.dt
-            if feed_back:
-                self._feed_back(flow, route_maps[f], utilization)
+        if self.record_history:
+            for flow in self.flows:
+                flow.rate_history.append(None)
+            for pos, i in enumerate(active_idx):
+                self.flows[i].rate_history[-1] = float(rates[pos])
+        # Batch advancement: same per-flow arithmetic (rate/8.0*dt) the
+        # scalar loop ran, applied elementwise.
+        self._arr_rate_sum[active_idx] += rates
+        self._arr_rate_count[active_idx] += 1.0
+        self._arr_transferred[active_idx] += rates / 8.0 * self.dt
+        newly_done = active_idx[
+            (self._arr_transferred[active_idx] >= self._arr_total[active_idx])
+            & np.isnan(self._arr_finish[active_idx])
+        ]
+        self._arr_finish[newly_done] = now + self.dt
+        if not all_static:
+            for i in active_idx:
+                row = feedback_rows.get(i) if feedback_rows else None
+                if row is not None:
+                    self._feed_back(self.flows[i], row[0], utilization)
         self.now += self.dt
         self.steps_run += 1
         return rates
 
-    def _feed_back(self, flow, probs_routes, utilization):
+    def _feed_back(self, flow, probs, utilization):
         """Translate link utilization into selector feedback signals."""
-        if flow.algorithm in _ANALYTIC or flow.algorithm == "single":
-            return
-        probs, routes = probs_routes
         base_rtt = 8e-6
-        for path_id, route in routes.items():
-            worst = max(
-                utilization[self._link_index[link]]
-                for link in route
-            )
+        for path_id in probs:
+            ids = flow._path_link_ids[path_id]
+            worst = utilization[ids].max()
             # ECN marking is probabilistic in utilization, like a RED/ECN
             # threshold seen through sampled ACKs.  The stochastic
             # asymmetry is what lets DWRR's weights diverge and collapse
@@ -304,18 +632,24 @@ class FluidSimulation:
             rtt = base_rtt * (1.0 + 8.0 * max(0.0, worst - 0.8))
             flow.selector.on_feedback(path_id, rtt=rtt, ecn=congested)
 
+    def _all_bounded_done(self):
+        n = self._n
+        bounded = np.isfinite(self._arr_total[:n])
+        return bool(
+            np.all(self._arr_transferred[:n][bounded]
+                   >= self._arr_total[:n][bounded])
+        )
+
     def run(self, duration=None, until_done=False, max_steps=10_000):
         """Run for a duration and/or until all bounded flows finish."""
+        if duration is None and not until_done:
+            raise ValueError("run() needs a duration or until_done=True")
         steps = 0
         while steps < max_steps:
             if duration is not None and self.now >= duration - 1e-12:
                 break
-            if until_done and all(
-                f.done for f in self.flows if f.total_bytes is not None
-            ):
+            if until_done and self._all_bounded_done():
                 break
-            if duration is None and not until_done:
-                raise ValueError("run() needs a duration or until_done=True")
             self.step()
             steps += 1
         return steps

@@ -27,7 +27,12 @@ from repro.net.fluid_sim import FluidSimulation
 from repro.rnic.cc import WindowCC
 from repro.sim.engine import EventScheduler
 from repro.sim.units import GB, MB, usec
-from repro.workloads.fleet_bench import run_churn, run_fleet_smoke
+from repro.workloads.fleet_bench import (
+    run_churn,
+    run_fleet1024_churn,
+    run_fleet1024_smoke,
+    run_fleet_smoke,
+)
 
 
 def scheduler_churn_kernel(smoke=False):
@@ -326,6 +331,32 @@ def fleet_churn_kernel(smoke=False):
     return {
         "events": fleet.engine.events_executed,
         "meta": {
+            "completed_jobs": snap["jobs_completed"],
+            "rate_epochs": snap["rate_epochs"],
+            "sim_seconds": round(fleet.engine.now, 3),
+        },
+    }
+
+
+def fleet_1024_churn_kernel(smoke=False):
+    """Paper-scale fleet: 1024 hosts, 3-tier dual-plane, job churn.
+
+    The tractability gate for the vectorized fluid engine: every
+    congestion epoch re-prices 8-32-host rings on the shared 1024-host
+    fabric, so the kernel stresses plan construction, the sparse
+    max-min solve, and the fleet-level incidence reuse all at once.
+    Smoke keeps the full 1024-host topology and shrinks the workload to
+    three fixed jobs (never the shape).
+    """
+    if smoke:
+        fleet, result = run_fleet1024_smoke(seed=17)
+    else:
+        fleet, result = run_fleet1024_churn(seed=17)
+    snap = fleet.snapshot()
+    return {
+        "events": fleet.engine.events_executed,
+        "meta": {
+            "hosts": len(fleet.scheduler.hosts),
             "completed_jobs": snap["jobs_completed"],
             "rate_epochs": snap["rate_epochs"],
             "sim_seconds": round(fleet.engine.now, 3),

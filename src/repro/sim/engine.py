@@ -261,27 +261,61 @@ class EventScheduler:
             entry = heap[0]
             payload = entry[2]
             is_event = payload.__class__ is Event
-            if is_event:
-                if payload.cancelled:
-                    heappop(heap)
-                    self._dead -= 1
-                    continue
-                callback = payload.callback
-            else:
-                callback = payload
+            if is_event and payload.cancelled:
+                heappop(heap)
+                self._dead -= 1
+                continue
             event_time = entry[0]
             if event_time > limit:
                 self.now = float(until)
                 return executed
+            if tracer is None:
+                heappop(heap)
+                if is_event:
+                    payload._sched = None
+                    callback = payload.callback
+                else:
+                    callback = payload
+                self.now = event_time
+                self.events_executed += 1
+                executed += 1
+                callback()
+                # Batched dispatch: while the next entries share this
+                # timestamp, drain them here without re-running the
+                # outer loop's limit compare, clock store, and tracer
+                # dispatch — none of which can change within one
+                # timestamp.  Heap pops stay one-per-event (ties are
+                # ordered by seq, which only the heap knows), but the
+                # per-event bookkeeping collapses to the cancellation
+                # check and the budget guard.  Events a callback
+                # schedules at this same timestamp carry larger seqs
+                # and are drained by this same loop, in order; events
+                # it cancels are still heap-resident and are skipped
+                # with exact dead-entry accounting.
+                while heap and heap[0][0] == event_time and executed < budget:
+                    payload = heap[0][2]
+                    if payload.__class__ is Event:
+                        if payload.cancelled:
+                            heappop(heap)
+                            self._dead -= 1
+                            continue
+                        heappop(heap)
+                        payload._sched = None
+                        callback = payload.callback
+                    else:
+                        heappop(heap)
+                        callback = payload
+                    self.events_executed += 1
+                    executed += 1
+                    callback()
+                continue
+            callback = payload.callback if is_event else payload
             heappop(heap)
             if is_event:
                 payload._sched = None
             self.now = event_time
             self.events_executed += 1
             executed += 1
-            if tracer is None:
-                callback()
-                continue
             # Wall-clock here profiles the *simulator itself*; see step().
             wall_start = time.perf_counter()  # simlint: ok D-wallclock
             callback()

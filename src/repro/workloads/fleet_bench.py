@@ -173,6 +173,153 @@ def smoke_specs():
     ]
 
 
+#: Paper-scale fleet (Section 2: 512-1024-GPU jobs on the production
+#: HPN cluster).  Same 3-tier dual-plane shape as the 16-host scenario,
+#: scaled to 1024 hosts — the workload the vectorized fluid engine and
+#: the fleet-level plan cache exist for.
+_FLEET1024_HORIZON = 120.0
+_FLEET1024_FAILURE_AT = 60.0
+_FLEET1024_FAILURE_SECONDS = 20.0
+
+
+def fleet1024_topology():
+    """1024 servers: 16 ToR segments x 64, dual planes, 8 aggs/plane."""
+    return DualPlaneTopology(
+        segments=16, servers_per_segment=64, rails=1, planes=2,
+        aggs_per_plane=8,
+    )
+
+
+def fleet1024_tenants():
+    """Three tenants sized for the 1024-host fabric.
+
+    ``pretrain`` books 64-host 256-GPU spray rings (the paper's
+    512-1024-GPU band at 4 GPUs/host), ``mid`` runs 16-host fine-tunes,
+    and ``svc`` keeps small 2-host jobs churning through the queue.
+    """
+    return [
+        TenantProfile(
+            "pretrain",
+            arrival_rate=1.0 / 25.0,
+            max_jobs=6,
+            templates=[dict(
+                model="Llama-13B", containers=64, gpus_per_container=4,
+                memory_bytes=16 * GiB, working_set_bytes=16 * MiB,
+                iterations=40, transport="stellar",
+            )],
+        ),
+        TenantProfile(
+            "mid",
+            arrival_rate=1.0 / 15.0,
+            max_jobs=8,
+            templates=[dict(
+                model="Llama-2B", containers=16, gpus_per_container=4,
+                memory_bytes=8 * GiB, working_set_bytes=8 * MiB,
+                iterations=60, transport="stellar",
+            )],
+        ),
+        TenantProfile(
+            "svc",
+            arrival_rate=1.0 / 10.0,
+            max_jobs=10,
+            templates=[dict(
+                model="Llama-2B", containers=2, gpus_per_container=2,
+                memory_bytes=4 * GiB, working_set_bytes=8 * MiB,
+                iterations=120, transport="cx7",
+            )],
+        ),
+    ]
+
+
+def build_fleet1024(seed=CHURN_SEED, tracer=None, registry=None,
+                    policy=PlacementPolicy.SPREAD, horizon=_FLEET1024_HORIZON,
+                    failure=True, flight=None, trace_recorder=None):
+    """Assemble (but do not run) the 1024-host churn scenario."""
+    topology = fleet1024_topology()
+    fleet = FleetSimulation(
+        topology,
+        policy=policy,
+        seed=seed,
+        tracer=tracer,
+        flight=flight,
+        trace_recorder=trace_recorder,
+        host_config=dict(
+            gpus=4, rnics=1, dram_bytes=64 * GiB, gpu_hbm_bytes=2 * GiB,
+            atc_capacity=512,
+        ),
+        sample_pages=256,
+    )
+    arrivals = JobArrivalProcess(fleet1024_tenants(), seed=seed).generate(horizon)
+    fleet.load(arrivals)
+    if failure:
+        fleet.inject_link_failure(_FLEET1024_FAILURE_AT, _FLEET1024_FAILURE_SECONDS)
+    if registry is not None:
+        fleet.register_metrics(registry)
+    return fleet
+
+
+def run_fleet1024_churn(seed=CHURN_SEED, tracer=None, registry=None,
+                        policy=PlacementPolicy.SPREAD,
+                        horizon=_FLEET1024_HORIZON, failure=True, flight=None,
+                        trace_recorder=None):
+    """Run the 1024-host churn scenario to drain; ``(fleet, result)``."""
+    fleet = build_fleet1024(
+        seed=seed, tracer=tracer, registry=registry, policy=policy,
+        horizon=horizon, failure=failure, flight=flight,
+        trace_recorder=trace_recorder,
+    )
+    result = fleet.run()
+    return fleet, result
+
+
+def run_fleet1024_smoke(seed=CHURN_SEED, tracer=None, registry=None,
+                        flight=None, trace_recorder=None):
+    """The CI smoke leg of the 1024-host scenario.
+
+    Identical 1024-host topology — smoke shrinks the *workload*, never
+    the shape — with three fixed jobs (one 8-host ring, one 2-host CX7
+    job, one queued-then-completing svc job) and one short uplink
+    failure landing mid-run.
+    """
+    fleet = FleetSimulation(
+        fleet1024_topology(),
+        policy=PlacementPolicy.SPREAD,
+        seed=seed,
+        tracer=tracer,
+        flight=flight,
+        trace_recorder=trace_recorder,
+        host_config=dict(
+            gpus=4, rnics=1, dram_bytes=64 * GiB, gpu_hbm_bytes=2 * GiB,
+            atc_capacity=512,
+        ),
+        sample_pages=256,
+    )
+    specs = [
+        JobSpec(
+            "smoke1024-ring", "mid", model="Llama-2B", containers=8,
+            gpus_per_container=4, memory_bytes=8 * GiB,
+            working_set_bytes=8 * MiB, iterations=8, transport="stellar",
+        ),
+        JobSpec(
+            "smoke1024-legacy", "svc", model="Llama-2B", containers=2,
+            gpus_per_container=2, memory_bytes=4 * GiB,
+            working_set_bytes=4 * MiB, iterations=8, transport="cx7",
+        ),
+        JobSpec(
+            "smoke1024-svc", "svc", model="Llama-2B", containers=2,
+            gpus_per_container=2, memory_bytes=4 * GiB,
+            working_set_bytes=4 * MiB, iterations=8, transport="stellar",
+        ),
+    ]
+    for offset, spec in enumerate(specs):
+        fleet.submit(spec, at=float(offset))
+    fleet.inject_link_failure(at=6.0, duration=3.0)
+    if registry is not None:
+        fleet.register_metrics(registry)
+    result = fleet.run()
+    return fleet, result
+
+
 def run_fleet_smoke(seed=CHURN_SEED, tracer=None, registry=None, flight=None,
                     trace_recorder=None):
     """A seconds-fast 2-segment fleet exercising every churn code path.

@@ -226,3 +226,40 @@ class TestChurnScenario:
     def test_slowdown_tail_reflects_contention(self, churn):
         fleet, result, registry = churn
         assert result.p99_slowdown() > 1.0
+
+
+class TestFleet1024:
+    """Paper-scale (1024-host) variant behind the fleet_1024_churn kernel."""
+
+    def test_topology_is_paper_scale(self):
+        from repro.workloads.fleet_bench import fleet1024_topology
+
+        topology = fleet1024_topology()
+        assert len(list(topology.servers())) == 1024
+        assert topology.planes == 2
+
+    def test_tenants_cover_the_three_bands(self):
+        from repro.workloads.fleet_bench import fleet1024_tenants
+
+        tenants = fleet1024_tenants()
+        assert [t.name for t in tenants] == ["pretrain", "mid", "svc"]
+
+    def test_build_does_not_run(self):
+        from repro.workloads.fleet_bench import build_fleet1024
+
+        fleet = build_fleet1024(seed=5)
+        assert fleet.engine.events_executed == 0
+
+    def test_smoke_run_is_deterministic(self):
+        from repro.workloads.fleet_bench import run_fleet1024_smoke
+
+        fleet_a, result_a = run_fleet1024_smoke()
+        fleet_b, result_b = run_fleet1024_smoke()
+        assert fleet_a.engine.events_executed == fleet_b.engine.events_executed
+        completed_a = result_a.by_state(JobState.COMPLETED)
+        completed_b = result_b.by_state(JobState.COMPLETED)
+        assert len(completed_a) >= 1
+        assert [j.spec.name for j in completed_a] == [
+            j.spec.name for j in completed_b
+        ]
+        assert result_a.total_goodput() == result_b.total_goodput()

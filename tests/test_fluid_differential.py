@@ -1,0 +1,339 @@
+"""Differential lock for the vectorized fluid engine.
+
+The struct-of-arrays rewrite of :mod:`repro.net.fluid_sim` claims its
+float semantics are *operation-for-operation* identical to the scalar
+engine it replaced — same accumulation order, same per-step arithmetic,
+same RNG draw order.  This module holds the pre-refactor scalar engine
+(dict-based link weights, per-flow Python loops) as an executable
+reference and drives both engines over randomized seeded topologies and
+flow mixes, asserting:
+
+* per-step max-min rates agree within 1e-9 (they are in fact
+  bit-identical, which the digest check below locks),
+* transferred bytes, finish times, and mean rates agree,
+* both engines consume their RNG streams in the same order (checked
+  implicitly: any divergence in selector draws or ECN coin flips cascades
+  into visibly different rates within a step or two),
+* a SHA-256 digest over the exact float bits of every step's rate vector
+  matches between the two engines.
+"""
+
+import collections
+import hashlib
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.net import DualPlaneTopology, FluidSimulation, ServerAddress
+from repro.net.ecmp import flow_entropy
+from repro.core.spray import make_selector
+from repro.sim.rng import RngStream
+
+_FEEDBACK_SAMPLE_DRAWS = 192
+_ANALYTIC = {"rr", "obs"}
+
+
+class _ScalarFlow:
+    """Pre-refactor flow: owns plain-scalar mutable state."""
+
+    def __init__(self, flow_id, src, dst, rail, algorithm, path_count,
+                 total_bytes, connection_id, start_time, on_seconds,
+                 off_seconds, rng):
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.rail = rail
+        self.algorithm = algorithm
+        self.path_count = path_count
+        self.total_bytes = total_bytes
+        self.connection_id = connection_id
+        self.start_time = start_time
+        self.on_seconds = on_seconds
+        self.off_seconds = off_seconds
+        self.transferred = 0.0
+        self.finish_time = None
+        self.rate_history = []
+        self.entropy = flow_entropy(src.node_id, dst.node_id, connection_id)
+        self.selector = make_selector(algorithm, path_count, rng=rng)
+        self._static_plan = None
+
+    @property
+    def done(self):
+        return self.total_bytes is not None and self.transferred >= self.total_bytes
+
+    def active(self, now):
+        if now < self.start_time or self.done:
+            return False
+        if self.on_seconds is None:
+            return True
+        period = self.on_seconds + (self.off_seconds or 0.0)
+        return (now - self.start_time) % period < self.on_seconds
+
+    def mean_rate(self):
+        rates = [r for r in self.rate_history if r is not None]
+        return sum(rates) / len(rates) if rates else 0.0
+
+
+class _ScalarFluidSim:
+    """The pre-refactor scalar engine, verbatim semantics.
+
+    Dict-of-weights rows, per-flow Python accumulation loops, per-flow
+    state advancement — the implementation the vectorized engine must
+    reproduce bit-for-bit.
+    """
+
+    def __init__(self, topology, dt=0.01, seed=0):
+        self.topology = topology
+        self.dt = dt
+        self.seed = seed
+        self.now = 0.0
+        self.flows = []
+        self.steps_run = 0
+        self._link_index = {}
+        self._link_caps = []
+        self._rng = RngStream(seed, "fluid-sim")
+
+    def add_flow(self, flow_id, src, dst, rail, algorithm="obs",
+                 path_count=128, total_bytes=None, connection_id=0,
+                 start_time=0.0, on_seconds=None, off_seconds=None):
+        flow = _ScalarFlow(
+            flow_id, src, dst, rail, algorithm, path_count, total_bytes,
+            connection_id, start_time, on_seconds, off_seconds,
+            rng=RngStream(self.seed, "fluid-flow", len(self.flows)),
+        )
+        self.flows.append(flow)
+        return flow
+
+    def _link_id(self, link):
+        idx = self._link_index.get(link)
+        if idx is None:
+            idx = len(self._link_caps)
+            self._link_index[link] = idx
+            self._link_caps.append(self.topology.link_rate(link))
+        return idx
+
+    def _flow_paths(self, flow):
+        if flow.algorithm == "single":
+            return {flow.selector.next_path(now=self.now): 1.0}
+        if flow.algorithm in _ANALYTIC:
+            share = 1.0 / flow.path_count
+            return {p: share for p in range(flow.path_count)}
+        draws = collections.Counter(
+            flow.selector.next_path(now=self.now)
+            for _ in range(_FEEDBACK_SAMPLE_DRAWS)
+        )
+        return {p: n / _FEEDBACK_SAMPLE_DRAWS for p, n in draws.items()}
+
+    def _flow_link_weights(self, flow, path_probs):
+        weights = collections.defaultdict(float)
+        routes = {}
+        for path_id, prob in path_probs.items():
+            route = self.topology.route(
+                flow.src, flow.dst, flow.rail,
+                path_id=path_id, connection_id=flow.connection_id,
+            )
+            routes[path_id] = route
+            for link in route:
+                weights[self._link_id(link)] += prob
+        return weights, routes
+
+    @staticmethod
+    def max_min_rates(weight_rows, capacities):
+        flow_count = len(weight_rows)
+        if flow_count == 0:
+            return np.zeros(0)
+        rows, cols, vals = [], [], []
+        for f, weights in enumerate(weight_rows):
+            for link, weight in weights.items():
+                rows.append(f)
+                cols.append(link)
+                vals.append(weight)
+        matrix = sparse.csr_matrix(
+            (vals, (rows, cols)), shape=(flow_count, len(capacities))
+        )
+        caps = np.asarray(capacities, dtype=float)
+        rates = np.zeros(flow_count)
+        active = np.ones(flow_count, dtype=bool)
+        for _ in range(flow_count + 1):
+            if not active.any():
+                break
+            demand = matrix.T @ active.astype(float)
+            load = matrix.T @ rates
+            headroom = caps - load
+            constrained = demand > 1e-12
+            if not constrained.any():
+                break
+            delta = np.min(headroom[constrained] / demand[constrained])
+            delta = max(delta, 0.0)
+            rates[active] += delta
+            load = matrix.T @ rates
+            saturated = (caps - load) <= caps * 1e-9 + 1.0
+            if not saturated.any():
+                break
+            touching = (matrix[:, saturated].getnnz(axis=1) > 0) & active
+            if not touching.any():
+                break
+            active &= ~touching
+        return rates
+
+    def step(self):
+        active_flows = [f for f in self.flows if f.active(self.now)]
+        weight_rows = []
+        route_maps = []
+        all_static = True
+        for flow in active_flows:
+            static = flow.algorithm in _ANALYTIC or flow.algorithm == "single"
+            if static and flow._static_plan is not None:
+                probs, weights, routes = flow._static_plan
+            else:
+                all_static = all_static and static
+                probs = self._flow_paths(flow)
+                weights, routes = self._flow_link_weights(flow, probs)
+                if static:
+                    flow._static_plan = (probs, weights, routes)
+            weight_rows.append(weights)
+            route_maps.append((probs, routes))
+        rates = self.max_min_rates(weight_rows, self._link_caps)
+        if len(self._link_caps):
+            loads = np.zeros(len(self._link_caps))
+            for f, weights in enumerate(weight_rows):
+                for link, weight in weights.items():
+                    loads[link] += rates[f] * weight
+            caps = np.asarray(self._link_caps)
+            utilization = np.divide(loads, caps, out=np.zeros_like(loads),
+                                    where=caps > 0)
+        else:
+            utilization = np.zeros(0)
+        for flow in self.flows:
+            flow.rate_history.append(None)
+        feed_back = not all_static
+        for f, flow in enumerate(active_flows):
+            rate = float(rates[f])
+            flow.rate_history[-1] = rate
+            flow.transferred += rate / 8.0 * self.dt
+            if flow.done and flow.finish_time is None:
+                flow.finish_time = self.now + self.dt
+            if feed_back:
+                self._feed_back(flow, route_maps[f], utilization)
+        self.now += self.dt
+        self.steps_run += 1
+        return rates
+
+    def _feed_back(self, flow, probs_routes, utilization):
+        if flow.algorithm in _ANALYTIC or flow.algorithm == "single":
+            return
+        probs, routes = probs_routes
+        base_rtt = 8e-6
+        for path_id, route in routes.items():
+            worst = max(
+                utilization[self._link_index[link]] for link in route
+            )
+            mark_probability = min(1.0, max(0.0, (worst - 0.8) / 0.4))
+            congested = self._rng.random() < mark_probability
+            rtt = base_rtt * (1.0 + 8.0 * max(0.0, worst - 0.8))
+            flow.selector.on_feedback(path_id, rtt=rtt, ecn=congested)
+
+
+# -- randomized case generation -----------------------------------------
+
+_ALGORITHMS = ["obs", "rr", "single", "dwrr", "best_rtt", "mprdma"]
+
+
+def _random_case(case_seed):
+    """Topology parameters plus flow specs from one seeded draw."""
+    rng = RngStream(case_seed, "fluid-diff-case")
+    topo_kwargs = dict(
+        segments=rng.choice([2, 3]),
+        servers_per_segment=rng.choice([4, 8]),
+        rails=rng.choice([1, 2]),
+        planes=rng.choice([1, 2]),
+        aggs_per_plane=rng.choice([2, 4, 8]),
+    )
+    servers = [
+        ServerAddress(seg, idx)
+        for seg in range(topo_kwargs["segments"])
+        for idx in range(topo_kwargs["servers_per_segment"])
+    ]
+    dt = rng.choice([0.005, 0.01])
+    flows = []
+    for i in range(rng.randint(3, 6)):
+        src, dst = rng.sample(servers, 2)
+        algorithm = rng.choice(_ALGORITHMS)
+        path_count = 1 if algorithm == "single" else rng.choice([4, 8, 16])
+        spec = dict(
+            flow_id="f%d" % i,
+            src=src,
+            dst=dst,
+            rail=rng.randint(0, topo_kwargs["rails"] - 1),
+            algorithm=algorithm,
+            path_count=path_count,
+            total_bytes=rng.choice([None, 10 ** rng.randint(6, 8)]),
+            connection_id=rng.randint(0, 3),
+            start_time=rng.choice([0.0, 2 * dt, 5 * dt]),
+        )
+        if rng.random() < 0.3:
+            spec["on_seconds"] = 3 * dt
+            spec["off_seconds"] = 2 * dt
+        flows.append(spec)
+    return topo_kwargs, dt, flows, rng.randint(0, 99)
+
+
+def _rates_digest(step_rates):
+    """SHA-256 over the exact float bits of every step's rate vector."""
+    payload = ";".join(
+        ",".join(value.hex() for value in map(float, rates))
+        for rates in step_rates
+    )
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("case_seed", range(6))
+    def test_vectorized_matches_scalar_reference(self, case_seed):
+        topo_kwargs, dt, flow_specs, sim_seed = _random_case(case_seed)
+        vec = FluidSimulation(
+            DualPlaneTopology(**topo_kwargs), dt=dt, seed=sim_seed,
+            record_history=True,
+        )
+        ref = _ScalarFluidSim(
+            DualPlaneTopology(**topo_kwargs), dt=dt, seed=sim_seed,
+        )
+        for spec in flow_specs:
+            vec.add_flow(**spec)
+            ref.add_flow(**spec)
+        vec_steps, ref_steps = [], []
+        for step in range(25):
+            vec_rates = vec.step()
+            ref_rates = ref.step()
+            assert len(vec_rates) == len(ref_rates), "step %d" % step
+            np.testing.assert_allclose(
+                vec_rates, ref_rates, rtol=1e-9, atol=0.0,
+                err_msg="step %d diverged" % step,
+            )
+            vec_steps.append(np.asarray(vec_rates))
+            ref_steps.append(np.asarray(ref_rates))
+        # The rewrite preserves float semantics exactly, not just to
+        # tolerance: the digests over raw float bits must match.
+        assert _rates_digest(vec_steps) == _rates_digest(ref_steps)
+        for vf, rf in zip(vec.flows, ref.flows):
+            assert vf.transferred == pytest.approx(rf.transferred, rel=1e-9)
+            if rf.finish_time is None:
+                assert vf.finish_time is None
+            else:
+                assert vf.finish_time == pytest.approx(rf.finish_time)
+            assert vf.mean_rate() == pytest.approx(rf.mean_rate(), rel=1e-9)
+            assert vf.rate_history == rf.rate_history
+
+    def test_run_requires_duration_before_stepping(self):
+        # The guard must fire before the loop: steps_run stays 0.
+        sim = FluidSimulation(
+            DualPlaneTopology(segments=2, servers_per_segment=4, rails=1,
+                              planes=1, aggs_per_plane=2),
+            dt=0.01, seed=0,
+        )
+        sim.add_flow("f0", ServerAddress(0, 0), ServerAddress(1, 0), 0,
+                     algorithm="obs", path_count=8)
+        with pytest.raises(ValueError):
+            sim.run()
+        assert sim.steps_run == 0

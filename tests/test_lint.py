@@ -52,6 +52,35 @@ class TestDRandom:
         )
 
 
+class TestDNpRandom:
+    def test_import_numpy_random_fires(self):
+        assert "D-nprandom" in rules_fired("import numpy.random\n")
+
+    def test_from_numpy_import_random_fires(self):
+        assert "D-nprandom" in rules_fired("from numpy import random\n")
+
+    def test_from_numpy_random_import_name_fires(self):
+        assert "D-nprandom" in rules_fired(
+            "from numpy.random import default_rng\n"
+        )
+
+    def test_aliased_import_fires(self):
+        assert "D-nprandom" in rules_fired(
+            "from numpy import random as npr\n"
+        )
+
+    def test_plain_numpy_import_is_clean(self):
+        assert "D-nprandom" not in rules_fired(
+            "import numpy as np\nfrom numpy import float64\n"
+        )
+
+    def test_rng_module_is_exempt(self):
+        assert "D-nprandom" not in rules_fired(
+            "from numpy.random import Generator\n",
+            path="src/repro/sim/rng.py",
+        )
+
+
 class TestDWallclock:
     def test_time_time_fires(self):
         assert "D-wallclock" in rules_fired(
@@ -402,8 +431,8 @@ class TestModuleNames:
 class TestHarness:
     def test_every_rule_has_description(self):
         assert set(RULES) == {
-            "D-random", "D-wallclock", "D-set-iter", "D-id-key",
-            "D-taskpure", "D-taskpure-deep", "D-sim-pure",
+            "D-random", "D-nprandom", "D-wallclock", "D-set-iter",
+            "D-id-key", "D-taskpure", "D-taskpure-deep", "D-sim-pure",
             "L-layer", "L-private", "L-api-drift", "A-snapshot-pair",
             "A-snapshot-plain", "A-flight-plain",
         }

@@ -538,6 +538,9 @@ class TestSarifOutput:
 #: One firing fixture per per-file rule (rule -> (source, path)).
 PER_FILE_FIXTURES = {
     "D-random": ("import random\n", "src/repro/net/snippet.py"),
+    "D-nprandom": (
+        "from numpy import random\n", "src/repro/net/snippet.py",
+    ),
     "D-wallclock": (
         "import time\n\n\ndef f():\n    return time.time()\n",
         "src/repro/net/snippet.py",

@@ -75,7 +75,9 @@ class TestFluidFlows:
         assert flow.finish_time < 0.1
 
     def test_on_off_flow_is_idle_in_off_phase(self):
-        sim = FluidSimulation(topo(), dt=0.5, seed=1)
+        # rate_history is opt-in (record_history); mean_rate() alone
+        # runs off the bounded accumulators.
+        sim = FluidSimulation(topo(), dt=0.5, seed=1, record_history=True)
         flow = sim.add_flow("f0", ServerAddress(0, 0), ServerAddress(1, 0), 0,
                             algorithm="obs", path_count=128, total_bytes=None,
                             on_seconds=1.0, off_seconds=1.0)

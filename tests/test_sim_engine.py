@@ -203,3 +203,101 @@ def test_schedule_at_now_is_allowed():
     sched.run()
     assert seen == ["now"]
     assert sched.now == 5.0
+
+
+# -- batched same-timestamp dispatch ------------------------------------
+#
+# run()'s untraced fast path drains every entry sharing the head
+# timestamp in an inner loop that skips the per-event limit compare and
+# clock store.  These tests pin the semantics that collapse must not
+# change: ordering, budget accounting, mid-batch cancellation, and
+# same-time scheduling from inside the batch.
+
+
+def test_same_timestamp_batch_preserves_seq_order():
+    sched = EventScheduler()
+    seen = []
+    for label in "abc":
+        sched.schedule(1.0, lambda l=label: seen.append(l))
+    sched.schedule(2.0, lambda: seen.append("late"))
+    for label in "de":
+        sched.schedule(1.0, lambda l=label: seen.append(l))
+    sched.run()
+    assert seen == ["a", "b", "c", "d", "e", "late"]
+
+
+def test_schedule_same_time_from_inside_batch_runs_in_batch():
+    sched = EventScheduler()
+    seen = []
+
+    def head():
+        seen.append("head")
+        # Zero-delay: lands at the batch's own timestamp with a larger
+        # seq, so the drain loop must pick it up after the peers.
+        sched.schedule(0.0, lambda: seen.append("tail"))
+
+    sched.schedule(1.0, head)
+    sched.schedule(1.0, lambda: seen.append("peer"))
+    sched.run()
+    assert seen == ["head", "peer", "tail"]
+    assert sched.now == 1.0
+
+
+def test_cancel_later_batch_member_from_inside_batch():
+    # The first event of the timestamp cancels a peer scheduled after it;
+    # the drain loop must skip the cancelled heap entry with exact dead
+    # accounting instead of executing it.
+    sched = EventScheduler()
+    seen = []
+    victim = None
+
+    def killer():
+        seen.append("killer")
+        victim.cancel()
+
+    sched.schedule(1.0, killer)
+    victim = sched.schedule(1.0, lambda: seen.append("dead"))
+    sched.schedule(1.0, lambda: seen.append("survivor"))
+    sched.run()
+    assert seen == ["killer", "survivor"]
+    assert sched.pending() == 0
+    assert sched.events_executed == 2
+
+
+def test_max_events_budget_stops_mid_batch():
+    sched = EventScheduler()
+    seen = []
+    for label in "abcd":
+        sched.schedule(1.0, lambda l=label: seen.append(l))
+    executed = sched.run(max_events=2)
+    assert executed == 2
+    assert seen == ["a", "b"]
+    assert sched.pending() == 2
+    # Resume drains the rest of the timestamp.
+    executed = sched.run(max_events=10)
+    assert executed == 2
+    assert seen == ["a", "b", "c", "d"]
+
+
+def test_batch_mixes_events_and_bare_callbacks():
+    sched = EventScheduler()
+    seen = []
+    sched.schedule(1.0, lambda: seen.append("event-1"))
+    sched.schedule_call(1.0, lambda: seen.append("bare-1"))
+    sched.schedule(1.0, lambda: seen.append("event-2"))
+    sched.schedule_call(1.0, lambda: seen.append("bare-2"))
+    sched.run()
+    assert seen == ["event-1", "bare-1", "event-2", "bare-2"]
+    assert sched.events_executed == 4
+
+
+def test_batch_at_exactly_until_still_runs_whole_timestamp():
+    sched = EventScheduler()
+    seen = []
+    for label in "ab":
+        sched.schedule(1.0, lambda l=label: seen.append(l))
+    sched.schedule(1.5, lambda: seen.append("beyond"))
+    sched.run(until=1.0)
+    assert seen == ["a", "b"]
+    assert sched.now == 1.0
+    assert sched.pending() == 1
