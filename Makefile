@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint simlint simlint-json simlint-sarif bench bench-smoke perf perf-smoke figures figures-smoke traces traces-smoke tour examples all clean
+.PHONY: install test lint simlint simlint-json simlint-sarif bench bench-smoke hybrid-smoke perf perf-smoke figures figures-smoke traces traces-smoke tour examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -52,6 +52,14 @@ bench-smoke:
 		PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/test_fig06_startup.py benchmarks/test_fig11_link_failure.py \
 		--benchmark-only -s
+
+# Hybrid-fidelity determinism cells (churn scenario priced by the
+# fidelity controller): two seeds, repeat pairs, every pooled row diffed
+# against a sequential re-run.  Promoted packet windows must reproduce
+# digest-for-digest like fluid epochs do.
+hybrid-smoke:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro run hybrid-smoke \
+		--workers 2 --no-cache --check-sequential
 
 # Tracked perf suite (repro.perf): full-size kernels, events/sec table,
 # speedup column vs the newest same-mode entry in BENCH_perf.json.

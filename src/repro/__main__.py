@@ -66,7 +66,7 @@ def tour_spray():
     table.print()
 
 
-def tour_fleet(health_report=None):
+def tour_fleet(health_report=None, fidelity="fluid"):
     from repro.workloads import run_churn
 
     flight = tracer = None
@@ -75,7 +75,7 @@ def tour_fleet(health_report=None):
 
         flight = FlightRecorder()
         tracer = Tracer()
-    fleet, result = run_churn(flight=flight, tracer=tracer)
+    fleet, result = run_churn(flight=flight, tracer=tracer, fidelity=fidelity)
     table = Table(
         "Fleet churn: 16 hosts, 3 tenants, mid-run uplink failure",
         ["job", "tenant", "state", "wait s", "startup s", "iters",
@@ -95,6 +95,12 @@ def tour_fleet(health_report=None):
     summary.add_row("total goodput (it/s)", result.total_goodput())
     summary.add_row("p99 slowdown vs isolated", result.p99_slowdown())
     summary.add_row("repricing epochs", result.counters["rate_epochs"])
+    if fidelity != "fluid":
+        summary.add_row("fidelity mode", fidelity)
+        summary.add_row("packet windows promoted",
+                        result.counters.get("fidelity_promotions", 0))
+        summary.add_row("bytes priced at packet fidelity",
+                        result.counters.get("dp_bytes_packet", 0))
     summary.print()
     if health_report:
         write_health_report(fleet, flight, tracer, health_report)
@@ -268,6 +274,13 @@ def main(argv=None):
         help="export the sim-time gauge samples (.csv or .json)",
     )
     parser.add_argument(
+        "--fidelity", choices=["fluid", "packet", "hybrid"], default="fluid",
+        help="with the fleet tour: congestion-pricing fidelity — 'fluid' "
+             "(default) prices every epoch on the max-min solver, 'packet' "
+             "on the packet simulator, 'hybrid' auto-promotes bounded "
+             "packet windows around failures and bursts",
+    )
+    parser.add_argument(
         "--health-report", metavar="PATH", dest="health_report",
         help="with the fleet tour: run churn with the flight recorder, "
              "print the SLO/incident tables, and write the health JSON to "
@@ -278,7 +291,8 @@ def main(argv=None):
     selected = sorted(TOURS) if args.tour == "all" else [args.tour]
     for name in selected:
         if name == "fleet":
-            tour_fleet(health_report=args.health_report)
+            tour_fleet(health_report=args.health_report,
+                       fidelity=args.fidelity)
         else:
             TOURS[name]()
     if args.trace or args.metrics or args.timeseries:

@@ -8,6 +8,7 @@ process, pluggable placement in :class:`FleetScheduler`, and the
 contention, and link failures end to end.
 """
 
+from repro.cluster.fidelity import Fidelity, FidelityController
 from repro.cluster.fleet import (
     CONNECTION_STRIDE,
     ContendedTopology,
@@ -28,6 +29,8 @@ from repro.cluster.scheduler import FleetScheduler, PlacementPolicy
 __all__ = [
     "CONNECTION_STRIDE",
     "ContendedTopology",
+    "Fidelity",
+    "FidelityController",
     "FleetHost",
     "FleetHostError",
     "FleetResult",

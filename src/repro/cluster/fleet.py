@@ -18,13 +18,22 @@ bandwidth by the fraction of its sprayed paths that survive — 128-way
 spray barely notices a dead uplink, a 4-path legacy transport loses up
 to a quarter of its ring.
 
+Epochs are priced at a configurable *fidelity*: the vectorized fluid
+solver everywhere (default), packet-level DES everywhere, or — the
+hybrid engine — fluid steady state with bounded packet windows that a
+:class:`repro.cluster.fidelity.FidelityController` promotes around
+failures, loss injections, admission bursts and CC collapse, then
+demotes with hysteresis.  See EXPERIMENTS.md "Hybrid fidelity".
+
 Everything is seeded; a fleet run is a pure function of
-``(topology, hosts, arrivals, seed)`` and double-runs digest-identical.
+``(topology, hosts, arrivals, seed, fidelity)`` and double-runs
+digest-identical at every fidelity.
 """
 
 from functools import partial
 
 from repro import calibration
+from repro.cluster.fidelity import Fidelity, FidelityController
 from repro.cluster.host import FleetHost
 from repro.cluster.job import Job, JobState
 from repro.cluster.scheduler import FleetScheduler, PlacementPolicy
@@ -32,7 +41,9 @@ from repro.collectives.allreduce import RingAllReduceTask
 from repro.core.spray import make_selector
 from repro.net.failure import effective_loss_rate, pick_victim_uplink
 from repro.net.fluid_sim import FluidSimulation
+from repro.net.packet_sim import MessageFlow, PacketNetSim
 from repro.net.topology import ServerAddress
+from repro.rnic.cc import WindowCC
 from repro.obs.slo import (
     SLO_LATENCY_MULTIPLE,
     SloBoard,
@@ -42,7 +53,7 @@ from repro.obs.slo import (
 )
 from repro.sim.engine import EventScheduler
 from repro.sim.rng import RngStream
-from repro.sim.units import GB
+from repro.sim.units import GB, usec
 from repro.training.comms import comm_volumes
 from repro.training.models import MODELS
 from repro.training.trainer import (
@@ -67,6 +78,21 @@ _MIN_DP_BANDWIDTH = 1e7
 _BG_DURATION = 1.0
 _BG_PACKET_BYTES = 4096
 _BG_MAX_DRAWS = 64
+
+#: Packet-window pricing knobs (hybrid/packet fidelities).  One promoted
+#: epoch drives every running multi-host job's rail-0 DP ring through a
+#: real :class:`PacketNetSim` for a short bounded window; large MTUs and
+#: CC windows seeded at the fluid fair-share BDP keep the event count
+#: per epoch in the tens of thousands even at 1024 hosts.  The window is
+#: long enough for the 250 us spray RTO to fire several times on a dead
+#: link, so failures are priced by real retransmission behaviour instead
+#: of the analytic path-survival penalty.
+_PRICING_WINDOW_SECONDS = 0.002
+_PRICING_MTU = 256 * 1024
+_PRICING_TARGET_RTT = usec(150)
+_PRICING_MAX_WINDOW = 32 * 1024 * 1024
+_PRICING_MESSAGE_BYTES = 1 << 40
+_PRICING_MAX_EVENTS = 5_000_000
 
 
 def quantile(values, q):
@@ -167,6 +193,7 @@ class FleetSimulation:
         congestion_seconds=0.03,
         flight=None,
         trace_recorder=None,
+        fidelity="fluid",
     ):
         self.topology = topology
         self.seed = seed
@@ -203,6 +230,29 @@ class FleetSimulation:
         self.ring_bytes = ring_bytes
         self.congestion_dt = congestion_dt
         self.congestion_seconds = congestion_seconds
+        #: How congestion epochs are priced: ``"fluid"`` (default — the
+        #: vectorized solver everywhere, digests unchanged), ``"packet"``
+        #: (packet-level DES everywhere, the costly reference), or
+        #: ``"hybrid"`` (fluid steady state + auto-promoted packet
+        #: windows around failures/loss/bursts/CC collapse).  Accepts a
+        #: mode string, a :class:`Fidelity`, or a pre-tuned
+        #: :class:`FidelityController`.
+        self.fidelity = FidelityController.coerce(fidelity)
+        #: Active loss injections: ``(link, drop probability)`` pairs.
+        #: Random loss is below the fluid model's resolution, so it only
+        #: changes rates inside packet-priced epochs — but it always
+        #: counts as a fidelity trigger.
+        self.active_losses = []
+        self.loss_injections = 0
+        #: Packet events spent pricing promoted epochs (fresh solves
+        #: only; memoized epochs are free).
+        self.fidelity_pricing_events = 0
+        #: DP-allreduce byte ledger, split by the regime that priced each
+        #: iteration block.  fluid + packet == total is the cross-fidelity
+        #: conservation invariant SimSanitizer checks.
+        self.dp_bytes_fluid = 0
+        self.dp_bytes_packet = 0
+        self.dp_bytes_total = 0
         self.atc_page = calibration.GDR_PAGE_BYTES
         self.jobs = []
         self.failed_links = []
@@ -230,6 +280,13 @@ class FleetSimulation:
         self._bg_counts = {}
         self._bg_partial_sums = [0.0]
         self._penalty_cache = {}
+        #: Promoted-epoch memo: (epoch key, active losses) -> (per-job
+        #: values, packet events, CC-collapsed flag).  Like the fluid
+        #: epoch cache, a packet epoch is a pure function of fleet state
+        #: and the fleet seed, so repeats inside one promoted window are
+        #: bit-identical replays.
+        self._packet_epoch_cache = {}
+        self._dp_volume_cache = {}
 
     # -- workload intake ---------------------------------------------------
 
@@ -254,6 +311,19 @@ class FleetSimulation:
         nothing is running.
         """
         self.engine.schedule_at(at, partial(self._on_link_fail, link, duration))
+
+    def inject_loss(self, at, duration, loss=0.05, link=None):
+        """Schedule random loss on one uplink at ``at`` for ``duration``.
+
+        Random loss sits below the fluid model's resolution: it is a
+        fidelity trigger (promoting a packet window in hybrid mode) and
+        is modelled natively — dropped packets, RTOs, re-spray — inside
+        packet-priced epochs only.  ``link=None`` picks a live victim
+        like :meth:`inject_link_failure`.
+        """
+        self.engine.schedule_at(
+            at, partial(self._on_loss_start, link, duration, loss)
+        )
 
     def run(self, until=None, max_events=None):
         """Drive the event loop; returns the :class:`FleetResult`."""
@@ -295,6 +365,9 @@ class FleetSimulation:
             self._record("admission-queue", entity="job:%s" % spec.name,
                          severity="warn", tenant=spec.tenant,
                          queue_depth=len(self.scheduler.queue))
+            if len(self.scheduler.queue) >= self.fidelity.admission_burst_depth:
+                self._fidelity_trigger("admission-burst",
+                                       entity="job:%s" % spec.name)
         else:
             self._admit(job, ring)
 
@@ -390,6 +463,20 @@ class FleetSimulation:
                 now, job.spec.name, job.spec.strategy.dp, block,
                 seconds, job.dp_seconds or 0.0, self._dp_volume(job),
             )
+        # Cross-fidelity byte ledger: attribute the block's DP-allreduce
+        # traffic, at block start, to the regime that priced it.  Exact
+        # integer accounting — fluid + packet must equal total per job
+        # and fleet-wide (SimSanitizer's conservation check).
+        if len(job.unique_hosts()) >= 2:
+            volume = block * self._dp_volume(job)
+            job.dp_bytes_total += volume
+            self.dp_bytes_total += volume
+            if job.rate_fidelity == "packet":
+                job.dp_bytes_packet += volume
+                self.dp_bytes_packet += volume
+            else:
+                job.dp_bytes_fluid += volume
+                self.dp_bytes_fluid += volume
         job.iterations_done += block
         if job.done:
             self.engine.schedule(block * seconds, partial(self._on_complete, job))
@@ -449,6 +536,7 @@ class FleetSimulation:
         self._instant("link-fail", {"link": str(link)})
         self._record("link-fail", entity=str(link), severity="error",
                      duration=duration)
+        self._fidelity_trigger("link-fail", entity=str(link))
         self._recompute_rates()
         self.engine.schedule(duration, partial(self._on_link_heal, link))
 
@@ -457,6 +545,62 @@ class FleetSimulation:
             self.failed_links.remove(link)
         self._instant("link-heal", {"link": str(link)})
         self._record("link-heal", entity=str(link))
+        self._fidelity_trigger("link-heal", entity=str(link))
+        self._recompute_rates()
+
+    def _on_loss_start(self, link, duration, loss):
+        if link is None:
+            link = self._auto_victim()
+        self.active_losses.append((link, loss))
+        self.loss_injections += 1
+        self._instant("loss-inject", {"link": str(link), "loss": loss})
+        self._record("loss-inject", entity=str(link), severity="warn",
+                     loss=loss, duration=duration)
+        self._fidelity_trigger("loss-inject", entity=str(link))
+        self._recompute_rates()
+        self.engine.schedule(duration, partial(self._on_loss_end, link, loss))
+
+    def _on_loss_end(self, link, loss):
+        if (link, loss) in self.active_losses:
+            self.active_losses.remove((link, loss))
+        self._instant("loss-clear", {"link": str(link)})
+        self._record("loss-clear", entity=str(link))
+        self._fidelity_trigger("loss-inject", entity=str(link))
+        self._recompute_rates()
+
+    # -- fidelity windows --------------------------------------------------
+
+    def _fidelity_trigger(self, kind, entity=None):
+        """Report a trigger to the controller; arm the demotion timer.
+
+        No-op in fluid mode (beyond trigger counting), so default-fidelity
+        runs schedule no extra events and record nothing new — their
+        digests are untouched.  Window boundaries derive from simulated
+        time only, keeping hybrid runs double-run digest-identical.
+        """
+        ctl = self.fidelity
+        action = ctl.on_trigger(self.engine.now, kind)
+        if action is None:
+            return
+        release = ctl.release_time()
+        self._instant("fidelity-%s" % action,
+                      {"trigger": kind, "release": release})
+        self._record("fidelity-%s" % action, entity=entity,
+                     severity="warn" if action == "promote" else "info",
+                     trigger=kind, release=release)
+        self.engine.schedule_at(release, self._on_fidelity_release)
+
+    def _on_fidelity_release(self):
+        """Demote with hysteresis: close the window only if it stayed quiet."""
+        ctl = self.fidelity
+        if not ctl.note_demotion(self.engine.now):
+            return  # extended since; a later callback is armed
+        start, end, _closed_at = ctl.windows[-1]
+        self._instant("fidelity-demote", {"window_start": start})
+        self._record("fidelity-demote", window_start=start, window_end=end)
+        # Demotion handoff: re-price immediately so the fleet leaves the
+        # window on fluid steady-state rates (usually an epoch-cache hit,
+        # i.e. bit-identical to the pre-window steady state).
         self._recompute_rates()
 
     def _auto_victim(self):
@@ -628,10 +772,14 @@ class FleetSimulation:
         return max(per_gpu * self.failure_penalty(job), _MIN_DP_BANDWIDTH)
 
     def _dp_volume(self, job):
-        """Per-rank DP-allreduce bytes for the trace recorder hook."""
-        return int(comm_volumes(
-            MODELS[job.spec.model], job.spec.strategy, job.spec.framework
-        ).dp)
+        """Per-rank DP-allreduce bytes (memoized; read every block)."""
+        volume = self._dp_volume_cache.get(job.index)
+        if volume is None:
+            volume = int(comm_volumes(
+                MODELS[job.spec.model], job.spec.strategy, job.spec.framework
+            ).dp)
+            self._dp_volume_cache[job.index] = volume
+        return volume
 
     def _iteration_breakdown(self, job, dp_bandwidth):
         return self.trainer.train(
@@ -695,31 +843,19 @@ class FleetSimulation:
                     for job in running
                 ),
             )
-            cached = self._epoch_cache.get(epoch_key)
-            if cached is not None:
-                for job in multi:
-                    job.iter_seconds, job.dp_seconds = cached[job.index]
-            else:
-                contended = ContendedTopology(
-                    self.topology, self._background_rates(running)
+            fluid = self._fluid_epoch_values(running, multi, epoch_key)
+            if self.fidelity.active(self.engine.now):
+                values = self._packet_epoch_values(
+                    running, multi, epoch_key, fluid
                 )
-                sim = FluidSimulation(contended, dt=self.congestion_dt,
-                                      seed=self.seed,
-                                      plan_cache=self._plan_cache)
-                tasks = []
-                for job in multi:
-                    tasks.append((job, self._launch_ring(job, sim)))
-                sim.run(duration=self.congestion_seconds)
-                for job, task in tasks:
-                    breakdown = self._iteration_breakdown(
-                        job, self._per_gpu_bandwidth(job, task)
-                    )
-                    job.iter_seconds = breakdown.total
-                    job.dp_seconds = breakdown.dp
-                self._epoch_cache[epoch_key] = {
-                    job.index: (job.iter_seconds, job.dp_seconds)
-                    for job in multi
-                }
+                regime = "packet"
+            else:
+                values, regime = fluid, "fluid"
+            for job in multi:
+                entry = values[job.index]
+                job.iter_seconds = entry[0]
+                job.dp_seconds = entry[1]
+                job.rate_fidelity = regime
         for job in running:
             if len(job.unique_hosts()) < 2:
                 job.iter_seconds = job.iso_iter_seconds
@@ -732,6 +868,132 @@ class FleetSimulation:
             }, track="fleet")
         self._record("congestion-epoch", running=self._running,
                      links_down=len(self.failed_links))
+
+    def _fluid_epoch_values(self, running, multi, epoch_key):
+        """The fluid solve for one epoch: {job.index: (iter, dp, bw)}.
+
+        Computed exactly as before the hybrid engine existed (same task
+        launch order, same float sequence) and memoized per epoch key;
+        the per-GPU bandwidth rides along as the third element so packet
+        windows can seed their CC contexts from the fluid fair share.
+        """
+        cached = self._epoch_cache.get(epoch_key)
+        if cached is None:
+            contended = ContendedTopology(
+                self.topology, self._background_rates(running)
+            )
+            sim = FluidSimulation(contended, dt=self.congestion_dt,
+                                  seed=self.seed,
+                                  plan_cache=self._plan_cache)
+            tasks = []
+            for job in multi:
+                tasks.append((job, self._launch_ring(job, sim)))
+            sim.run(duration=self.congestion_seconds)
+            cached = {}
+            for job, task in tasks:
+                per_gpu = self._per_gpu_bandwidth(job, task)
+                breakdown = self._iteration_breakdown(job, per_gpu)
+                cached[job.index] = (breakdown.total, breakdown.dp, per_gpu)
+            self._epoch_cache[epoch_key] = cached
+        return cached
+
+    def _packet_epoch_values(self, running, multi, epoch_key, fluid_values):
+        """Price a promoted epoch at packet granularity (memoized).
+
+        The memo key extends the fluid epoch key with the active loss
+        injections — loss is invisible to the fluid solver but very much
+        visible to a packet window.  A solve that left any flow's CC
+        window at its floor re-fires the ``cc-collapse`` trigger (on
+        cache hits too, so replayed epochs extend windows identically).
+        """
+        loss_key = tuple(sorted(
+            (link.kind, link.key, rate) for link, rate in self.active_losses
+        ))
+        key = (epoch_key, loss_key)
+        cached = self._packet_epoch_cache.get(key)
+        if cached is None:
+            cached = self._solve_packet_epoch(running, multi, fluid_values)
+            self._packet_epoch_cache[key] = cached
+            self.fidelity_pricing_events += cached[1]
+        values, _events, collapsed = cached
+        if collapsed:
+            self._fidelity_trigger("cc-collapse")
+        return values
+
+    def _solve_packet_epoch(self, running, multi, fluid_values):
+        """One packet-level DES window over every multi-host DP ring.
+
+        Promotion handoff: each ring edge's :class:`WindowCC` opens at
+        the bandwidth-delay product of its fluid fair share, so flows
+        start at steady state instead of slow-starting through the
+        window.  Failed links become 100% loss on the real port — RTOs,
+        re-spray and window cuts replace the analytic path-survival
+        penalty — and active loss injections drop packets at their real
+        rate.  The measured goodput is the ring's slowest edge over the
+        window, scaled exactly like the fluid treatment (rail-0 ring
+        times ``rails``, divided across the host's GPUs).
+        """
+        contended = ContendedTopology(
+            self.topology, self._background_rates(running)
+        )
+        # Untraced and flightless on purpose: the pricing sim has its own
+        # 0-based clock, and like the fluid epochs it is an inner solver —
+        # fleet-level records (fidelity-promote/demote, congestion-epoch)
+        # carry the observability.
+        psim = PacketNetSim(contended, seed=self.seed)
+        for link in self.failed_links:
+            psim.inject_loss(link, 1.0)
+        for link, rate in self.active_losses:
+            psim.inject_loss(link, rate)
+        window = _PRICING_WINDOW_SECONDS
+        jobs_flows = []
+        for job in multi:
+            transport = TRANSPORTS[job.spec.transport]
+            servers = [h.address for h in job.unique_hosts()]
+            n = len(servers)
+            per_host_gpus = max(1.0, job.spec.gpus / n)
+            per_gpu = fluid_values[job.index][2]
+            flow_rate = per_gpu * per_host_gpus / self.topology.rails
+            init_window = min(
+                _PRICING_MAX_WINDOW,
+                max(64 * 1024, flow_rate * _PRICING_TARGET_RTT),
+            )
+            flows = []
+            for i, src in enumerate(servers):
+                dst = servers[(i + 1) % n]
+                flows.append(MessageFlow(
+                    psim,
+                    "dp:%s:%d" % (job.spec.name, i),
+                    src, dst, 0,
+                    message_bytes=_PRICING_MESSAGE_BYTES,
+                    algorithm=transport.algorithm,
+                    path_count=transport.path_count,
+                    mtu=_PRICING_MTU,
+                    connection_id=job.index * CONNECTION_STRIDE + i,
+                    cc=WindowCC(
+                        init_window=init_window,
+                        max_window=_PRICING_MAX_WINDOW,
+                        additive_bytes=64 * 1024,
+                        target_rtt=_PRICING_TARGET_RTT,
+                    ),
+                ))
+            jobs_flows.append((job, flows))
+        psim.run(until=window, max_events=_PRICING_MAX_EVENTS)
+        values = {}
+        collapsed = False
+        for job, flows in jobs_flows:
+            per_host_gpus = max(1.0, job.spec.gpus / len(flows))
+            worst = min(flow.bytes_acked for flow in flows) / window
+            per_gpu = max(
+                worst * self.topology.rails / per_host_gpus,
+                _MIN_DP_BANDWIDTH,
+            )
+            breakdown = self._iteration_breakdown(job, per_gpu)
+            values[job.index] = (breakdown.total, breakdown.dp, per_gpu)
+            for flow in flows:
+                if flow.conn.cc.window <= flow.conn.cc.min_window:
+                    collapsed = True
+        return (values, psim.scheduler.events_executed, collapsed)
 
     # -- working-set sampling ----------------------------------------------
 
@@ -775,7 +1037,17 @@ class FleetSimulation:
             "rate_epochs": self.rate_epochs,
             "link_failures": self.link_failures,
             "links_down": len(self.failed_links),
+            "loss_injections": self.loss_injections,
             "policy": self.scheduler.policy.value,
+            "fidelity_mode": self.fidelity.mode.value,
+            "fidelity_promotions": self.fidelity.promotions,
+            "fidelity_extensions": self.fidelity.extensions,
+            "fidelity_demotions": self.fidelity.demotions,
+            "fidelity_triggers": self.fidelity.triggers,
+            "fidelity_pricing_events": self.fidelity_pricing_events,
+            "dp_bytes_fluid": self.dp_bytes_fluid,
+            "dp_bytes_packet": self.dp_bytes_packet,
+            "dp_bytes_total": self.dp_bytes_total,
         }
 
     def register_metrics(self, registry, prefix="cluster"):

@@ -115,6 +115,15 @@ class Job:
         self.dp_seconds = None       # DP-allreduce share of iter_seconds
         self.iso_dp_seconds = None   # DP share of the isolated baseline
         self.abort_event = None
+        #: Which engine priced the current iter_seconds ("fluid" or
+        #: "packet"), and the DP-allreduce byte ledger split by regime.
+        #: Bytes are attributed at block start to the regime that priced
+        #: the block; fluid + packet must always equal total (the
+        #: SimSanitizer cross-fidelity conservation check).
+        self.rate_fidelity = "fluid"
+        self.dp_bytes_fluid = 0
+        self.dp_bytes_packet = 0
+        self.dp_bytes_total = 0
 
     @property
     def wait_seconds(self):

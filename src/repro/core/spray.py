@@ -101,11 +101,31 @@ class ObliviousSpraySelector(PathSelector):
     favorably with our CC algorithm" than RR under bursty load (Fig. 10b).
     """
 
+    def __init__(self, path_count, rng=None):
+        super().__init__(path_count, rng)
+        # randint(0, n-1) bottoms out in Random._randbelow_with_getrandbits:
+        # draw n.bit_length() bits and reject draws >= n.  Replicating that
+        # loop on a bound getrandbits consumes the generator draw-for-draw
+        # identically (tests/test_packet_differential.py pins it) while
+        # skipping the
+        # randrange call chain — this is the per-packet path draw of every
+        # sprayed flow.  Plain random.Random rngs (no getrandbits binding
+        # on RngStream-less test doubles) keep the randint path.
+        self._bits = path_count.bit_length()
+        self._getrandbits = getattr(self.rng, "getrandbits", None)
+
     def next_path(self, now=None):
         # Inlined _count(): this is the per-packet selector (Stellar's
         # production default), so skip the helper-call overhead.
         self.packets_sent += 1
-        return self.rng.randint(0, self.path_count - 1)
+        getrandbits = self._getrandbits
+        if getrandbits is None:
+            return self.rng.randint(0, self.path_count - 1)
+        n = self.path_count
+        r = getrandbits(self._bits)
+        while r >= n:
+            r = getrandbits(self._bits)
+        return r
 
 
 @PathSelector.register("dwrr")

@@ -89,6 +89,7 @@ class FluidFlow:
         on_seconds=None,
         off_seconds=None,
         rng=None,
+        transferred=0.0,
     ):
         self.flow_id = flow_id
         self.src = src
@@ -119,7 +120,10 @@ class FluidFlow:
         self._sim = None
         self._idx = None
         # Standalone state, authoritative until _attach() migrates it.
-        self._transferred = 0.0
+        # ``transferred`` may start non-zero: the hybrid-fidelity engine
+        # re-seeds a fluid flow with packet-measured progress when a
+        # promoted window demotes mid-message.
+        self._transferred = float(transferred)
         self._finish_time = None
         self._rate_sum = 0.0
         self._rate_count = 0.0

@@ -6,10 +6,21 @@ window congestion control, and RTO-driven retransmission on a different
 path — the full Stellar transport of Section 7 at packet granularity.
 
 Used for the queue-depth (Figure 9) and loss-resilience (Figure 11)
-experiments; the fluid simulator handles the 512+-GPU collective runs.
+experiments and for pricing the fleet's promoted hybrid-fidelity
+windows; the fluid simulator handles the 512+-GPU collective runs.
+
+Untraced runs take a struct-of-arrays hot path: whole window bursts are
+priced through one numpy busy-chain per first-hop port (send_burst) and
+retransmission timers collapse into one lazy ladder per flow — both
+reproduce the scalar engine's floats and RNG draws bit for bit
+(tests/test_packet_differential.py pins this).  Traced runs keep the
+original per-packet events, so determinism digests are unchanged.
 """
 
+from collections import deque
 from functools import partial
+
+import numpy as np
 
 from repro import calibration
 from repro.core.spray import PathSelector, SprayConnection
@@ -25,6 +36,11 @@ DEFAULT_ECN_THRESHOLD_BYTES = 512 * 1024
 
 #: Tail-drop limit per port.
 DEFAULT_MAX_QUEUE_BYTES = 16 * 1024 * 1024
+
+#: Minimum same-instant packets before :meth:`MessageFlow._pump` takes
+#: the vectorized burst path; below this the numpy setup costs more
+#: than the scalar hops it replaces.
+BURST_MIN_PACKETS = 8
 
 
 class PortState:
@@ -120,6 +136,10 @@ class PacketNetSim:
         self.packets_sent = 0
         self.packets_delivered = 0
         self.packets_dropped = 0
+        #: Bumped on every inject_loss() call; flows revalidate their
+        #: cached burst-send eligibility against it (see
+        #: MessageFlow._burst_eligible).
+        self._loss_epoch = 0
         self.tracer = None
         self._latency_hist = None
         if tracer is not None:
@@ -192,6 +212,7 @@ class PacketNetSim:
         if not 0.0 <= drop_prob <= 1.0:
             raise ValueError("drop probability out of range: %r" % drop_prob)
         self.port(ref).drop_prob = drop_prob
+        self._loss_epoch += 1
         if self.flight is not None:
             if drop_prob == 0.0:
                 kind, severity = "path-up", "info"
@@ -288,6 +309,93 @@ class PacketNetSim:
             )
         if on_dropped is not None:
             on_dropped(port.ref)
+
+    def send_burst(self, rows):
+        """Vectorized hop 0 for a same-instant burst from one sender.
+
+        ``rows`` is a list of ``(route, size, on_delivered)``.  The
+        caller guarantees no first-hop port in the burst can randomly
+        drop (batching would otherwise reorder the drop draws relative
+        to the scalar path-draw/hop interleaving).  When every row
+        shares one first-hop port and nothing can tail-drop, the port's
+        busy-time chain, queue samples, and ECN marks are computed
+        struct-of-arrays style — cumulative sums reproduce the scalar
+        ``+=`` chains bit for bit — and only the hop-1 continuations go
+        through the scheduler one by one.  Mixed first hops or a
+        potential overflow fall back to the exact scalar hop, which is
+        RNG-free here, so either way the draw sequence and every float
+        matches the scalar engine.
+        """
+        count = len(rows)
+        self.packets_sent += count
+        now = self.scheduler.now
+        route_ports = self._route_ports
+        entries = []
+        for row in rows:
+            route = row[0]
+            entry = route_ports.get(id(route))
+            if entry is None or entry[0] is not route:
+                ports = tuple(self.port(ref) for ref in route)
+                entry = (route, ports, len(ports))
+                route_ports[id(route)] = entry
+            entries.append(entry)
+        port = entries[0][1][0]
+        vector = port.drop_prob == 0.0
+        if vector:
+            for entry in entries:
+                if entry[1][0] is not port:
+                    vector = False
+                    break
+        if vector:
+            # Struct-of-arrays hop 0.  Float expressions mirror _hop()
+            # op for op (``size * 8.0 / rate``, ``(busy - now) * rate
+            # / 8.0``); np.cumsum runs its adds sequentially, so the
+            # departure chain and the queue_sample_sum accumulator are
+            # bit-identical to the scalar loop's repeated ``+=``.
+            sizes = np.array([row[1] for row in rows], dtype=np.float64)
+            rate = port.rate
+            busy = port.busy_until
+            chain = np.empty(count + 1)
+            chain[0] = busy if busy > now else now
+            chain[1:] = sizes * 8.0 / rate
+            departs = np.cumsum(chain)[1:]
+            before = np.empty(count)
+            before[0] = busy
+            before[1:] = departs[:-1]
+            queues = (before - now) * rate / 8.0
+            np.maximum(queues, 0.0, out=queues)
+            if not np.any(queues + sizes > port.max_queue):
+                ecn = queues >= port.ecn_threshold
+                port.queue_samples += count
+                chain[0] = port.queue_sample_sum
+                chain[1:] = queues
+                port.queue_sample_sum = float(np.cumsum(chain)[-1])
+                peak = float(queues.max())
+                if peak > port.queue_max:
+                    port.queue_max = peak
+                marks = int(np.count_nonzero(ecn))
+                if marks:
+                    port.ecn_marks += marks
+                port.busy_until = float(departs[-1])
+                delays = departs - now + HOP_PROPAGATION_SECONDS
+                schedule_call = self.scheduler.schedule_call
+                hop = self._hop
+                for i in range(count):
+                    entry = entries[i]
+                    row = rows[i]
+                    packet = (
+                        entry[1], entry[2], row[1], now, row[2], _drop_ignored,
+                    )
+                    schedule_call(
+                        float(delays[i]), partial(hop, packet, 1, bool(ecn[i])),
+                    )
+                return
+        hop = self._hop
+        for i in range(count):
+            entry = entries[i]
+            row = rows[i]
+            packet = (entry[1], entry[2], row[1], now, row[2], _drop_ignored)
+            hop(packet, 0, False)
 
     # -- statistics -------------------------------------------------------
 
@@ -430,11 +538,28 @@ class MessageFlow:
         self.finish_time = None
         self.rto_count = 0
         self._next_seq = 0
-        #: seq -> (rto event, size, path) for every unacked packet.
+        #: seq -> (rto event or None, size, path, tx id) for every
+        #: unacked packet.  The tx id is a per-flow monotone counter that
+        #: disambiguates retransmissions reusing a seq; untraced runs
+        #: timer their RTOs through the lazy ladder below and leave the
+        #: event slot None.
         self._outstanding = {}
         # SprayConnection.rto is immutable after construction; the alias
         # saves one attribute hop per transmitted packet.
         self._rto = self.conn.rto
+        #: Lazy RTO machinery (untraced runs only): a FIFO of
+        #: (deadline, seq, size, path, tx id) — deadline-ordered because
+        #: the RTO is constant and send times are non-decreasing —
+        #: drained by a single armed timer (_rto_tick) instead of one
+        #: schedule/cancel Event pair per packet.
+        self._rto_ladder = deque()
+        self._rto_timer_armed = False
+        self._next_tx_id = 0
+        #: Burst-send cache: whether every first-hop port is drop-free,
+        #: revalidated whenever the sim's loss configuration changes
+        #: (see _burst_eligible).
+        self._burst_safe = False
+        self._burst_epoch = -1
         # Oblivious selectors inherit the base no-op on_feedback; caching
         # None for them skips one dead method call per ACK.  Selectors
         # that do react to feedback (dwrr, flowlet) keep the bound method.
@@ -491,6 +616,36 @@ class MessageFlow:
             # CC — identical arithmetic, two fewer Python calls per
             # packet.  Subclasses and alternative CCs take the generic
             # loop below so overrides keep working.
+            if self.sim.tracer is None:
+                # Batched window arithmetic: decide the whole burst's
+                # sizes with local ints first (same comparisons as the
+                # scalar loop — window is constant during a pump, no ACK
+                # runs in between), then transmit.  Big window-opening
+                # bursts go struct-of-arrays through send_burst(); small
+                # ACK-clocked refills replay the scalar sequence.
+                in_flight = cc.in_flight
+                window = cc.window
+                unsent = self.bytes_unsent
+                sizes = []
+                while unsent > 0:
+                    if in_flight != 0 and in_flight + mtu > window:
+                        break
+                    size = mtu if mtu < unsent else unsent
+                    unsent -= size
+                    in_flight += size
+                    sizes.append(size)
+                if not sizes:
+                    return
+                cc.in_flight = in_flight
+                self.bytes_unsent = unsent
+                if len(sizes) >= BURST_MIN_PACKETS and self._burst_eligible():
+                    self._transmit_burst(sizes, now, next_path)
+                    return
+                for size in sizes:
+                    seq = self._next_seq
+                    self._next_seq = seq + 1
+                    self._transmit(seq, size, next_path(now=now))
+                return
             while self.bytes_unsent > 0:
                 in_flight = cc.in_flight
                 if in_flight != 0 and in_flight + mtu > cc.window:
@@ -520,24 +675,127 @@ class MessageFlow:
             self._routes[path] = route
         scheduler = self._scheduler
         sent_at = scheduler.now
-        # RTO callbacks are scheduler-visible, so traced runs keep the
-        # lambda (its qualname is digest-bearing when a timer fires);
-        # untraced runs use a C-level partial.  The delivery callback is
-        # invoked directly by the packet sim — never recorded — so it is
-        # always a partial: _hop calls it with (latency, ecn), which
-        # append positionally onto (seq, size, path, sent_at).
+        tx_id = self._next_tx_id
+        self._next_tx_id = tx_id + 1
+        # RTO handling splits on tracing like the hop continuation.
+        # Untraced runs take the lazy ladder: one deque append here plus
+        # a single armed timer replaces a per-packet Event schedule and
+        # the (almost always) matching cancel — the dominant scheduler
+        # churn of a healthy flow, where real RTO fires are vanishingly
+        # rare.  Traced runs keep the per-packet timer: its
+        # schedule/cancel sequence and the lambda qualname are
+        # digest-bearing.  The delivery callback is invoked directly by
+        # the packet sim — never recorded — so it is always a partial:
+        # _hop calls it with (latency, ecn), which append positionally
+        # onto (seq, size, path, sent_at).
         if self.sim.tracer is None:
-            rto_cb = partial(self._on_rto, seq, size, path)
+            deadline = sent_at + self._rto
+            self._rto_ladder.append((deadline, seq, size, path, tx_id))
+            self._outstanding[seq] = (None, size, path, tx_id)
+            if not self._rto_timer_armed:
+                self._rto_timer_armed = True
+                scheduler.schedule_at(deadline, self._rto_tick)
         else:
             rto_cb = lambda: self._on_rto(seq, size, path)
-        rto_event = scheduler.schedule(self._rto, rto_cb)
-        self._outstanding[seq] = (rto_event, size, path)
+            rto_event = scheduler.schedule(self._rto, rto_cb)
+            self._outstanding[seq] = (rto_event, size, path, tx_id)
         self._send_packet(
             route,
             size,
             on_delivered=partial(self._on_delivered, seq, size, path, sent_at),
             on_dropped=_drop_ignored,
         )
+
+    def _burst_eligible(self):
+        """True when a burst send cannot perturb the RNG draw order.
+
+        Burst sends draw every path before running any hop, so they are
+        only exact when no first-hop port can randomly drop (no drop
+        draw can interleave with the path draws).  A sim that never saw
+        inject_loss() qualifies outright — no port anywhere draws.
+        Otherwise eligibility needs every path's route resolved so each
+        first hop can be checked, and the verdict is cached per loss
+        epoch (inject_loss invalidates it).
+        """
+        sim = self.sim
+        if sim._loss_epoch == 0:
+            return True
+        routes = self._routes
+        if len(routes) < self.conn.path_count:
+            return False
+        if self._burst_epoch == sim._loss_epoch:
+            return self._burst_safe
+        port = sim.port
+        safe = all(port(route[0]).drop_prob == 0.0 for route in routes.values())
+        self._burst_epoch = sim._loss_epoch
+        self._burst_safe = safe
+        return safe
+
+    def _transmit_burst(self, sizes, now, next_path):
+        """Ladder + outstanding bookkeeping for a burst, then send_burst.
+
+        Path draws happen in the same order as the scalar loop; hop 0
+        consumes no RNG here (_burst_eligible), so batching them ahead
+        of the hops leaves the draw sequence unchanged.
+        """
+        routes = self._routes
+        ladder = self._rto_ladder
+        outstanding = self._outstanding
+        on_delivered = self._on_delivered
+        deadline = now + self._rto
+        seq = self._next_seq
+        tx_id = self._next_tx_id
+        rows = []
+        for size in sizes:
+            path = next_path(now=now)
+            route = routes.get(path)
+            if route is None:
+                route = self.sim.topology.route(
+                    self.src, self.dst, self.rail,
+                    path_id=path, connection_id=self.connection_id,
+                )
+                routes[path] = route
+            rows.append(
+                (route, size, partial(on_delivered, seq, size, path, now))
+            )
+            ladder.append((deadline, seq, size, path, tx_id))
+            outstanding[seq] = (None, size, path, tx_id)
+            seq += 1
+            tx_id += 1
+        self._next_seq = seq
+        self._next_tx_id = tx_id
+        if not self._rto_timer_armed:
+            self._rto_timer_armed = True
+            self._scheduler.schedule_at(deadline, self._rto_tick)
+        self.sim.send_burst(rows)
+
+    def _rto_tick(self):
+        """The single armed retransmission timer (untraced runs).
+
+        Pops every stale head (acked or superseded packets — recognised
+        by tx id), fires any live entry whose deadline has passed, then
+        re-arms at the next live deadline.  Ticks are O(distinct arm
+        points), not O(packets); the per-packet cost is one deque
+        append at transmit and one popleft here.
+        """
+        ladder = self._rto_ladder
+        outstanding = self._outstanding
+        now = self._scheduler.now
+        while ladder:
+            deadline, seq, size, path, tx_id = ladder[0]
+            entry = outstanding.get(seq)
+            if entry is None or entry[3] != tx_id:
+                ladder.popleft()
+                continue
+            if deadline <= now:
+                ladder.popleft()
+                self._on_rto(seq, size, path)
+                continue
+            break
+        if ladder:
+            self._scheduler.schedule_at(ladder[0][0], self._rto_tick)
+        else:
+            self._rto_timer_armed = False
 
     def _on_delivered(self, seq, size, path, sent_at, latency, ecn):
         # The ACK flies back contention-free (ACKs are tiny).  Same
@@ -564,7 +822,9 @@ class MessageFlow:
         entry = outstanding.pop(seq, None)
         if entry is None:
             return  # already retransmitted; ignore the stale ACK
-        entry[0].cancel()
+        event = entry[0]
+        if event is not None:
+            event.cancel()  # traced runs: per-packet timer
         now = self._scheduler.now
         rtt = now - sent_at
         self.bytes_acked += size
@@ -627,8 +887,9 @@ class MessageFlow:
             tail = sorted(s for s in self._outstanding if s >= seq)
             resend = []
             for s in tail:
-                event, sz, p = self._outstanding.pop(s)
-                event.cancel()
+                event, sz, p, _tx = self._outstanding.pop(s)
+                if event is not None:
+                    event.cancel()
                 resend.append((s, sz, p))
             self.conn.cc.on_rto()  # full stall: halve window, clear flight
             self._record_cc_collapse(flight)

@@ -205,10 +205,14 @@ def check_determinism(seed=17, runs=2, max_mismatches=10, **probe_kwargs):
 def fleet_fingerprint(seed=17, scenario="churn"):
     """Run one seeded fleet scenario in isolation; return its fingerprint.
 
-    ``scenario`` is ``"churn"`` (the canonical 16-host / 3-tenant run) or
-    ``"smoke"`` (the two-host probe leg).  Fresh registry and tracer per
-    call, as in :func:`probe_fingerprint`.
+    ``scenario`` is ``"churn"`` (the canonical 16-host / 3-tenant run),
+    ``"smoke"`` (the two-host probe leg), or ``"hybrid"`` (the churn run
+    re-priced by the hybrid-fidelity engine, whose promoted packet
+    windows must be just as reproducible as the fluid epochs).  Fresh
+    registry and tracer per call, as in :func:`probe_fingerprint`.
     """
+    import functools
+
     from repro.obs.flight import FlightRecorder
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.trace import Tracer
@@ -217,7 +221,11 @@ def fleet_fingerprint(seed=17, scenario="churn"):
     registry = MetricsRegistry("determinism-fleet")
     tracer = Tracer("determinism-fleet")
     flight = FlightRecorder()
-    runner = {"churn": run_churn, "smoke": run_fleet_smoke}[scenario]
+    runner = {
+        "churn": run_churn,
+        "smoke": run_fleet_smoke,
+        "hybrid": functools.partial(run_churn, fidelity="hybrid"),
+    }[scenario]
     runner(seed=seed, registry=registry, tracer=tracer, flight=flight)
     metrics = registry.snapshot()
     return ProbeFingerprint(

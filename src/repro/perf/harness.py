@@ -93,6 +93,9 @@ KERNELS = OrderedDict(
                    "16-host 3-tenant churn (2-host smoke)"),
         KernelSpec("fleet_1024_churn", _kernels.fleet_1024_churn_kernel, 1,
                    "1024-host 3-tier dual-plane churn (fixed-job smoke)"),
+        KernelSpec("fleet_1024_hybrid", _kernels.fleet_1024_hybrid_kernel, 1,
+                   "1024-host churn, hybrid fluid/packet fidelity "
+                   "(REPRO_FIDELITY_MODE)"),
         KernelSpec("runner_fanout", _kernels.runner_fanout_kernel, 2,
                    "N fig11 rings via repro.runner pool (repeat 2 is "
                    "warm-cache)"),

@@ -364,6 +364,46 @@ def fleet_1024_churn_kernel(smoke=False):
     }
 
 
+def fleet_1024_hybrid_kernel(smoke=False):
+    """Paper-scale fleet under the hybrid-fidelity engine.
+
+    The same 1024-host churn as ``fleet_1024_churn``, but priced by the
+    fidelity controller: fluid epochs by default, bounded packet-level
+    windows promoted around link failures / loss injections / admission
+    bursts.  ``REPRO_FIDELITY_MODE`` overrides the mode (``packet``
+    prices *every* epoch on the packet engine — the pre-hybrid baseline
+    entry in ``BENCH_perf.json``; ``fluid`` never promotes), so one
+    kernel yields the pre/post pair the >= 2x acceptance gate compares.
+
+    ``events`` counts simulated milliseconds, not scheduler dispatches:
+    packet windows execute vastly more events per sim-second than fluid
+    epochs, so a wall-per-event metric would flatter exactly the mode
+    this kernel exists to beat.  Same sim horizon in every mode ->
+    normalized speedup is a pure wall-clock ratio.
+    """
+    import os
+
+    mode = os.environ.get("REPRO_FIDELITY_MODE", "hybrid")
+    if smoke:
+        fleet, result = run_fleet1024_smoke(seed=17, fidelity=mode)
+    else:
+        fleet, result = run_fleet1024_churn(seed=17, fidelity=mode)
+    snap = fleet.snapshot()
+    return {
+        "events": int(round(fleet.engine.now * 1000.0)),
+        "meta": {
+            "mode": mode,
+            "hosts": len(fleet.scheduler.hosts),
+            "completed_jobs": snap["jobs_completed"],
+            "rate_epochs": snap["rate_epochs"],
+            "fidelity_promotions": snap["fidelity_promotions"],
+            "fidelity_pricing_events": snap["fidelity_pricing_events"],
+            "dp_bytes_packet": snap["dp_bytes_packet"],
+            "sim_seconds": round(fleet.engine.now, 3),
+        },
+    }
+
+
 def trace_replay_kernel(smoke=False):
     """Trace-DAG replay: the bundled MoE trace on its 8-host ring.
 

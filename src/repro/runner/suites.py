@@ -97,6 +97,26 @@ def build_determinism():
     return specs
 
 
+def _build_hybrid_smoke():
+    """Hybrid-fidelity determinism cells: the churn scenario priced by
+    the fidelity controller, two seeds x two runs.
+
+    The sequential-diff oracle is the same as the determinism suite:
+    promoted packet windows open and close at sim-time boundaries, so a
+    hybrid run must reproduce digest-for-digest just like a fluid one —
+    pooled and sequential runner modes included.
+    """
+    specs = []
+    for seed in (17, 23):
+        for run in (0, 1):
+            specs.append(_spec(
+                "determinism/fleet-hybrid/seed%d/run%d" % (seed, run),
+                "fleet_digests", {"run": run, "scenario": "hybrid"},
+                seed=seed,
+            ))
+    return specs
+
+
 def check_determinism(report):
     problems = []
     by_cell = {}
@@ -115,7 +135,7 @@ def check_determinism(report):
                 "%s: runs disagree (%d distinct digests)"
                 % (prefix, len(digests))
             )
-        if prefix.startswith("determinism/fleet/"):
+        if prefix.startswith("determinism/fleet"):
             seed_digests[prefix] = cells[0][1]["trace_digest"]
     if len(seed_digests) > 1 and len(set(seed_digests.values())) == 1:
         problems.append(
@@ -289,6 +309,8 @@ SUITES = OrderedDict((suite.name, suite) for suite in [
           _build_figures_smoke),
     Suite("determinism", "multi-seed probe + fleet determinism cells",
           build_determinism, check_determinism),
+    Suite("hybrid-smoke", "hybrid-fidelity fleet determinism cells "
+          "(CI-sized)", _build_hybrid_smoke, check_determinism),
     Suite("health", "fleet health documents + merged incident reports",
           _build_health, check_health),
     Suite("perf", "perf-kernel repeat pairs (event-count determinism)",

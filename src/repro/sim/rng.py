@@ -45,6 +45,7 @@ class RngStream:
         # therefore determinism digests) are unchanged.
         self.random = self._random.random
         self.randint = self._random.randint
+        self.getrandbits = self._random.getrandbits
 
     def child(self, *names):
         """Return a new stream derived from this stream's identity."""

@@ -16,9 +16,11 @@ discrete-event system:
   packets sent == delivered + dropped (+ in flight), every bounded
   structure (ATC/IOTLB ``size``/``capacity``, switch LUT
   ``lut_used``/``lut_capacity``, per-host ``gpus_used``/
-  ``gpus_capacity``) stays within its configured capacity, and fleet
+  ``gpus_capacity``) stays within its configured capacity, fleet
   job accounting balances (submitted == queued + starting + running +
-  completed + failed).
+  completed + failed), and the hybrid-fidelity byte ledger conserves
+  (``dp_bytes_fluid + dp_bytes_packet == dp_bytes_total``, fleet-wide
+  and per job).
 
 The sanitizer is opt-in and composable: ``attach()`` wraps one
 :class:`~repro.sim.engine.EventScheduler` instance's ``step`` (the run
@@ -153,6 +155,7 @@ class SimSanitizer:
         self._check_packet_conservation(snapshot, drained)
         self._check_capacities(snapshot)
         self._check_job_conservation(snapshot)
+        self._check_fidelity_conservation(snapshot)
 
     @staticmethod
     def _check_packet_conservation(snapshot, drained):
@@ -220,6 +223,27 @@ class SimSanitizer:
                     "(queued=%d starting=%d running=%d completed=%d "
                     "failed=%d)"
                     % ((base, accounted, submitted) + tuple(counts))
+                )
+
+    @staticmethod
+    def _check_fidelity_conservation(snapshot):
+        # Cross-fidelity byte ledger: every DP-allreduce byte a hybrid
+        # fleet accounts is attributed to exactly one pricing regime, so
+        # fluid + packet must equal the total — fleet-wide and per job
+        # (both spell their counters ``dp_bytes_{fluid,packet,total}``).
+        for key, total in snapshot.items():
+            if not key.endswith("dp_bytes_total"):
+                continue
+            base = key[:-len("dp_bytes_total")]
+            fluid = snapshot.get(base + "dp_bytes_fluid")
+            packet = snapshot.get(base + "dp_bytes_packet")
+            if fluid is None or packet is None:
+                continue
+            if fluid + packet != total:
+                raise SanitizerError(
+                    "%s*: fluid+packet bytes (%d+%d) != total (%d) — "
+                    "a congestion epoch was double-counted or dropped"
+                    % (base or "dp_bytes_", fluid, packet, total)
                 )
 
     # -- everything ------------------------------------------------------

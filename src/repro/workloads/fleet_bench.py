@@ -101,7 +101,7 @@ def churn_tenants():
 def build_churn_fleet(seed=CHURN_SEED, tracer=None, registry=None,
                       policy=PlacementPolicy.SPREAD, tenants=None,
                       horizon=_CHURN_HORIZON, failure=True, flight=None,
-                      trace_recorder=None):
+                      trace_recorder=None, fidelity="fluid"):
     """Assemble (but do not run) the 16-host / 3-tenant churn scenario.
 
     ``SPREAD`` placement is the scenario default: it scatters rings
@@ -116,6 +116,7 @@ def build_churn_fleet(seed=CHURN_SEED, tracer=None, registry=None,
         tracer=tracer,
         flight=flight,
         trace_recorder=trace_recorder,
+        fidelity=fidelity,
         host_config=dict(
             gpus=4, rnics=2, dram_bytes=64 * GiB, gpu_hbm_bytes=2 * GiB,
             atc_capacity=512,
@@ -136,12 +137,12 @@ def build_churn_fleet(seed=CHURN_SEED, tracer=None, registry=None,
 def run_churn(seed=CHURN_SEED, tracer=None, registry=None,
               policy=PlacementPolicy.SPREAD, tenants=None,
               horizon=_CHURN_HORIZON, failure=True, flight=None,
-              trace_recorder=None):
+              trace_recorder=None, fidelity="fluid"):
     """Run the churn scenario to drain; returns ``(fleet, result)``."""
     fleet = build_churn_fleet(
         seed=seed, tracer=tracer, registry=registry, policy=policy,
         tenants=tenants, horizon=horizon, failure=failure, flight=flight,
-        trace_recorder=trace_recorder,
+        trace_recorder=trace_recorder, fidelity=fidelity,
     )
     result = fleet.run()
     return fleet, result
@@ -233,7 +234,8 @@ def fleet1024_tenants():
 
 def build_fleet1024(seed=CHURN_SEED, tracer=None, registry=None,
                     policy=PlacementPolicy.SPREAD, horizon=_FLEET1024_HORIZON,
-                    failure=True, flight=None, trace_recorder=None):
+                    failure=True, flight=None, trace_recorder=None,
+                    fidelity="fluid"):
     """Assemble (but do not run) the 1024-host churn scenario."""
     topology = fleet1024_topology()
     fleet = FleetSimulation(
@@ -243,6 +245,7 @@ def build_fleet1024(seed=CHURN_SEED, tracer=None, registry=None,
         tracer=tracer,
         flight=flight,
         trace_recorder=trace_recorder,
+        fidelity=fidelity,
         host_config=dict(
             gpus=4, rnics=1, dram_bytes=64 * GiB, gpu_hbm_bytes=2 * GiB,
             atc_capacity=512,
@@ -261,19 +264,19 @@ def build_fleet1024(seed=CHURN_SEED, tracer=None, registry=None,
 def run_fleet1024_churn(seed=CHURN_SEED, tracer=None, registry=None,
                         policy=PlacementPolicy.SPREAD,
                         horizon=_FLEET1024_HORIZON, failure=True, flight=None,
-                        trace_recorder=None):
+                        trace_recorder=None, fidelity="fluid"):
     """Run the 1024-host churn scenario to drain; ``(fleet, result)``."""
     fleet = build_fleet1024(
         seed=seed, tracer=tracer, registry=registry, policy=policy,
         horizon=horizon, failure=failure, flight=flight,
-        trace_recorder=trace_recorder,
+        trace_recorder=trace_recorder, fidelity=fidelity,
     )
     result = fleet.run()
     return fleet, result
 
 
 def run_fleet1024_smoke(seed=CHURN_SEED, tracer=None, registry=None,
-                        flight=None, trace_recorder=None):
+                        flight=None, trace_recorder=None, fidelity="fluid"):
     """The CI smoke leg of the 1024-host scenario.
 
     Identical 1024-host topology — smoke shrinks the *workload*, never
@@ -288,6 +291,7 @@ def run_fleet1024_smoke(seed=CHURN_SEED, tracer=None, registry=None,
         tracer=tracer,
         flight=flight,
         trace_recorder=trace_recorder,
+        fidelity=fidelity,
         host_config=dict(
             gpus=4, rnics=1, dram_bytes=64 * GiB, gpu_hbm_bytes=2 * GiB,
             atc_capacity=512,
@@ -321,7 +325,7 @@ def run_fleet1024_smoke(seed=CHURN_SEED, tracer=None, registry=None,
 
 
 def run_fleet_smoke(seed=CHURN_SEED, tracer=None, registry=None, flight=None,
-                    trace_recorder=None):
+                    trace_recorder=None, fidelity="fluid"):
     """A seconds-fast 2-segment fleet exercising every churn code path.
 
     Two hosts, three fixed jobs (PVDMA/Stellar, FULL_PIN/CX7, and one
@@ -339,6 +343,7 @@ def run_fleet_smoke(seed=CHURN_SEED, tracer=None, registry=None, flight=None,
         tracer=tracer,
         flight=flight,
         trace_recorder=trace_recorder,
+        fidelity=fidelity,
         host_config=dict(
             gpus=2, rnics=1, dram_bytes=8 * GiB, gpu_hbm_bytes=1 * GiB,
             atc_capacity=256,

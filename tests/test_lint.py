@@ -520,3 +520,22 @@ class TestClusterLayer:
         assert layer_violation("repro.workloads.fleet_bench",
                                "repro.cluster") is None
         assert layer_violation("repro.cluster.fleet", "repro.training") is None
+
+    def test_fidelity_module_sits_inside_the_cluster_layer(self):
+        # The hybrid-fidelity controller is cluster-internal policy: the
+        # fleet may import it, but the packet/fluid engines it promotes
+        # between must never reach back up into it.
+        assert layer_violation("repro.cluster.fleet",
+                               "repro.cluster.fidelity") is None
+        assert layer_violation("repro.net.packet_sim",
+                               "repro.cluster.fidelity") is not None
+        assert layer_violation("repro.net.fluid_sim",
+                               "repro.cluster.fidelity") is not None
+        assert "L-layer" in rules_fired(
+            "from repro.cluster.fidelity import FidelityController\n",
+            path="src/repro/net/packet_sim.py",
+        )
+        assert rules_fired(
+            "from repro.cluster.fidelity import FidelityController\n",
+            path="src/repro/cluster/fleet.py",
+        ) == set()

@@ -1,0 +1,309 @@
+"""Differential lock for the packet-sim hot path.
+
+The struct-of-arrays rewrite of :mod:`repro.net.packet_sim` (lazy RTO
+ladder, batched window pumps, numpy hop-0 bursts) and the getrandbits
+spray draw claim their float semantics and RNG draw order are
+*operation-for-operation* identical to the per-packet-event engine they
+replaced.  This module holds the pre-refactor flow driver — one RTO
+Event scheduled and (almost always) cancelled per packet, scalar pumps,
+scalar hop 0 — as an executable reference and drives both over
+randomized seeded topologies and flow mixes, asserting that flow
+results, CC state, fabric counters, and per-port float accumulators
+(busy chains, queue-sample sums) match exactly.
+
+``events_executed`` is deliberately *not* compared: the ladder replaces
+per-packet timer events with a handful of ticks, so event counts differ
+by design while every simulation-visible outcome is bit-identical.
+"""
+
+import random  # simlint: ok D-random  (reference oracle for the draw-equivalence tests)
+
+import pytest
+
+from repro import calibration
+from repro.core.spray import ObliviousSpraySelector, SprayConnection
+from repro.net import DualPlaneTopology, ServerAddress
+from repro.net.packet_sim import (  # simlint: ok L-private
+    BURST_MIN_PACKETS,
+    MessageFlow,
+    PacketNetSim,
+    _drop_ignored,
+)
+from repro.rnic.cc import WindowCC
+from repro.sim.rng import RngStream
+from repro.sim.units import usec
+
+from functools import partial
+
+
+class _RefFlow:
+    """Pre-refactor message flow: one scheduled RTO Event per packet.
+
+    Uses the same SprayConnection/WindowCC/topology/port machinery as
+    MessageFlow (those are unchanged), but drives transmission exactly
+    the way the scalar engine did: per-packet can_send/on_send pumps,
+    per-packet ``scheduler.schedule`` timers cancelled on ACK, and
+    every packet through the scalar ``send_packet`` hop path.
+    """
+
+    def __init__(self, sim, flow_id, src, dst, rail, message_bytes,
+                 algorithm, path_count, mtu, connection_id, cc,
+                 recovery):
+        self.sim = sim
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.rail = rail
+        self.message_bytes = message_bytes
+        self.mtu = mtu
+        self.connection_id = connection_id
+        self.conn = SprayConnection(
+            flow_id, algorithm=algorithm, path_count=path_count,
+            rng=RngStream(sim.rng.seed, "flow", flow_id), cc=cc,
+            rto=calibration.SPRAY_RTO_SECONDS,
+        )
+        self.bytes_unsent = message_bytes
+        self.bytes_acked = 0
+        self.finish_time = None
+        self.rto_count = 0
+        self._next_seq = 0
+        self._outstanding = {}
+        self._routes = {}
+        self.recovery = recovery
+        sim.scheduler.schedule_at(0.0, self._pump)
+
+    def _pump(self):
+        conn = self.conn
+        now = self.sim.scheduler.now
+        while self.bytes_unsent > 0 and conn.cc.can_send(self.mtu):
+            size = self.mtu if self.mtu < self.bytes_unsent else self.bytes_unsent
+            self.bytes_unsent -= size
+            seq = self._next_seq
+            self._next_seq += 1
+            conn.cc.on_send(size)
+            self._transmit(seq, size, conn.selector.next_path(now=now))
+
+    def _transmit(self, seq, size, path):
+        route = self._routes.get(path)
+        if route is None:
+            route = self.sim.topology.route(
+                self.src, self.dst, self.rail,
+                path_id=path, connection_id=self.connection_id,
+            )
+            self._routes[path] = route
+        scheduler = self.sim.scheduler
+        sent_at = scheduler.now
+        rto_event = scheduler.schedule(
+            self.conn.rto, partial(self._on_rto, seq, size, path)
+        )
+        self._outstanding[seq] = (rto_event, size, path)
+        self.sim.send_packet(
+            route, size,
+            on_delivered=partial(self._on_delivered, seq, size, path, sent_at),
+            on_dropped=_drop_ignored,
+        )
+
+    def _on_delivered(self, seq, size, path, sent_at, latency, ecn):
+        self.sim.scheduler.schedule_call(
+            2.0e-6, partial(self._on_ack, seq, size, path, sent_at, ecn)
+        )
+
+    def _on_ack(self, seq, size, path, sent_at, ecn):
+        outstanding = self._outstanding
+        if self.recovery == "go_back_n":
+            if seq not in outstanding:
+                return
+            if seq != min(outstanding):
+                return
+        entry = outstanding.pop(seq, None)
+        if entry is None:
+            return
+        entry[0].cancel()
+        now = self.sim.scheduler.now
+        rtt = now - sent_at
+        self.bytes_acked += size
+        self.conn.on_ack(path, size, ecn=ecn, rtt=rtt, now=now)
+        if self.bytes_acked >= self.message_bytes and self.finish_time is None:
+            self.finish_time = now
+            return
+        self._pump()
+
+    def _on_rto(self, seq, size, path):
+        if seq not in self._outstanding:
+            return
+        self.rto_count += 1
+        self.conn.on_loss(path)
+        if self.recovery == "go_back_n":
+            tail = sorted(s for s in self._outstanding if s >= seq)
+            resend = []
+            for s in tail:
+                event, sz, p = self._outstanding.pop(s)
+                event.cancel()
+                resend.append((s, sz, p))
+            self.conn.cc.on_rto()
+            for s, sz, p in resend:
+                self.conn.cc.on_send(sz)
+                self._transmit(s, sz, self.conn.next_path(now=self.sim.now))
+            return
+        del self._outstanding[seq]
+        self.conn.cc.on_rto(size)
+        retry_path = self.conn.retransmit_path(path)
+        self.conn.cc.on_send(size)
+        self._transmit(seq, size, retry_path)
+
+
+# -- randomized case generation -----------------------------------------
+
+
+def _random_case(case_seed):
+    rng = RngStream(case_seed, "packet-diff-case")
+    topo_kwargs = dict(
+        segments=2,
+        servers_per_segment=rng.choice([4, 8]),
+        rails=rng.choice([1, 2]),
+        planes=rng.choice([1, 2]),
+        aggs_per_plane=rng.choice([2, 4]),
+    )
+    servers = [
+        ServerAddress(seg, idx)
+        for seg in range(topo_kwargs["segments"])
+        for idx in range(topo_kwargs["servers_per_segment"])
+    ]
+    flows = []
+    for i in range(rng.randint(3, 5)):
+        src, dst = rng.sample(servers, 2)
+        algorithm = rng.choice(["obs", "obs", "rr"])
+        flows.append(dict(
+            flow_id="f%d" % i,
+            src=src,
+            dst=dst,
+            rail=rng.randint(0, topo_kwargs["rails"] - 1),
+            message_bytes=rng.choice([1, 2, 4]) * 1024 * 1024,
+            algorithm=algorithm,
+            path_count=rng.choice([4, 16, 32]),
+            mtu=rng.choice([16, 32, 64]) * 1024,
+            connection_id=i,
+            recovery=rng.choice(["selective", "selective", "go_back_n"]),
+            init_window=rng.choice([256, 512, 1024]) * 1024,
+        ))
+    loss = rng.choice([0.0, 0.0, 0.05, 0.2])
+    return topo_kwargs, flows, loss, rng.randint(0, 99)
+
+
+def _make_cc(spec):
+    return WindowCC(
+        init_window=spec["init_window"], additive_bytes=64 * 1024,
+        target_rtt=usec(150),
+    )
+
+
+def _flow_kwargs(spec):
+    return {k: v for k, v in spec.items() if k != "init_window"}
+
+
+def _port_state(sim):
+    return sorted(
+        (repr(p.ref), p.busy_until, p.queue_samples, p.queue_sample_sum,
+         p.queue_max, p.ecn_marks, p.drops_random, p.drops_overflow)
+        for p in sim.ports()
+    )
+
+
+class TestPacketDifferential:
+    @pytest.mark.parametrize("case_seed", range(5))
+    def test_hot_path_matches_scalar_reference(self, case_seed):
+        topo_kwargs, flow_specs, loss, sim_seed = _random_case(case_seed)
+        fast_sim = PacketNetSim(DualPlaneTopology(**topo_kwargs), seed=sim_seed)
+        ref_sim = PacketNetSim(DualPlaneTopology(**topo_kwargs), seed=sim_seed)
+        fast_flows = [
+            MessageFlow(fast_sim, cc=_make_cc(spec), **_flow_kwargs(spec))
+            for spec in flow_specs
+        ]
+        ref_flows = [
+            _RefFlow(ref_sim, cc=_make_cc(spec), **_flow_kwargs(spec))
+            for spec in flow_specs
+        ]
+        if loss > 0.0:
+            # Loss on a *second* hop: first hops stay drop-free, which is
+            # the burst path's correctness precondition (it checks; a
+            # lossy first hop just disables bursting).
+            spec = flow_specs[0]
+            for sim in (fast_sim, ref_sim):
+                route = sim.topology.route(
+                    spec["src"], spec["dst"], spec["rail"],
+                    path_id=0, connection_id=spec["connection_id"],
+                )
+                sim.inject_loss(route[1], loss)
+        fast_sim.run(until=0.02)
+        ref_sim.run(until=0.02)
+        assert fast_sim.packets_sent == ref_sim.packets_sent
+        assert fast_sim.packets_delivered == ref_sim.packets_delivered
+        assert fast_sim.packets_dropped == ref_sim.packets_dropped
+        for fast, ref in zip(fast_flows, ref_flows):
+            assert fast.bytes_acked == ref.bytes_acked, fast.flow_id
+            assert fast.bytes_unsent == ref.bytes_unsent, fast.flow_id
+            assert fast.finish_time == ref.finish_time, fast.flow_id
+            assert fast.rto_count == ref.rto_count, fast.flow_id
+            assert fast.conn.retransmissions == ref.conn.retransmissions
+            # Exact float equality: the CC window integrates every ACK's
+            # arithmetic, so a single reordered op would show up here.
+            assert fast.conn.cc.window == ref.conn.cc.window, fast.flow_id
+            assert fast.conn.cc.in_flight == ref.conn.cc.in_flight
+        # Per-port accumulators are float += chains over every packet;
+        # bit-equality locks the numpy cumsum rewrite of hop 0.
+        assert _port_state(fast_sim) == _port_state(ref_sim)
+
+    def test_loss_free_case_actually_bursts(self):
+        # Guard against the burst path silently never engaging: a
+        # loss-free flow whose window spans >= BURST_MIN_PACKETS packets
+        # must route its opening burst through send_burst.
+        topo = DualPlaneTopology(segments=2, servers_per_segment=4,
+                                 rails=1, planes=1, aggs_per_plane=2)
+        sim = PacketNetSim(topo, seed=3)
+        calls = []
+        original = sim.send_burst
+
+        def counting(rows):
+            calls.append(len(rows))
+            return original(rows)
+
+        sim.send_burst = counting
+        mtu = 32 * 1024
+        MessageFlow(
+            sim, "burst", ServerAddress(0, 0), ServerAddress(1, 0), 0,
+            message_bytes=4 * 1024 * 1024, algorithm="obs", path_count=8,
+            mtu=mtu, connection_id=0,
+            cc=WindowCC(init_window=BURST_MIN_PACKETS * mtu,
+                        additive_bytes=64 * 1024, target_rtt=usec(150)),
+        )
+        sim.run(until=0.005)
+        assert calls and calls[0] >= BURST_MIN_PACKETS
+
+
+class TestSprayDrawEquivalence:
+    """The getrandbits fast path must reproduce randint draw-for-draw."""
+
+    @pytest.mark.parametrize("path_count", [1, 2, 5, 7, 64, 100, 128])
+    def test_matches_randint_sequence(self, path_count):
+        stream = RngStream(42, "spray-equiv", path_count)
+        selector = ObliviousSpraySelector(path_count, rng=stream)
+        reference = random.Random(stream.seed)  # simlint: ok D-random
+        draws = [selector.next_path() for _ in range(500)]
+        expected = [reference.randint(0, path_count - 1) for _ in range(500)]
+        assert draws == expected
+        # Both consumed the same number of underlying draws: the next
+        # value still agrees after 500 draws.
+        assert selector.next_path() == reference.randint(0, path_count - 1)
+
+    def test_plain_random_fallback(self):
+        # rngs without a getrandbits binding keep the randint path.
+        class _RandintOnly:
+            def __init__(self):
+                self._r = random.Random(7)  # simlint: ok D-random
+                self.randint = self._r.randint
+
+        selector = ObliviousSpraySelector(16, rng=_RandintOnly())
+        reference = random.Random(7)  # simlint: ok D-random
+        assert [selector.next_path() for _ in range(100)] == [
+            reference.randint(0, 15) for _ in range(100)
+        ]

@@ -99,7 +99,8 @@ class TestSuite:
         assert set(KERNELS) == {
             "scheduler_churn", "scheduler_cancel", "packet_fig9",
             "packet_fig11", "flight_overhead", "fluid_allreduce_512",
-            "fleet_churn", "fleet_1024_churn", "runner_fanout", "trace_replay",
+            "fleet_churn", "fleet_1024_churn", "fleet_1024_hybrid",
+            "runner_fanout", "trace_replay",
         }
 
     def test_flight_overhead_kernel_modes_do_identical_work(self):

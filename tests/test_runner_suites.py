@@ -21,8 +21,8 @@ def _report(rows):
 class TestBuilders:
     def test_registry_names(self):
         assert list(SUITES) == [
-            "figures", "figures-smoke", "determinism", "health", "perf",
-            "traces", "traces-smoke",
+            "figures", "figures-smoke", "determinism", "hybrid-smoke",
+            "health", "perf", "traces", "traces-smoke",
         ]
         for suite in SUITES.values():
             keys = [s.key for s in suite.build()]
